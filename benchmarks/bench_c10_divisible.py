@@ -1,0 +1,55 @@
+"""C10 — §5.2 [8]: divisible load, one-round vs periodic multi-round.
+
+Shape: one-round ratios plateau above 1 (the sequential distribution keeps
+late workers idle); the paper's multi-round periodic schedule converges to
+the steady-state bound like 1 + O(1/sqrt(W)); the crossover sits at
+moderate loads.
+"""
+
+from fractions import Fraction
+
+from repro import StarWorker, makespan_lower_bound, multi_round_makespan, one_round_schedule
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+WORKERS = [
+    StarWorker(Fraction(1), Fraction(1), Fraction(2)),
+    StarWorker(Fraction(2), Fraction(1), Fraction(4)),
+    StarWorker(Fraction(3), Fraction(2), Fraction(2)),
+    StarWorker(Fraction(5), Fraction(3), Fraction(8)),
+]
+
+
+def run_divisible_sweep():
+    rows = []
+    for exp in range(1, 7):
+        W = Fraction(10 ** exp)
+        one, _ = one_round_schedule(W, WORKERS)
+        multi = multi_round_makespan(W, WORKERS)
+        lb = makespan_lower_bound(W, WORKERS)
+        rows.append([
+            f"1e{exp}", float(one / lb), float(multi / lb),
+            "multi" if multi < one else "one",
+        ])
+    return rows
+
+
+def test_c10_divisible_load(benchmark):
+    rows = benchmark.pedantic(run_divisible_sweep, rounds=2, iterations=1)
+    multi_ratios = [r[2] for r in rows]
+    # multi-round converges to 1
+    assert multi_ratios[-1] < 1.02
+    assert multi_ratios == sorted(multi_ratios, reverse=True)
+    # one-round plateaus strictly above 1
+    assert rows[-1][1] > 1.1
+    # the crossover: one-round wins small loads, multi-round large ones
+    assert rows[0][3] == "one"
+    assert rows[-1][3] == "multi"
+    report(
+        "C10: divisible load makespan ratios vs the bound W/rate",
+        render_table(
+            ["load W", "one-round/bound", "multi-round/bound", "winner"],
+            rows,
+        ),
+    )

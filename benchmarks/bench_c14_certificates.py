@@ -1,0 +1,59 @@
+"""C14 — optimality certificates: the LP bound, proved.
+
+The paper's upper-bound argument ("any periodic schedule obeys the
+equations of the linear program") made checkable: for every platform we
+solve the explicit SSMS dual, verify its feasibility from first
+principles, and confirm strong duality — port prices + task potentials
+certify that no steady-state schedule beats ``ntask(G)``.  The closed-form
+envelope (CPU capacity, master port, cuts) brackets the same value from
+above.
+"""
+
+from fractions import Fraction
+
+from repro.analysis.certificates import ssms_certificate
+from repro.core.master_slave import ntask
+from repro.core.throughput_bounds import bound_envelope
+from repro.platform import generators
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+PLATFORMS = [
+    ("star", generators.star(4, master_w=2, worker_w=[1, 2, 3, 4],
+                             link_c=[1, 1, 2, 3]), "M"),
+    ("fig1", generators.paper_figure1(), "P1"),
+    ("grid", generators.grid2d(3, 3, seed=3), "G0_0"),
+    ("random", generators.random_connected(8, seed=42), "R0"),
+]
+
+
+def run_certificates():
+    rows = []
+    for name, platform, master in PLATFORMS:
+        cert = ssms_certificate(platform, master)
+        cert.verify_dual_feasibility()
+        env = bound_envelope(platform, master)
+        rows.append([
+            name,
+            cert.primal_value,
+            cert.dual_value,
+            "yes" if cert.optimal else "NO",
+            min(env.values()),
+        ])
+    return rows
+
+
+def test_c14_certificates(benchmark):
+    rows = benchmark.pedantic(run_certificates, rounds=1, iterations=1)
+    for name, primal, dual, tight, envelope in rows:
+        assert tight == "yes", name
+        assert primal <= envelope, name
+    report(
+        "C14: duality certificates and the closed-form envelope",
+        render_table(
+            ["platform", "ntask (primal)", "dual certificate", "tight?",
+             "best closed-form bound"],
+            rows,
+        ),
+    )

@@ -1,0 +1,79 @@
+"""C1 — §3.1 + §4.1: master-slave steady state vs practical baselines.
+
+Shape to reproduce: the LP bound dominates every executable strategy; the
+reconstructed periodic schedule attains it exactly (up to the constant
+initialisation deficit); bandwidth-centric demand-driven approaches it;
+round-robin trails badly.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    PeriodicRunner,
+    generators,
+    reconstruct_schedule,
+    run_demand_driven,
+    solve_master_slave,
+)
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+PLATFORMS = [
+    ("star", generators.star(4, master_w=2, worker_w=[1, 2, 3, 4],
+                             link_c=[1, 1, 2, 3]), "M"),
+    ("tree", generators.binary_tree(3, seed=5), "T0"),
+    ("grid", generators.grid2d(3, 3, seed=3), "G0_0"),
+    ("random", generators.random_connected(9, seed=11), "R0"),
+]
+
+
+def run_comparison():
+    rows = []
+    for name, platform, master in PLATFORMS:
+        sol = solve_master_slave(platform, master)
+        sched = reconstruct_schedule(sol)
+        periods = max(12, 2 * platform.num_nodes)
+        periodic = PeriodicRunner(sched).run(periods)
+        horizon = sched.period * periods
+        bw = run_demand_driven(platform, master, horizon, policy="bandwidth")
+        rr = run_demand_driven(platform, master, horizon,
+                               policy="round-robin")
+        rows.append([
+            name,
+            float(sol.throughput),
+            float(periodic.achieved_rate),
+            float(bw.rate),
+            float(rr.rate),
+        ])
+    return rows
+
+
+def test_c1_master_slave_comparison(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    for name, lp, periodic, bw, rr in rows:
+        # nothing beats the LP bound
+        assert periodic <= lp + 1e-12
+        assert bw <= lp + 1e-12
+        assert rr <= lp + 1e-12
+        # the periodic schedule essentially attains it
+        assert periodic >= 0.85 * lp
+        # demand-driven bandwidth-centric is competitive: near-optimal on
+        # genuinely tree-shaped platforms, within a constant factor on
+        # general graphs where it only exploits a spanning tree (the very
+        # parallelism the LP wins by)
+        threshold = 0.80 if name in ("star", "tree") else 0.55
+        assert bw >= threshold * lp
+        # round-robin is the clear loser (paper's motivation for LP-based
+        # allocation under heterogeneity)
+        assert rr <= bw + 1e-12
+    report(
+        "C1: steady-state vs baselines (tasks per time-unit)",
+        render_table(
+            ["platform", "LP bound", "periodic schedule",
+             "demand-driven (bandwidth)", "round-robin"],
+            rows,
+        ),
+    )

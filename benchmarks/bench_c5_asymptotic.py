@@ -1,0 +1,68 @@
+"""C5 — §4.2: asymptotic optimality of the reconstructed schedule.
+
+Shape: tasks processed in K periods = K*T*ntask − constant; the constant
+(the initialisation deficit) does not grow with K, so the efficiency
+ratio climbs to 1 like 1 − C/K.  Also: on finite batches, the steady-state
+schedule's makespan converges to the lower bound and stays within a few
+percent of the EFT list-scheduling heuristic.
+"""
+
+from fractions import Fraction
+
+from repro import (
+    PeriodicRunner,
+    generators,
+    makespan_comparison,
+    reconstruct_schedule,
+    solve_master_slave,
+)
+from repro.analysis.bounds import deficit_is_constant, efficiency_series
+from repro.analysis.reporting import render_series, render_table
+
+from conftest import report
+
+
+def run_asymptotics():
+    platform = generators.grid2d(3, 3, seed=3)
+    sol = solve_master_slave(platform, "G0_0")
+    sched = reconstruct_schedule(sol)
+    horizons = [4, 8, 16, 32, 64, 128]
+    runs = [PeriodicRunner(sched).run(k) for k in horizons]
+    series = efficiency_series(runs)
+    constant = deficit_is_constant(runs[2:])
+    star = generators.star(4, master_w=2, worker_w=[1, 2, 3, 4],
+                           link_c=[1, 1, 2, 3])
+    batch_rows = makespan_comparison(star, "M", [20, 100, 500])
+    return series, constant, runs[-1].deficit, batch_rows
+
+
+def test_c5_asymptotic_optimality(benchmark):
+    series, constant, deficit, batch_rows = benchmark.pedantic(
+        run_asymptotics, rounds=1, iterations=1
+    )
+    # deficit constant across horizons (the strong §4.2 result)
+    assert constant
+    # efficiency is monotone and ends close to 1
+    effs = [float(e) for _, e in series]
+    assert effs == sorted(effs)
+    assert effs[-1] > 0.97
+    # finite batches: both above the bound; the steady-state schedule's
+    # overhead (initialisation + partial final period) is asymptotically
+    # negligible — by the largest batch it matches EFT within 5%
+    for n, eft, ss, lb in batch_rows:
+        assert eft >= lb and ss >= lb
+    n, eft, ss, lb = batch_rows[-1]
+    assert float(ss) <= 1.05 * float(eft)
+    report(
+        "C5: efficiency(K) -> 1 with a constant deficit "
+        f"(deficit = {deficit} tasks at every horizon)",
+        render_series(series, "periods K", "tasks done / K*T*ntask")
+        + "\n\n"
+        + render_table(
+            ["batch n", "EFT makespan", "steady-state makespan",
+             "bound n/ntask"],
+            [[n, float(e), float(s), float(l)]
+             for n, e, s, l in batch_rows],
+            title="finite batches (star platform)",
+        ),
+    )

@@ -1,0 +1,46 @@
+"""C7 — §5.4: fixed-length periods approach the optimum.
+
+Shape: rounding the optimal rational activities down to a fixed period tau
+loses at most (#routes+1)/tau of throughput, so the achieved rate climbs
+to ntask(G) as tau grows.
+"""
+
+from fractions import Fraction
+
+from repro import generators, solve_master_slave, throughput_vs_period
+from repro.schedule.fixed_period import rounding_loss_bound
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+
+def run_fixed_period_sweep():
+    platform = generators.grid2d(3, 3, seed=3)
+    sol = solve_master_slave(platform, "G0_0")
+    taus = [5, 20, 80, 320, 1280]
+    series = throughput_vs_period(sol, taus)
+    rows = []
+    for (tau, tp) in series:
+        loss = sol.throughput - tp
+        rows.append([
+            int(tau), float(tp), float(sol.throughput),
+            float(loss), float(rounding_loss_bound(sol, tau)),
+        ])
+    return rows
+
+
+def test_c7_fixed_period_convergence(benchmark):
+    rows = benchmark.pedantic(run_fixed_period_sweep, rounds=2, iterations=1)
+    losses = [r[3] for r in rows]
+    assert losses == sorted(losses, reverse=True)
+    assert losses[-1] < 0.01
+    for tau, tp, opt, loss, bound in rows:
+        assert loss <= bound + 1e-12
+        assert tp <= opt
+    report(
+        "C7: throughput under fixed periods (grid 3x3)",
+        render_table(
+            ["tau", "throughput(tau)", "optimum", "loss", "loss bound"],
+            rows,
+        ),
+    )

@@ -1,0 +1,42 @@
+"""F1 — Figure 1: the example platform and its steady-state operation.
+
+The paper's Figure 1 shows the node/edge-weighted platform graph that all
+of section 3 quantifies.  This benchmark rebuilds it, solves SSMS(G),
+reconstructs the periodic schedule and prints the full artefact.
+"""
+
+from repro import PeriodicRunner, generators, reconstruct_schedule, solve_master_slave
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+
+def fig1_pipeline():
+    platform = generators.paper_figure1()
+    solution = solve_master_slave(platform, "P1")
+    schedule = reconstruct_schedule(solution)
+    result = PeriodicRunner(schedule).run(10)
+    return platform, solution, schedule, result
+
+
+def test_fig1_platform_and_schedule(benchmark):
+    platform, solution, schedule, result = benchmark.pedantic(
+        fig1_pipeline, rounds=3, iterations=1
+    )
+    # the platform of Figure 1
+    assert platform.num_nodes == 6 and platform.num_edges == 14
+    # steady state primes and holds the LP rate
+    assert result.completed_per_period[-1] == (
+        solution.throughput * schedule.period
+    )
+    rows = [
+        ["ntask(G) tasks/time-unit", solution.throughput],
+        ["period T", schedule.period],
+        ["communication slices", len(schedule.slices)],
+        ["tasks per period", schedule.tasks_per_period()],
+        ["simulated deficit (constant)", result.deficit],
+    ]
+    report("F1: Figure 1 platform, SSMS solution and periodic schedule",
+           platform.describe() + "\n\n"
+           + render_table(["quantity", "value"], rows)
+           + "\n\n" + schedule.describe())

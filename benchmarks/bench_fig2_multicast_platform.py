@@ -1,0 +1,39 @@
+"""F2 — Figure 2: the multicast counterexample platform.
+
+Rebuilds the seven-node platform with the printed edge costs (eight unit
+edges plus P3->P4 at cost 2) and verifies the structural facts the section
+4.3 narrative depends on: the four named routes exist and the max-rule LP
+admits throughput exactly 1.
+"""
+
+from repro import generators
+from repro.core.multicast import multicast_bounds
+
+from conftest import report
+
+
+def build_and_bound():
+    platform = generators.paper_figure2_multicast()
+    sum_lp, max_lp = multicast_bounds(platform, "P0", ["P5", "P6"])
+    return platform, sum_lp, max_lp
+
+
+def test_fig2_platform(benchmark):
+    platform, sum_lp, max_lp = benchmark.pedantic(
+        build_and_bound, rounds=3, iterations=1
+    )
+    assert platform.num_nodes == 7
+    assert platform.num_edges == 9
+    assert platform.c("P3", "P4") == 2
+    assert max_lp == 1          # the figure's "one message per time-unit"
+    for path in [
+        ["P0", "P1", "P5"],                    # label a -> P5
+        ["P0", "P2", "P3", "P4", "P5"],        # label b -> P5
+        ["P0", "P1", "P3", "P4", "P6"],        # route r1 (label a) -> P6
+        ["P0", "P2", "P6"],                    # route r2 (label b) -> P6
+    ]:
+        for a, b in zip(path, path[1:]):
+            assert platform.has_edge(a, b)
+    report("F2: Figure 2 platform", platform.describe()
+           + f"\n\nmax-rule LP bound = {max_lp} (the paper's 'throughput "
+             f"of one message per time-unit')\nsum-rule LP = {sum_lp}")

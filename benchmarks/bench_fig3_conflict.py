@@ -1,0 +1,60 @@
+"""F3d — Figure 3(d): the conflict that makes the LP bound unachievable.
+
+The paper's headline negative result.  Edge P3->P4 must carry one ``a``
+and one ``b`` message (distinct instances) every two time-units at cost 2
+each — occupation 2 > 1.  The true optimum, computed by exhaustive Steiner
+arborescence packing, is 3/4 < 1; the best single tree only reaches 1/2.
+"""
+
+from fractions import Fraction
+
+from repro import analyze_figure2, best_single_tree, packing_to_schedule, solve_multicast
+from repro.analysis.reporting import render_table
+
+from conftest import report
+
+
+def full_analysis():
+    rep = analyze_figure2()
+    analysis = solve_multicast(rep.platform, "P0", ["P5", "P6"])
+    single_rate, single_tree = best_single_tree(
+        rep.platform, "P0", ["P5", "P6"]
+    )
+    schedule = packing_to_schedule(
+        rep.platform, analysis.packing, "P0", "multicast"
+    )
+    return rep, analysis, single_rate, schedule
+
+
+def test_fig3_conflict(benchmark):
+    rep, analysis, single_rate, schedule = benchmark.pedantic(
+        full_analysis, rounds=2, iterations=1
+    )
+    # the conflict of Figure 3(d)
+    assert rep.conflicts == {("P3", "P4"): Fraction(2)}
+    assert rep.is_counterexample()
+    # the bracket: 1/2 (sum-LP) <= 1/2 (single tree) < 3/4 (optimum) < 1
+    assert rep.sum_lp == Fraction(1, 2)
+    assert single_rate == Fraction(1, 2)
+    assert rep.achievable == Fraction(3, 4)
+    assert rep.max_lp == 1
+    # and the 3/4 packing actually executes as a valid periodic schedule
+    assert schedule.throughput == Fraction(3, 4)
+
+    rows = [
+        ["sum-rule LP (always achievable)", rep.sum_lp],
+        ["best single multicast tree", single_rate],
+        ["optimal tree packing (true optimum)", rep.achievable],
+        ["max-rule LP bound (NOT achievable)", rep.max_lp],
+    ]
+    conflict_lines = [
+        f"  {u} -> {v}: required occupation {occ} > 1"
+        for (u, v), occ in rep.conflicts.items()
+    ]
+    report(
+        "F3d: reconstruction conflict and the multicast bracket",
+        "\n".join(conflict_lines) + "\n\n"
+        + render_table(["throughput level", "value"], rows)
+        + f"\n\npacking uses {len(analysis.packing)} trees; schedule "
+          f"period {schedule.period}, throughput {schedule.throughput}",
+    )

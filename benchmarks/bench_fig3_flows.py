@@ -1,0 +1,50 @@
+"""F3a/F3b/F3c — Figures 3(a), 3(b), 3(c): the max-LP multicast flows.
+
+Regenerates the per-edge message rates of the optimal max-rule LP solution:
+1/2 per printed edge towards P5 (3a) and towards P6 (3b), and the
+superposed distinct-message load per edge (3c) — including the shared
+source edges where the two targets' copies coincide.
+"""
+
+from fractions import Fraction
+
+from repro.core.multicast import analyze_figure2
+from repro.analysis.reporting import render_edge_flows
+
+from conftest import report
+
+
+def test_fig3_flows(benchmark):
+    rep = benchmark.pedantic(analyze_figure2, rounds=3, iterations=1)
+
+    # Figure 3(a): six edges at rate 1/2 towards P5
+    assert set(rep.flows_p5) == {
+        ("P0", "P1"), ("P1", "P5"),
+        ("P0", "P2"), ("P2", "P3"), ("P3", "P4"), ("P4", "P5"),
+    }
+    assert all(v == Fraction(1, 2) for v in rep.flows_p5.values())
+
+    # Figure 3(b): six edges at rate 1/2 towards P6
+    assert set(rep.flows_p6) == {
+        ("P0", "P1"), ("P1", "P3"), ("P3", "P4"), ("P4", "P6"),
+        ("P0", "P2"), ("P2", "P6"),
+    }
+    assert all(v == Fraction(1, 2) for v in rep.flows_p6.values())
+
+    # Figure 3(c): totals — shared at the source, additive elsewhere
+    assert rep.total_flows[("P0", "P1")] == Fraction(1, 2)
+    assert rep.total_flows[("P0", "P2")] == Fraction(1, 2)
+    assert rep.total_flows[("P3", "P4")] == 1
+
+    report(
+        "F3a: messages targeting P5",
+        render_edge_flows(rep.flows_p5),
+    )
+    report(
+        "F3b: messages targeting P6",
+        render_edge_flows(rep.flows_p6),
+    )
+    report(
+        "F3c: total distinct messages per edge",
+        render_edge_flows(rep.total_flows),
+    )

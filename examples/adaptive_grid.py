@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Dynamic steady-state scheduling on a drifting platform (section 5.5).
+
+CPU speeds and link bandwidths drift epoch by epoch (simulated NWS-style
+monitoring).  Three strategies compete:
+
+* static   — plan once on the initial measurements, never replan;
+* adaptive — replan each epoch with the previous epoch's observations
+             ("use the past to predict the future");
+* oracle   — replan with perfect knowledge (unattainable upper reference).
+
+Run:  python examples/adaptive_grid.py
+"""
+
+from repro import SlidingWindowPredictor, TimeVaryingPlatform, generators, run_adaptive
+from repro.analysis.reporting import render_table
+
+
+def main() -> None:
+    base = generators.star(
+        4, master_w=2, worker_w=[1, 2, 3, 4], link_c=[1, 1, 2, 3]
+    )
+    print(base.describe())
+    print()
+
+    epochs = 10
+    rows = []
+    per_epoch = {}
+    for strategy in ("static", "adaptive", "oracle"):
+        varying = TimeVaryingPlatform(base, drift=0.35, seed=2024)
+        result = run_adaptive(
+            varying, "M", epochs=epochs, strategy=strategy,
+            predictor=SlidingWindowPredictor(window=3)
+            if strategy == "adaptive" else None,
+        )
+        rows.append([
+            strategy,
+            float(result.total_achieved),
+            float(result.mean_efficiency),
+        ])
+        per_epoch[strategy] = [
+            float(e.efficiency) for e in result.epochs
+        ]
+
+    print(render_table(
+        ["strategy", "total tasks/unit-epoch", "mean efficiency"],
+        rows,
+        title=f"{epochs} epochs of drifting platform (seed 2024)",
+    ))
+    print()
+    header = ["epoch"] + list(per_epoch)
+    eff_rows = [
+        [e] + [per_epoch[s][e] for s in per_epoch] for e in range(epochs)
+    ]
+    print(render_table(
+        header, eff_rows, title="per-epoch efficiency (achieved / optimal)"
+    ))
+    print()
+    print("the adaptive planner lags one epoch behind reality but tracks "
+          "the drift; the static plan decays as the platform walks away "
+          "from its initial measurements.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Divisible load with start-up costs (section 5.2, ref [8]).
+
+A bag of ``W`` divisible work units is spread over a one-port star whose
+links charge an affine cost ``C_k + c_k * n``.  The classical one-round
+schedule distributes everything in a single sweep; the paper's periodic
+multi-round strategy groups ``m ≈ sqrt(W/rate)`` elementary periods per
+round so the start-ups amortise, and is asymptotically optimal.
+
+Run:  python examples/divisible_load.py
+"""
+
+from fractions import Fraction
+
+from repro import StarWorker, makespan_lower_bound, multi_round_makespan, one_round_schedule
+from repro.analysis.reporting import render_series, render_table
+
+
+def main() -> None:
+    workers = [
+        StarWorker(w=Fraction(1), c=Fraction(1), startup=Fraction(2)),
+        StarWorker(w=Fraction(2), c=Fraction(1), startup=Fraction(4)),
+        StarWorker(w=Fraction(3), c=Fraction(2), startup=Fraction(2)),
+        StarWorker(w=Fraction(5), c=Fraction(3), startup=Fraction(8)),
+    ]
+    print("star platform, per-worker (w, c, C):")
+    for k, wk in enumerate(workers):
+        print(f"  worker {k}: w={wk.w} c={wk.c} C={wk.startup}")
+    print()
+
+    rows = []
+    series = []
+    for exp in range(1, 7):
+        W = Fraction(10 ** exp)
+        one, _ = one_round_schedule(W, workers)
+        multi = multi_round_makespan(W, workers)
+        lb = makespan_lower_bound(W, workers)
+        rows.append([
+            f"1e{exp}",
+            float(one / lb),
+            float(multi / lb),
+        ])
+        series.append((10 ** exp, multi / lb))
+
+    print(render_table(
+        ["load W", "one-round / bound", "multi-round / bound"],
+        rows,
+        title="makespan ratios versus the steady-state lower bound W/rate",
+    ))
+    print()
+    print(render_series(
+        series, "W", "multi/bound",
+        title="multi-round convergence (ratio -> 1 like 1 + O(1/sqrt(W)))",
+    ))
+    print()
+    print("one-round schedules serialise the whole distribution before "
+          "anyone at the end of the chain starts: their ratio plateaus.\n"
+          "the periodic strategy overlaps rounds and only pays "
+          "O(sqrt(W)) in start-ups and phases — section 5.2's analysis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: steady-state master-slave scheduling in five steps.
+
+1. build a heterogeneous platform (section 2's model);
+2. solve the SSMS linear program (section 3.1) for the optimal
+   steady-state throughput ``ntask(G)``;
+3. reconstruct the compact periodic schedule (section 4.1);
+4. execute it in the one-port simulator and watch it prime into steady
+   state (section 4.2);
+5. compare with the demand-driven baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    PeriodicRunner,
+    generators,
+    reconstruct_schedule,
+    run_demand_driven,
+    solve_master_slave,
+)
+from repro.analysis.reporting import render_table
+
+
+def main() -> None:
+    # -- 1. platform: one master, four heterogeneous workers ------------
+    platform = generators.star(
+        4,
+        master_w=2,                   # the master takes 2 time-units per task
+        worker_w=[1, 2, 3, 4],        # workers of decreasing speed
+        link_c=[1, 1, 2, 3],          # and increasingly expensive links
+    )
+    print(platform.describe())
+    print()
+
+    # -- 2. the steady-state LP ------------------------------------------
+    solution = solve_master_slave(platform, "M")
+    print(solution.summary())
+    print()
+
+    # -- 3. schedule reconstruction ---------------------------------------
+    schedule = reconstruct_schedule(solution)
+    print(schedule.describe())
+    print()
+
+    # -- 4. execution -------------------------------------------------------
+    result = PeriodicRunner(schedule, record_trace=True).run(12)
+    result.trace.validate("one-port")  # machine-checked model compliance
+    rows = []
+    for p, done in enumerate(result.completed_per_period):
+        rows.append([p, done, float(done / schedule.period)])
+    print(render_table(
+        ["period", "tasks done", "rate"],
+        rows,
+        title="periodic execution (watch the initialisation phase!)",
+    ))
+    print(f"\ndeficit vs steady-state bound: {result.deficit} tasks "
+          f"(a constant, independent of the horizon)")
+    print()
+
+    # -- 5. baseline comparison ---------------------------------------------
+    horizon = 12 * schedule.period
+    comparison = [["steady-state (LP)", float(solution.throughput)]]
+    for policy in ("bandwidth", "fastest", "round-robin"):
+        res = run_demand_driven(platform, "M", horizon, policy=policy)
+        comparison.append([f"demand-driven / {policy}", float(res.rate)])
+    print(render_table(
+        ["strategy", "tasks per time-unit"],
+        comparison,
+        title=f"achieved rates over {horizon} time-units",
+    ))
+
+
+if __name__ == "__main__":
+    main()

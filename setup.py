@@ -1,0 +1,15 @@
+"""Setup shim for offline environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517`` uses this legacy path; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``      solve SSMS on a platform (JSON file or built-in generator)
+               and print the activities, schedule and simulated execution;
+``scatter``    solve the pipelined scatter LP and print the schedule;
+``broadcast``  broadcast bound + achieving tree packing;
+``multicast``  the sum/packing/max bracket for a target set;
+``figures``    regenerate the paper's Figures 1-3 artefacts;
+``export``     write a generator-built platform as JSON for editing.
+
+Examples
+--------
+::
+
+    python -m repro solve --generator star --args 4 --master M
+    python -m repro figures
+    python -m repro export --generator grid2d --args 3 3 -o grid.json
+    python -m repro solve --platform grid.json --master G0_0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from .analysis.reporting import render_edge_flows, render_table
+from .platform import generators
+from .platform.graph import Platform
+from .platform.serialization import platform_from_json, platform_to_json
+
+
+def _load_platform(args) -> Platform:
+    if args.platform:
+        with open(args.platform, "r", encoding="utf-8") as handle:
+            return platform_from_json(handle.read())
+    if args.generator:
+        factory = getattr(generators, args.generator, None)
+        if factory is None or not callable(factory):
+            raise SystemExit(f"unknown generator {args.generator!r}")
+        gen_args = [int(a) if a.isdigit() else a for a in args.args]
+        return factory(*gen_args, **({"seed": args.seed}
+                                     if args.seed is not None else {}))
+    raise SystemExit("provide --platform FILE or --generator NAME")
+
+
+def cmd_solve(args) -> int:
+    from .core.master_slave import solve_master_slave
+    from .schedule.reconstruction import reconstruct_schedule
+    from .simulator.periodic_runner import PeriodicRunner
+
+    platform = _load_platform(args)
+    print(platform.describe())
+    sol = solve_master_slave(platform, args.master)
+    print()
+    print(sol.summary())
+    sched = reconstruct_schedule(sol)
+    print()
+    print(sched.describe())
+    res = PeriodicRunner(sched).run(args.periods)
+    print()
+    print(f"simulated {args.periods} periods: {res.total_completed} tasks, "
+          f"deficit {res.deficit} (constant), rate "
+          f"{float(res.achieved_rate):.4f} vs LP "
+          f"{float(sol.throughput):.4f}")
+    return 0
+
+
+def cmd_scatter(args) -> int:
+    from .core.scatter import solve_scatter
+    from .schedule.reconstruction import reconstruct_schedule
+
+    platform = _load_platform(args)
+    sol = solve_scatter(platform, args.source, args.targets)
+    print(f"scatter throughput TP = {sol.throughput}")
+    sched = reconstruct_schedule(sol)
+    print(sched.describe())
+    for k, routes in sched.routes.items():
+        print(f"  commodity {k}:")
+        for path, units in routes:
+            print(f"    {' -> '.join(path)} x {units}")
+    return 0
+
+
+def cmd_broadcast(args) -> int:
+    from .core.broadcast import solve_broadcast
+
+    platform = _load_platform(args)
+    sol = solve_broadcast(platform, args.source)
+    status = "optimal" if sol.optimal else "lower bound (greedy packing)"
+    print(f"broadcast LP bound = {sol.lp_bound}")
+    print(f"tree packing       = {sol.achieved}  [{status}]")
+    for tree, rate in sorted(sol.packing.items(), key=lambda tr: -tr[1]):
+        edges = ", ".join(f"{u}->{v}" for u, v in sorted(tree))
+        print(f"  rate {rate}: {edges}")
+    return 0
+
+
+def cmd_multicast(args) -> int:
+    from .core.multicast import solve_multicast
+
+    platform = _load_platform(args)
+    analysis = solve_multicast(platform, args.source, args.targets)
+    rows = [
+        ["sum-rule LP (pessimistic)", analysis.sum_lp],
+        ["tree packing"
+         + (" (exact)" if analysis.exhaustive else " (greedy)"),
+         analysis.tree_optimal],
+        ["max-rule LP (optimistic)", analysis.max_lp],
+    ]
+    print(render_table(["bound", "throughput"], rows))
+    if analysis.exhaustive and not analysis.max_lp_achievable:
+        print("\nthe optimistic bound is NOT achievable on this platform "
+              "(cf. section 4.3).")
+    return 0
+
+
+def cmd_figures(_args) -> int:
+    from .core.master_slave import solve_master_slave
+    from .core.multicast import analyze_figure2
+    from .schedule.reconstruction import reconstruct_schedule
+
+    fig1 = generators.paper_figure1()
+    sol = solve_master_slave(fig1, "P1")
+    print("== Figure 1 ==")
+    print(fig1.describe())
+    print(f"ntask(G) = {sol.throughput}")
+    print(reconstruct_schedule(sol).describe())
+    print()
+    rep = analyze_figure2()
+    print("== Figure 2 ==")
+    print(rep.platform.describe())
+    print()
+    print(render_edge_flows(rep.flows_p5, "== Figure 3(a): towards P5 =="))
+    print(render_edge_flows(rep.flows_p6, "== Figure 3(b): towards P6 =="))
+    print(render_edge_flows(rep.total_flows, "== Figure 3(c): totals =="))
+    print("== Figure 3(d): conflicts ==")
+    for (u, v), occ in rep.conflicts.items():
+        print(f"  {u} -> {v}: occupation {occ} > 1")
+    print(f"\nbracket: sum-LP {rep.sum_lp} <= achievable {rep.achievable} "
+          f"< max-LP {rep.max_lp}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    platform = _load_platform(args)
+    text = platform_to_json(platform)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _add_platform_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", help="platform JSON file")
+    parser.add_argument("--generator",
+                        help="generator name from repro.platform.generators")
+    parser.add_argument("--args", nargs="*", default=[],
+                        help="positional generator arguments")
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="steady-state scheduling on heterogeneous clusters "
+                    "(Beaumont/Legrand/Marchal/Robert, IPDPS 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="master-slave steady state")
+    _add_platform_options(p)
+    p.add_argument("--master", required=True)
+    p.add_argument("--periods", type=int, default=12)
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("scatter", help="pipelined scatter")
+    _add_platform_options(p)
+    p.add_argument("--source", required=True)
+    p.add_argument("--targets", nargs="+", required=True)
+    p.set_defaults(func=cmd_scatter)
+
+    p = sub.add_parser("broadcast", help="pipelined broadcast")
+    _add_platform_options(p)
+    p.add_argument("--source", required=True)
+    p.set_defaults(func=cmd_broadcast)
+
+    p = sub.add_parser("multicast", help="multicast bound bracket")
+    _add_platform_options(p)
+    p.add_argument("--source", required=True)
+    p.add_argument("--targets", nargs="+", required=True)
+    p.set_defaults(func=cmd_multicast)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("export", help="write a platform as JSON")
+    _add_platform_options(p)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

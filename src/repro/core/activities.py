@@ -1,0 +1,333 @@
+"""Steady-state activity variables and their invariants.
+
+The output of each steady-state LP is a set of *activity variables*
+(section 1 of the paper): for every node the fraction of each time-unit
+spent computing (``alpha_i``), and for every edge the fraction of time
+spent sending (``s_ij``), plus — for the collective problems — per-
+commodity message rates ``send(i, j, k)``.
+
+:class:`SteadyStateSolution` carries those values exactly (Fractions) and
+implements:
+
+* the paper's invariant checks (one-port sums, conservation laws),
+* the period construction of section 4.1 (``T = lcm`` of denominators),
+* the per-period integer message/task counts used by reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .._rational import format_fraction, lcm_denominators
+from ..platform.graph import Edge, NodeId, Platform
+
+
+class SteadyStateError(ValueError):
+    """An activity set violates the steady-state equations."""
+
+
+@dataclass
+class SteadyStateSolution:
+    """Exact steady-state activities on a platform.
+
+    Attributes
+    ----------
+    platform:
+        The platform the LP was solved on.
+    problem:
+        Label such as ``"master-slave"`` or ``"scatter"``.
+    throughput:
+        Objective value: tasks per time-unit (master-slave) or collective
+        operations per time-unit (scatter/broadcast/multicast).
+    alpha:
+        ``alpha[i]`` = fraction of time node ``i`` computes (may be empty
+        for pure communication problems).
+    s:
+        ``s[(i, j)]`` = fraction of time edge ``i -> j`` is busy sending.
+    send:
+        ``send[(i, j, k)]`` = messages of commodity ``k`` crossing edge
+        ``i -> j`` per time-unit (empty for master-slave, where the single
+        commodity rate is ``s_ij / c_ij``).
+    source:
+        The master / source node, when the problem has one.
+    targets:
+        Target set for scatter/multicast problems.
+    edge_occupation_mode:
+        ``"sum"`` when distinct commodities on one edge pay separately
+        (master-slave, scatter), ``"max"`` when identical payloads share a
+        transfer (broadcast, optimistic multicast bound) — section 3.3.
+    """
+
+    platform: Platform
+    problem: str
+    throughput: Fraction
+    alpha: Dict[NodeId, Fraction] = field(default_factory=dict)
+    s: Dict[Edge, Fraction] = field(default_factory=dict)
+    send: Dict[Tuple[NodeId, NodeId, str], Fraction] = field(default_factory=dict)
+    source: Optional[NodeId] = None
+    targets: Tuple[NodeId, ...] = ()
+    edge_occupation_mode: str = "sum"
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def compute_rate(self, node: NodeId) -> Fraction:
+        """Tasks processed by ``node`` per time-unit (``alpha_i / w_i``)."""
+        a = self.alpha.get(node, Fraction(0))
+        if a == 0:
+            return Fraction(0)
+        spec = self.platform.node(node)
+        if not spec.can_compute:
+            raise SteadyStateError(f"forwarder {node} has alpha = {a} != 0")
+        return a / spec.w
+
+    def edge_rate(self, src: NodeId, dst: NodeId) -> Fraction:
+        """Messages/tasks crossing ``src -> dst`` per time-unit."""
+        occupancy = self.s.get((src, dst), Fraction(0))
+        if occupancy == 0:
+            return Fraction(0)
+        return occupancy / self.platform.c(src, dst)
+
+    def total_compute_rate(self) -> Fraction:
+        return sum(
+            (self.compute_rate(n) for n in self.alpha), start=Fraction(0)
+        )
+
+    # ------------------------------------------------------------------
+    # invariants (the steady-state equations of section 3)
+    # ------------------------------------------------------------------
+    def check_bounds(self) -> None:
+        for node, a in self.alpha.items():
+            if not (0 <= a <= 1):
+                raise SteadyStateError(f"alpha[{node}] = {a} outside [0, 1]")
+        for (i, j), v in self.s.items():
+            if not (0 <= v <= 1):
+                raise SteadyStateError(f"s[{i}->{j}] = {v} outside [0, 1]")
+            if not self.platform.has_edge(i, j):
+                raise SteadyStateError(f"activity on missing edge {i}->{j}")
+
+    def check_one_port(self) -> None:
+        """Sum of send (resp. receive) fractions per node must be <= 1."""
+        for node in self.platform.nodes():
+            out = sum(
+                (self.s.get((node, j), Fraction(0))
+                 for j in self.platform.successors(node)),
+                start=Fraction(0),
+            )
+            if out > 1:
+                raise SteadyStateError(
+                    f"one-port (send) violated at {node}: {out} > 1"
+                )
+            inc = sum(
+                (self.s.get((j, node), Fraction(0))
+                 for j in self.platform.predecessors(node)),
+                start=Fraction(0),
+            )
+            if inc > 1:
+                raise SteadyStateError(
+                    f"one-port (recv) violated at {node}: {inc} > 1"
+                )
+
+    def check_master_slave_conservation(self) -> None:
+        """Tasks in = tasks computed + tasks out, for every non-master node."""
+        if self.source is None:
+            raise SteadyStateError("master-slave solution lacks a source")
+        for node in self.platform.nodes():
+            if node == self.source:
+                continue
+            inflow = sum(
+                (self.edge_rate(j, node)
+                 for j in self.platform.predecessors(node)),
+                start=Fraction(0),
+            )
+            outflow = sum(
+                (self.edge_rate(node, j)
+                 for j in self.platform.successors(node)),
+                start=Fraction(0),
+            )
+            computed = (
+                self.compute_rate(node)
+                if self.platform.node(node).can_compute
+                else Fraction(0)
+            )
+            if inflow != computed + outflow:
+                raise SteadyStateError(
+                    f"conservation violated at {node}: in {inflow} != "
+                    f"compute {computed} + out {outflow}"
+                )
+        # the master receives nothing
+        for j in self.platform.predecessors(self.source):
+            if self.s.get((j, self.source), Fraction(0)) != 0:
+                raise SteadyStateError(
+                    f"master {self.source} receives from {j}"
+                )
+
+    def check_commodity_conservation(self) -> None:
+        """Per-commodity flow conservation for scatter/multicast solutions.
+
+        All-to-all commodities are named ``"a->b"``; their excluded
+        endpoints are parsed from the name instead of using ``source``.
+        """
+        if not self.send:
+            return
+        commodities = sorted({k for (_, _, k) in self.send})
+        for k in commodities:
+            if self.problem == "all-to-all" and "->" in k:
+                excluded = set(k.split("->"))
+            else:
+                excluded = {self.source, k}
+            for node in self.platform.nodes():
+                if node in excluded:
+                    continue
+                inflow = sum(
+                    (self.send.get((j, node, k), Fraction(0))
+                     for j in self.platform.predecessors(node)),
+                    start=Fraction(0),
+                )
+                outflow = sum(
+                    (self.send.get((node, j, k), Fraction(0))
+                     for j in self.platform.successors(node)),
+                    start=Fraction(0),
+                )
+                if inflow != outflow:
+                    raise SteadyStateError(
+                        f"commodity {k} not conserved at {node}: "
+                        f"{inflow} != {outflow}"
+                    )
+
+    def check_edge_occupation(self) -> None:
+        """``s_ij`` must match the commodity rates under the declared mode."""
+        if not self.send:
+            return
+        per_edge: Dict[Edge, List[Fraction]] = {}
+        for (i, j, _k), rate in self.send.items():
+            per_edge.setdefault((i, j), []).append(rate)
+        for (i, j), rates in per_edge.items():
+            c = self.platform.c(i, j)
+            if self.edge_occupation_mode == "sum":
+                expected = sum(rates, start=Fraction(0)) * c
+            else:
+                expected = max(rates) * c
+            got = self.s.get((i, j), Fraction(0))
+            if got != expected:
+                raise SteadyStateError(
+                    f"s[{i}->{j}] = {got} but {self.edge_occupation_mode} "
+                    f"of commodity rates gives {expected}"
+                )
+
+    def verify(self) -> None:
+        """Run every applicable invariant check; raise on the first failure."""
+        self.check_bounds()
+        self.check_one_port()
+        if self.problem == "master-slave":
+            self.check_master_slave_conservation()
+        if self.send:
+            self.check_commodity_conservation()
+            self.check_edge_occupation()
+
+    # ------------------------------------------------------------------
+    # flow simplification
+    # ------------------------------------------------------------------
+    def simplify(self) -> "SteadyStateSolution":
+        """Cancel circulations in the task flow (master-slave only).
+
+        Degenerate LP optima may route tasks around directed cycles; the
+        circulation contributes nothing to throughput but inflates link
+        occupation and — worse — breaks the depth-bounded initialisation
+        argument of section 4.2 (a cycle's nodes wait on each other, so
+        buffers only converge geometrically).  Cancelling cycles preserves
+        conservation and the objective while never increasing any ``s_ij``,
+        so the simplified solution is feasible and has the same throughput.
+        Returns ``self`` (modified in place) for chaining.
+        """
+        if self.problem != "master-slave":
+            return self
+        from ..schedule.flows import cancel_cycles
+
+        rates = {
+            (i, j): self.edge_rate(i, j) for (i, j) in self.s
+            if self.s[(i, j)] > 0
+        }
+        clean = cancel_cycles(rates)
+        new_s: Dict[Edge, Fraction] = {}
+        for (i, j) in self.s:
+            rate = clean.get((i, j), Fraction(0))
+            new_s[(i, j)] = rate * self.platform.c(i, j)
+        self.s = new_s
+        return self
+
+    # ------------------------------------------------------------------
+    # the period construction of section 4.1
+    # ------------------------------------------------------------------
+    def period(self) -> int:
+        """Integer period ``T``: lcm of the denominators of all rates.
+
+        During one period every count below is a non-negative integer:
+        tasks computed per node (``alpha_i T / w_i``), messages per edge
+        (``s_ij T / c_ij`` or ``send(i,j,k) T``).
+        """
+        rates: List[Fraction] = [self.throughput]
+        for node in self.alpha:
+            rates.append(self.compute_rate(node))
+        if self.send:
+            rates.extend(self.send.values())
+            # edge busy-time per period must also be rational-aligned
+            rates.extend(self.s.values())
+        else:
+            for (i, j) in self.s:
+                rates.append(self.edge_rate(i, j))
+        return lcm_denominators(r for r in rates if r != 0)
+
+    def tasks_per_period(self, period: Optional[int] = None) -> Dict[NodeId, int]:
+        """Integer number of tasks each node computes during one period."""
+        T = self.period() if period is None else period
+        out: Dict[NodeId, int] = {}
+        for node in self.alpha:
+            cnt = self.compute_rate(node) * T
+            if cnt.denominator != 1:
+                raise SteadyStateError(
+                    f"period {T} does not make compute count of {node} integral"
+                )
+            out[node] = int(cnt)
+        return out
+
+    def messages_per_period(
+        self, period: Optional[int] = None
+    ) -> Dict[Edge, int]:
+        """Integer number of messages on each edge during one period."""
+        T = self.period() if period is None else period
+        out: Dict[Edge, int] = {}
+        for (i, j) in self.s:
+            cnt = self.edge_rate(i, j) * T
+            if cnt.denominator != 1:
+                raise SteadyStateError(
+                    f"period {T} does not make message count on {i}->{j} integral"
+                )
+            if cnt:
+                out[(i, j)] = int(cnt)
+        return out
+
+    def edge_busy_time(self, period: Optional[int] = None) -> Dict[Edge, Fraction]:
+        """Total communication time per edge during one period (``s_ij T``)."""
+        T = self.period() if period is None else period
+        return {e: v * T for e, v in self.s.items() if v != 0}
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        lines = [
+            f"steady-state {self.problem} on {self.platform.name!r}: "
+            f"throughput = {format_fraction(self.throughput)} per time-unit"
+        ]
+        for node in self.platform.nodes():
+            a = self.alpha.get(node)
+            if a:
+                lines.append(
+                    f"  {node}: alpha = {format_fraction(a)} "
+                    f"({format_fraction(self.compute_rate(node))} tasks/unit)"
+                )
+        for (i, j), v in sorted(self.s.items()):
+            if v:
+                lines.append(f"  {i} -> {j}: busy {format_fraction(v)}")
+        return "\n".join(lines)

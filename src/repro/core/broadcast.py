@@ -1,0 +1,229 @@
+"""Series of broadcasts: the `max`-rule LP and its achievability (§4.3).
+
+Broadcast sends the *same* message to every node.  Two messages of the same
+operation crossing one edge need only one transfer, so the edge occupation
+rule becomes ``s_ij = max_k send(i,j,k) * c_ij`` instead of the scatter
+sum.  The paper (citing [5]) states that — contrarily to multicast — this
+optimistic bound **is achievable** for broadcast: since every intermediate
+node ends up with the full information, it never matters which particular
+message copy travelled where.
+
+This module provides:
+
+* :func:`broadcast_lp_bound` — the max-rule LP optimum (upper bound);
+* :func:`solve_broadcast` — the bound plus a *constructive* achiever: an
+  optimal fractional packing of spanning arborescences (exhaustive on
+  small platforms, greedy fallback on larger ones);
+* :func:`edmonds_cut_bound` — the classical edge-capacity bound (min over
+  targets of the max-flow from the source), for analysis: it ignores
+  one-port constraints and so can exceed the LP bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lp import LinearProgram, lp_sum
+from ..platform.graph import NodeId, Platform, PlatformError
+from .trees import (
+    Arborescence,
+    TreeEnumerationLimit,
+    enumerate_arborescences,
+    greedy_tree_packing,
+    pack_trees,
+)
+
+
+def build_broadcast_lp(
+    platform: Platform,
+    source: NodeId,
+    targets: Optional[Sequence[NodeId]] = None,
+) -> Tuple[LinearProgram, Dict[object, object]]:
+    """Max-rule LP: like SSPS but ``s_ij >= send(i,j,k) * c_ij`` per k.
+
+    With the objective pushing ``TP`` up and the one-port constraints
+    pushing ``s_ij`` down, ``s_ij`` settles at the max over commodities —
+    the linearisation is exact at the optimum.
+    """
+    platform.node(source)
+    if targets is None:
+        targets = [n for n in platform.nodes() if n != source]
+    targets = list(targets)
+    if not targets:
+        raise PlatformError("broadcast needs at least one receiver")
+    for t in targets:
+        if t == source:
+            raise PlatformError("the source cannot be a broadcast target")
+
+    lp = LinearProgram(f"SSB({platform.name})")
+    handles: Dict[object, object] = {}
+    tp = lp.variable("TP", lo=0)
+    handles["TP"] = tp
+    for spec in platform.edges():
+        handles[("s", spec.src, spec.dst)] = lp.variable(
+            f"s[{spec.src}->{spec.dst}]", lo=0, hi=1
+        )
+        for k in targets:
+            hi = 0 if spec.src == k else None
+            handles[("send", spec.src, spec.dst, k)] = lp.variable(
+                f"send[{spec.src}->{spec.dst},{k}]", lo=0, hi=hi
+            )
+    for spec in platform.edges():
+        i, j = spec.src, spec.dst
+        for k in targets:
+            lp.add_constraint(
+                handles[("s", i, j)] >= handles[("send", i, j, k)] * spec.c,
+                name=f"occupation[{i}->{j},{k}]",
+            )
+    for node in platform.nodes():
+        out = [handles[("s", node, j)] for j in platform.successors(node)]
+        if out:
+            lp.add_constraint(lp_sum(out) <= 1, name=f"send-port[{node}]")
+        inc = [handles[("s", j, node)] for j in platform.predecessors(node)]
+        if inc:
+            lp.add_constraint(lp_sum(inc) <= 1, name=f"recv-port[{node}]")
+    for k in targets:
+        for node in platform.nodes():
+            if node == source or node == k:
+                continue
+            inflow = lp_sum(
+                handles[("send", j, node, k)]
+                for j in platform.predecessors(node)
+            )
+            outflow = lp_sum(
+                handles[("send", node, j, k)]
+                for j in platform.successors(node)
+            )
+            lp.add_constraint(inflow == outflow, name=f"conserve[{node},{k}]")
+        arrivals = lp_sum(
+            handles[("send", j, k, k)] for j in platform.predecessors(k)
+        )
+        lp.add_constraint(arrivals == tp * 1, name=f"deliver[{k}]")
+    lp.maximize(tp)
+    return lp, handles
+
+
+def broadcast_lp_bound(
+    platform: Platform,
+    source: NodeId,
+    targets: Optional[Sequence[NodeId]] = None,
+    backend: str = "exact",
+) -> Fraction:
+    """Upper bound on broadcast throughput (max-rule LP optimum)."""
+    lp, _ = build_broadcast_lp(platform, source, targets)
+    return lp.solve(backend=backend).objective
+
+
+@dataclass
+class BroadcastSolution:
+    """LP bound and a constructive tree packing achieving (or approaching) it."""
+
+    platform: Platform
+    source: NodeId
+    lp_bound: Fraction
+    achieved: Fraction
+    packing: Dict[Arborescence, Fraction]
+    exhaustive: bool
+
+    @property
+    def optimal(self) -> bool:
+        """True when the packing provably attains the LP bound."""
+        return self.achieved == self.lp_bound
+
+    def period(self) -> int:
+        from .._rational import lcm_denominators
+
+        return lcm_denominators(
+            list(self.packing.values()) + [self.achieved]
+        )
+
+
+def solve_broadcast(
+    platform: Platform,
+    source: NodeId,
+    backend: str = "exact",
+    tree_limit: int = 100_000,
+) -> BroadcastSolution:
+    """Bound + constructive packing for a series of broadcasts.
+
+    On platforms small enough for exhaustive arborescence enumeration the
+    packing is *optimal* and — per [5] — matches the LP bound exactly
+    (asserted by the benchmark suite).  Larger platforms fall back to the
+    polynomial greedy packing, yielding a certified lower bound.
+    """
+    bound = broadcast_lp_bound(platform, source, backend=backend)
+    try:
+        trees = enumerate_arborescences(platform, source, limit=tree_limit)
+        achieved, packing = pack_trees(platform, trees, backend=backend)
+        exhaustive = True
+    except TreeEnumerationLimit:
+        achieved, packing = greedy_tree_packing(platform, source)
+        exhaustive = False
+    return BroadcastSolution(
+        platform=platform,
+        source=source,
+        lp_bound=bound,
+        achieved=achieved,
+        packing=packing,
+        exhaustive=exhaustive,
+    )
+
+
+def solve_reduce(
+    platform: Platform,
+    root: NodeId,
+    backend: str = "exact",
+    tree_limit: int = 100_000,
+) -> BroadcastSolution:
+    """Series of reductions: reverse-broadcast with message combining.
+
+    Each operation combines one value from every node into the root via an
+    in-tree; partial results merge at relays, so — like broadcast — two
+    flows sharing an edge share the transfer (the ``max`` rule on the
+    reversed platform).  Section 4.2 notes the scatter/reduce family is
+    solvable in polynomial time [12]; we reuse the broadcast machinery on
+    the reversed graph.
+    """
+    reversed_platform = Platform(f"{platform.name}-reversed")
+    for name in platform.nodes():
+        reversed_platform.add_node(name, platform.node(name).w)
+    for spec in platform.edges():
+        reversed_platform.add_edge(spec.dst, spec.src, spec.c)
+    rsol = solve_broadcast(
+        reversed_platform, root, backend=backend, tree_limit=tree_limit
+    )
+    packing = {
+        frozenset((v, u) for (u, v) in tree): rate
+        for tree, rate in rsol.packing.items()
+    }
+    return BroadcastSolution(
+        platform=platform,
+        source=root,
+        lp_bound=rsol.lp_bound,
+        achieved=rsol.achieved,
+        packing=packing,
+        exhaustive=rsol.exhaustive,
+    )
+
+
+def edmonds_cut_bound(
+    platform: Platform, source: NodeId
+) -> Fraction:
+    """Min over nodes of max-flow(source -> node), capacities ``1/c_ij``.
+
+    Edmonds' branching theorem makes this the packing bound when only edge
+    capacities constrain the system; the one-port model is stricter, so
+    ``broadcast throughput <= min(this, LP bound)``.
+    """
+    best: Optional[Fraction] = None
+    for node in platform.nodes():
+        if node == source:
+            continue
+        f = platform.min_cut_value(source, node)
+        if best is None or f < best:
+            best = f
+    if best is None:
+        raise PlatformError("platform has a single node")
+    return best

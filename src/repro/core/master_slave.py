@@ -1,0 +1,194 @@
+"""Steady-state master–slave tasking: the SSMS(G) linear program (§3.1).
+
+A master node holds a large collection of independent, identical tasks
+(each task = a file with everything needed to execute it).  The LP below
+characterises the optimal steady-state: for each node the fraction of time
+``alpha_i`` spent computing, for each edge the fraction ``s_ij`` spent
+sending task files, under
+
+* one-port constraints (send and receive separately),
+* "the master does not receive anything" (``s_jm = 0``),
+* the conservation law: tasks received = tasks computed + tasks forwarded,
+  per time-unit, for every non-master node.
+
+The objective maximises ``ntask(G) = sum_i alpha_i / w_i`` — the number of
+tasks processed by the whole platform per time-unit.  The optimum is an
+upper bound for *any* schedule's steady-state rate, and section 4 shows it
+is achieved by a periodic schedule; :mod:`repro.schedule.reconstruction`
+builds that schedule and :mod:`repro.simulator` executes it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._rational import as_fraction
+from ..lp import LinearProgram, LPSolution, lp_sum
+from ..platform.graph import NodeId, Platform, PlatformError
+from .activities import SteadyStateSolution
+
+
+def build_ssms_lp(
+    platform: Platform, master: NodeId
+) -> Tuple[LinearProgram, Dict[str, object]]:
+    """Assemble the SSMS(G) LP of section 3.1.
+
+    Returns the LP and a handle dict mapping ``("alpha", i)`` and
+    ``("s", i, j)`` to LP variables.
+    """
+    platform.node(master)  # validate
+    lp = LinearProgram(f"SSMS({platform.name})")
+    handles: Dict[object, object] = {}
+
+    # alpha_i in [0, 1] for nodes able to compute
+    for node in platform.nodes():
+        if platform.node(node).can_compute:
+            handles[("alpha", node)] = lp.variable(f"alpha[{node}]", lo=0, hi=1)
+
+    # s_ij in [0, 1]; edges into the master are pinned to zero (5th equation)
+    for spec in platform.edges():
+        hi = 0 if spec.dst == master else 1
+        handles[("s", spec.src, spec.dst)] = lp.variable(
+            f"s[{spec.src}->{spec.dst}]", lo=0, hi=hi
+        )
+
+    # one-port constraints (3rd and 4th equations)
+    for node in platform.nodes():
+        out = [handles[("s", node, j)] for j in platform.successors(node)]
+        if out:
+            lp.add_constraint(lp_sum(out) <= 1, name=f"send-port[{node}]")
+        inc = [handles[("s", j, node)] for j in platform.predecessors(node)]
+        if inc:
+            lp.add_constraint(lp_sum(inc) <= 1, name=f"recv-port[{node}]")
+
+    # conservation law (last equation): for i != m,
+    #   sum_j s_ji / c_ji  ==  alpha_i / w_i + sum_j s_ij / c_ij
+    for node in platform.nodes():
+        if node == master:
+            continue
+        inflow = lp_sum(
+            handles[("s", j, node)] / platform.c(j, node)
+            for j in platform.predecessors(node)
+        )
+        outflow = lp_sum(
+            handles[("s", node, j)] / platform.c(node, j)
+            for j in platform.successors(node)
+        )
+        spec = platform.node(node)
+        if spec.can_compute:
+            compute = handles[("alpha", node)] * (Fraction(1) / spec.w)
+            lp.add_constraint(inflow == compute + outflow, name=f"conserve[{node}]")
+        else:
+            lp.add_constraint(inflow == outflow, name=f"conserve[{node}]")
+
+    # objective: ntask(G) = sum_i alpha_i / w_i
+    lp.maximize(
+        lp_sum(
+            handles[("alpha", node)] * (Fraction(1) / platform.node(node).w)
+            for node in platform.nodes()
+            if platform.node(node).can_compute
+        )
+    )
+    return lp, handles
+
+
+def solve_master_slave(
+    platform: Platform, master: NodeId, backend: str = "exact"
+) -> SteadyStateSolution:
+    """Solve SSMS(G) and return verified steady-state activities.
+
+    The returned solution satisfies every invariant of
+    :class:`~repro.core.activities.SteadyStateSolution` exactly (with the
+    default exact backend).
+    """
+    lp, handles = build_ssms_lp(platform, master)
+    sol = lp.solve(backend=backend)
+    alpha: Dict[NodeId, Fraction] = {}
+    s: Dict[Tuple[NodeId, NodeId], Fraction] = {}
+    for key, var in handles.items():
+        if key[0] == "alpha":
+            alpha[key[1]] = sol[var]
+        else:
+            s[(key[1], key[2])] = sol[var]
+    out = SteadyStateSolution(
+        platform=platform,
+        problem="master-slave",
+        throughput=sol.objective,
+        alpha=alpha,
+        s=s,
+        source=master,
+    )
+    out.simplify()  # cancel degenerate flow circulations (see activities.py)
+    if backend == "exact":
+        out.verify()
+    return out
+
+
+def ntask(platform: Platform, master: NodeId, backend: str = "exact") -> Fraction:
+    """The paper's ``ntask(G)``: optimal tasks per time-unit."""
+    return solve_master_slave(platform, master, backend=backend).throughput
+
+
+# ----------------------------------------------------------------------
+# Closed-form oracle for single-level star platforms
+# ----------------------------------------------------------------------
+def star_throughput(
+    master_w: Fraction,
+    worker_w: Sequence[Fraction],
+    link_c: Sequence[Fraction],
+) -> Fraction:
+    """Optimal steady-state throughput of a star platform, in closed form.
+
+    On a star (master + independent workers, single links) SSMS reduces to
+    a fractional knapsack on the master's *send port*:
+
+        maximise   1/w_m + sum_k x_k
+        subject to sum_k x_k c_k <= 1,  0 <= x_k <= 1/w_k
+
+    whose greedy solution serves workers by **increasing communication
+    cost** (the bandwidth-centric principle of [2, 11]: give tasks to the
+    cheapest-to-feed children first, regardless of their speed).  Used as an
+    independent oracle for the LP in tests.
+    """
+    if len(worker_w) != len(link_c):
+        raise ValueError("worker_w and link_c must have the same length")
+    m_w = as_fraction(master_w)
+    budget = Fraction(1)
+    total = Fraction(1) / m_w
+    order = sorted(
+        range(len(worker_w)), key=lambda k: (as_fraction(link_c[k]), k)
+    )
+    for k in order:
+        if budget <= 0:
+            break
+        c = as_fraction(link_c[k])
+        w = as_fraction(worker_w[k])
+        cap = Fraction(1) / w          # worker's max task rate
+        affordable = budget / c        # rate the remaining port budget allows
+        x = min(cap, affordable)
+        total += x
+        budget -= x * c
+    return total
+
+
+def bandwidth_centric_rates(
+    worker_w: Sequence[Fraction], link_c: Sequence[Fraction]
+) -> List[Fraction]:
+    """Per-worker task rates of the greedy star solution (same order as input)."""
+    if len(worker_w) != len(link_c):
+        raise ValueError("worker_w and link_c must have the same length")
+    budget = Fraction(1)
+    rates = [Fraction(0)] * len(worker_w)
+    order = sorted(
+        range(len(worker_w)), key=lambda k: (as_fraction(link_c[k]), k)
+    )
+    for k in order:
+        if budget <= 0:
+            break
+        c = as_fraction(link_c[k])
+        w = as_fraction(worker_w[k])
+        x = min(Fraction(1) / w, budget / c)
+        rates[k] = x
+        budget -= x * c
+    return rates

@@ -1,0 +1,328 @@
+"""Pipelined scatter — the SSPS(G) linear program (section 3.2).
+
+``P_source`` repeatedly sends *distinct* messages to each target: message
+type ``m_k`` is destined to target ``P_k``.  Variables:
+
+* ``send(i, j, k)`` — fractional number of messages of type ``m_k``
+  crossing edge ``e_ij`` per time-unit;
+* ``s_ij`` — fraction of time the edge is busy; since distinct messages
+  never share a transfer, ``s_ij = sum_k send(i,j,k) * c_ij`` (the **sum**
+  rule — contrast with broadcast's ``max`` rule, section 3.3).
+
+Constraints: one-port (send and receive), per-commodity conservation at
+every intermediate node, and each target receiving ``TP`` messages of its
+own type per time-unit.  ``TP`` is maximised; section 4 shows the bound is
+achieved by the reconstructed periodic schedule.
+
+The same machinery solves **personalised all-to-all** (every node sources a
+commodity for every other node) and — by graph reversal — **gather**; the
+paper notes scatter techniques extend to these and to reduce (section 4.2).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..lp import LinearProgram, lp_sum
+from ..platform.graph import NodeId, Platform, PlatformError
+from ..schedule.flows import cancel_cycles
+from .activities import SteadyStateSolution
+
+
+def build_ssps_lp(
+    platform: Platform,
+    source: NodeId,
+    targets: Sequence[NodeId],
+    port_model: str = "one-port",
+    ports: int = 1,
+) -> Tuple[LinearProgram, Dict[object, object]]:
+    """Assemble SSPS(G) for ``source`` scattering to ``targets``.
+
+    ``port_model`` selects the section 5.1 communication variant:
+    ``"one-port"`` (full overlap, the paper's default),
+    ``"send-or-receive"`` (merged port budget) or ``"multiport"`` (with
+    ``ports`` cards per direction).
+    """
+    if port_model not in ("one-port", "send-or-receive", "multiport"):
+        raise PlatformError(f"unknown port model {port_model!r}")
+    if ports < 1:
+        raise PlatformError("ports must be >= 1")
+    platform.node(source)
+    targets = list(targets)
+    if not targets:
+        raise PlatformError("scatter needs at least one target")
+    for t in targets:
+        platform.node(t)
+        if t == source:
+            raise PlatformError("the source cannot be a scatter target")
+    if len(set(targets)) != len(targets):
+        raise PlatformError("duplicate scatter targets")
+
+    lp = LinearProgram(f"SSPS({platform.name})")
+    handles: Dict[object, object] = {}
+    tp = lp.variable("TP", lo=0)
+    handles["TP"] = tp
+
+    for spec in platform.edges():
+        handles[("s", spec.src, spec.dst)] = lp.variable(
+            f"s[{spec.src}->{spec.dst}]", lo=0, hi=1
+        )
+        for k in targets:
+            # A target never re-emits its own messages (hi = 0): gross
+            # arrivals at k then equal net delivery, so the delivery
+            # equation cannot be padded by a circulation through k.
+            hi = 0 if spec.src == k else None
+            handles[("send", spec.src, spec.dst, k)] = lp.variable(
+                f"send[{spec.src}->{spec.dst},{k}]", lo=0, hi=hi
+            )
+
+    # edge occupation: s_ij = sum_k send(i,j,k) * c_ij
+    for spec in platform.edges():
+        i, j = spec.src, spec.dst
+        lp.add_constraint(
+            handles[("s", i, j)]
+            == lp_sum(handles[("send", i, j, k)] for k in targets) * spec.c,
+            name=f"occupation[{i}->{j}]",
+        )
+
+    # port constraints under the chosen model
+    for node in platform.nodes():
+        out = [handles[("s", node, j)] for j in platform.successors(node)]
+        inc = [handles[("s", j, node)] for j in platform.predecessors(node)]
+        if port_model == "send-or-receive":
+            if out or inc:
+                lp.add_constraint(
+                    lp_sum(out + inc) <= 1, name=f"port[{node}]"
+                )
+        else:
+            budget = 1 if port_model == "one-port" else ports
+            if out:
+                lp.add_constraint(
+                    lp_sum(out) <= budget, name=f"send-port[{node}]"
+                )
+            if inc:
+                lp.add_constraint(
+                    lp_sum(inc) <= budget, name=f"recv-port[{node}]"
+                )
+
+    # conservation: a non-source node forwards every message not addressed
+    # to it (5th equation of SSPS)
+    for k in targets:
+        for node in platform.nodes():
+            if node == source or node == k:
+                continue
+            inflow = lp_sum(
+                handles[("send", j, node, k)]
+                for j in platform.predecessors(node)
+            )
+            outflow = lp_sum(
+                handles[("send", node, j, k)]
+                for j in platform.successors(node)
+            )
+            lp.add_constraint(inflow == outflow, name=f"conserve[{node},{k}]")
+
+    # each target receives TP messages of its own type (6th equation)
+    for k in targets:
+        arrivals = lp_sum(
+            handles[("send", j, k, k)] for j in platform.predecessors(k)
+        )
+        lp.add_constraint(arrivals == tp * 1, name=f"deliver[{k}]")
+
+    lp.maximize(tp)
+    return lp, handles
+
+
+def solve_scatter(
+    platform: Platform,
+    source: NodeId,
+    targets: Sequence[NodeId],
+    backend: str = "exact",
+    port_model: str = "one-port",
+    ports: int = 1,
+) -> SteadyStateSolution:
+    """Solve SSPS(G); returns verified activities with per-commodity flows.
+
+    ``port_model``/``ports`` select the section 5.1 variant (the returned
+    solution's one-port invariant check is only run for the default model).
+    """
+    lp, handles = build_ssps_lp(
+        platform, source, targets, port_model=port_model, ports=ports
+    )
+    sol = lp.solve(backend=backend)
+
+    send: Dict[Tuple[NodeId, NodeId, str], Fraction] = {}
+    per_commodity: Dict[str, Dict[Tuple[NodeId, NodeId], Fraction]] = {
+        k: {} for k in targets
+    }
+    for key, var in handles.items():
+        if isinstance(key, tuple) and key[0] == "send":
+            _, i, j, k = key
+            rate = sol[var]
+            if rate != 0:
+                per_commodity[k][(i, j)] = rate
+
+    # cancel degenerate circulations per commodity, then rebuild s under
+    # the sum rule so the solution is reconstruction-friendly.
+    s: Dict[Tuple[NodeId, NodeId], Fraction] = {}
+    for spec in platform.edges():
+        s[(spec.src, spec.dst)] = Fraction(0)
+    for k in targets:
+        clean = cancel_cycles(per_commodity[k])
+        for (i, j), rate in clean.items():
+            if rate != 0:
+                send[(i, j, str(k))] = rate
+                s[(i, j)] += rate * platform.c(i, j)
+
+    out = SteadyStateSolution(
+        platform=platform,
+        problem="scatter",
+        throughput=sol.objective,
+        s=s,
+        send=send,
+        source=source,
+        targets=tuple(targets),
+        edge_occupation_mode="sum",
+    )
+    if backend == "exact" and port_model == "one-port":
+        out.verify()
+    return out
+
+
+def solve_gather(
+    platform: Platform,
+    sink: NodeId,
+    sources: Sequence[NodeId],
+    backend: str = "exact",
+) -> SteadyStateSolution:
+    """Pipelined gather: every source sends distinct messages to ``sink``.
+
+    Gather is scatter on the reversed platform; the returned solution is
+    expressed on the *original* platform (edge directions restored).
+    """
+    reversed_platform = Platform(f"{platform.name}-reversed")
+    for spec in platform._nodes.values():  # noqa: SLF001 — same package
+        reversed_platform.add_node(spec.name, spec.w)
+    for spec in platform.edges():
+        reversed_platform.add_edge(spec.dst, spec.src, spec.c)
+    rsol = solve_scatter(reversed_platform, sink, sources, backend=backend)
+    send = {
+        (j, i, k): rate for (i, j, k), rate in rsol.send.items()
+    }
+    s = {(j, i): v for (i, j), v in rsol.s.items()}
+    out = SteadyStateSolution(
+        platform=platform,
+        problem="gather",
+        throughput=rsol.throughput,
+        s=s,
+        send=send,
+        source=sink,  # the distinguished node
+        targets=tuple(sources),
+        edge_occupation_mode="sum",
+    )
+    return out
+
+
+def solve_all_to_all(
+    platform: Platform,
+    participants: Optional[Sequence[NodeId]] = None,
+    backend: str = "exact",
+) -> Tuple[Fraction, Dict[Tuple[NodeId, NodeId, NodeId, NodeId], Fraction]]:
+    """Personalised all-to-all: every participant sends a distinct message
+    to every other participant, at common rate ``TP`` (maximised).
+
+    Returns ``(TP, flows)`` with ``flows[(i, j, src, dst)]`` the rate of the
+    ``src -> dst`` commodity on edge ``i -> j``.  Mentioned at the end of
+    section 4.2 as a direct extension of the scatter machinery.
+    """
+    nodes = list(participants) if participants is not None else platform.nodes()
+    if len(nodes) < 2:
+        raise PlatformError("all-to-all needs at least two participants")
+    commodities = [(a, b) for a in nodes for b in nodes if a != b]
+
+    lp = LinearProgram(f"A2A({platform.name})")
+    tp = lp.variable("TP", lo=0)
+    svars: Dict[Tuple[NodeId, NodeId], object] = {}
+    fvars: Dict[Tuple[NodeId, NodeId, NodeId, NodeId], object] = {}
+    for spec in platform.edges():
+        svars[(spec.src, spec.dst)] = lp.variable(
+            f"s[{spec.src}->{spec.dst}]", lo=0, hi=1
+        )
+        for (a, b) in commodities:
+            fvars[(spec.src, spec.dst, a, b)] = lp.variable(
+                f"f[{spec.src}->{spec.dst},{a}->{b}]", lo=0
+            )
+    for spec in platform.edges():
+        i, j = spec.src, spec.dst
+        lp.add_constraint(
+            svars[(i, j)]
+            == lp_sum(fvars[(i, j, a, b)] for (a, b) in commodities) * spec.c
+        )
+    for node in platform.nodes():
+        out = [svars[(node, j)] for j in platform.successors(node)]
+        if out:
+            lp.add_constraint(lp_sum(out) <= 1)
+        inc = [svars[(j, node)] for j in platform.predecessors(node)]
+        if inc:
+            lp.add_constraint(lp_sum(inc) <= 1)
+    for (a, b) in commodities:
+        for node in platform.nodes():
+            inflow = lp_sum(
+                fvars[(j, node, a, b)] for j in platform.predecessors(node)
+            )
+            outflow = lp_sum(
+                fvars[(node, j, a, b)] for j in platform.successors(node)
+            )
+            if node == a:
+                lp.add_constraint(outflow - inflow == tp * 1)
+            elif node == b:
+                lp.add_constraint(inflow - outflow == tp * 1)
+            else:
+                lp.add_constraint(inflow == outflow)
+    lp.maximize(tp)
+    sol = lp.solve(backend=backend)
+    flows = {
+        key: sol[var] for key, var in fvars.items() if sol[var] != 0
+    }
+    return sol.objective, flows
+
+
+def solve_all_to_all_solution(
+    platform: Platform,
+    participants: Optional[Sequence[NodeId]] = None,
+    backend: str = "exact",
+) -> SteadyStateSolution:
+    """All-to-all as a reconstructable :class:`SteadyStateSolution`.
+
+    Commodities are named ``"a->b"``; the reconstruction pipeline
+    decomposes each into routes from ``a`` to ``b`` and orchestrates the
+    whole exchange with the usual edge colouring.
+    """
+    tp, flows = solve_all_to_all(platform, participants, backend=backend)
+    send: Dict[Tuple[NodeId, NodeId, str], Fraction] = {}
+    per_commodity: Dict[Tuple[NodeId, NodeId],
+                        Dict[Tuple[NodeId, NodeId], Fraction]] = {}
+    for (i, j, a, b), rate in flows.items():
+        per_commodity.setdefault((a, b), {})[(i, j)] = rate
+    s: Dict[Tuple[NodeId, NodeId], Fraction] = {
+        (spec.src, spec.dst): Fraction(0) for spec in platform.edges()
+    }
+    for (a, b), flow in per_commodity.items():
+        clean = cancel_cycles(flow)
+        for (i, j), rate in clean.items():
+            if rate != 0:
+                send[(i, j, f"{a}->{b}")] = rate
+                s[(i, j)] += rate * platform.c(i, j)
+    out = SteadyStateSolution(
+        platform=platform,
+        problem="all-to-all",
+        throughput=tp,
+        s=s,
+        send=send,
+        source=None,
+        targets=tuple(participants or platform.nodes()),
+        edge_occupation_mode="sum",
+    )
+    if backend == "exact":
+        out.verify()
+    return out

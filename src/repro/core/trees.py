@@ -1,0 +1,295 @@
+"""Arborescence enumeration and fractional tree packing.
+
+Steady-state broadcast/multicast schedules route each operation instance
+along a directed tree (arborescence) rooted at the source: every node in
+the tree receives the message exactly once and forwards it along its tree
+out-edges.  A *fractional packing* of arborescences — tree ``T`` used at
+rate ``x_T`` — is feasible under the one-port model iff every node's total
+send time and receive time per time-unit stay below 1:
+
+* send port of ``i``:  ``sum_T x_T * sum_{(i,j) in T} c_ij <= 1``
+* recv port of ``j``:  ``sum_T x_T * c_(parent_T(j), j) <= 1``
+
+The best packing over *all* arborescences equals the optimal steady-state
+throughput of the series of broadcasts (resp. multicasts): any schedule
+routes each instance along some arborescence, and conversely a packing
+yields a periodic schedule.  Reference [5] proves the packing optimum
+matches the max-rule LP bound for broadcast; [7] proves computing it is
+NP-hard for multicast (our *exhaustive enumeration* sidesteps hardness on
+the small instances used in tests and benchmarks — it is exponential by
+design).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..lp import LinearProgram, lp_sum
+from ..platform.graph import Edge, NodeId, Platform, PlatformError
+
+Arborescence = FrozenSet[Edge]
+
+
+class TreeEnumerationLimit(RuntimeError):
+    """Raised when enumeration exceeds the caller's tree budget."""
+
+
+def _prune_non_terminal_leaves(
+    edges: Set[Edge], root: NodeId, terminals: Set[NodeId]
+) -> FrozenSet[Edge]:
+    """Iteratively drop leaves that are not terminals (minimality)."""
+    work = set(edges)
+    while True:
+        out_deg: Dict[NodeId, int] = {}
+        in_edge: Dict[NodeId, Edge] = {}
+        for (u, v) in work:
+            out_deg[u] = out_deg.get(u, 0) + 1
+            in_edge[v] = (u, v)
+        removable = [
+            v
+            for v in in_edge
+            if out_deg.get(v, 0) == 0 and v not in terminals
+        ]
+        if not removable:
+            return frozenset(work)
+        for v in removable:
+            work.discard(in_edge[v])
+
+
+def enumerate_arborescences(
+    platform: Platform,
+    root: NodeId,
+    terminals: Optional[Sequence[NodeId]] = None,
+    limit: int = 250_000,
+) -> List[Arborescence]:
+    """All minimal arborescences rooted at ``root`` covering ``terminals``.
+
+    ``terminals`` defaults to every node except the root (spanning
+    arborescences / broadcast trees); pass a subset for multicast (Steiner)
+    trees.  Minimal means every leaf is a terminal.  Raises
+    :class:`TreeEnumerationLimit` beyond ``limit`` trees (exponential
+    worst case — intended for small platforms).
+    """
+    platform.node(root)
+    if terminals is None:
+        term_set = {n for n in platform.nodes() if n != root}
+    else:
+        term_set = set(terminals)
+        for t in term_set:
+            platform.node(t)
+        if root in term_set:
+            raise PlatformError("root cannot be a terminal")
+    if not term_set:
+        return [frozenset()]
+
+    found: Set[Arborescence] = set()
+
+    def paths_to(target: NodeId, reached: FrozenSet[NodeId]) -> List[List[Edge]]:
+        """Simple paths from the reached set to ``target`` avoiding it."""
+        results: List[List[Edge]] = []
+        path_edges: List[Edge] = []
+        on_path: Set[NodeId] = set()
+
+        def dfs(u: NodeId) -> None:
+            if u == target:
+                results.append(list(path_edges))
+                return
+            for v in platform.successors(u):
+                if v in reached or v in on_path:
+                    continue
+                on_path.add(v)
+                path_edges.append((u, v))
+                dfs(v)
+                path_edges.pop()
+                on_path.discard(v)
+
+        for start in reached:
+            dfs(start)
+        return results
+
+    def grow(
+        reached: FrozenSet[NodeId],
+        edges: FrozenSet[Edge],
+        uncovered: FrozenSet[NodeId],
+    ) -> None:
+        if not uncovered:
+            found.add(_prune_non_terminal_leaves(set(edges), root, term_set))
+            if len(found) > limit:
+                raise TreeEnumerationLimit(
+                    f"more than {limit} arborescences"
+                )
+            return
+        target = min(uncovered)
+        for path in paths_to(target, reached):
+            new_nodes = frozenset(v for (_u, v) in path)
+            grow(
+                reached | new_nodes,
+                edges | frozenset(path),
+                (uncovered - new_nodes) - {target},
+            )
+
+    grow(frozenset({root}), frozenset(), frozenset(term_set))
+    return sorted(found, key=lambda t: (len(t), sorted(t)))
+
+
+def tree_send_time(
+    platform: Platform, tree: Arborescence
+) -> Dict[NodeId, Fraction]:
+    """Per-node send-port time to push one instance down ``tree``."""
+    out: Dict[NodeId, Fraction] = {}
+    for (u, v) in tree:
+        out[u] = out.get(u, Fraction(0)) + platform.c(u, v)
+    return out
+
+
+def tree_recv_time(
+    platform: Platform, tree: Arborescence
+) -> Dict[NodeId, Fraction]:
+    """Per-node receive-port time for one instance of ``tree``."""
+    out: Dict[NodeId, Fraction] = {}
+    for (u, v) in tree:
+        if v in out:
+            raise PlatformError(f"not an arborescence: {v} has two parents")
+        out[v] = platform.c(u, v)
+    return out
+
+
+def tree_throughput(platform: Platform, tree: Arborescence) -> Fraction:
+    """Max rate of a *single* tree: ``1 / max port time`` over all nodes."""
+    if not tree:
+        return Fraction(0)
+    loads = list(tree_send_time(platform, tree).values())
+    loads.extend(tree_recv_time(platform, tree).values())
+    return Fraction(1) / max(loads)
+
+
+def pack_trees(
+    platform: Platform,
+    trees: Sequence[Arborescence],
+    backend: str = "exact",
+) -> Tuple[Fraction, Dict[Arborescence, Fraction]]:
+    """Optimal fractional packing of the given arborescences.
+
+    Maximises ``sum_T x_T`` under the one-port send/receive constraints
+    above.  Returns the throughput and the per-tree rates (zero rates
+    omitted).
+    """
+    if not trees:
+        return Fraction(0), {}
+    lp = LinearProgram("tree-packing")
+    xs = [lp.variable(f"x[{k}]", lo=0) for k in range(len(trees))]
+    send_terms: Dict[NodeId, List] = {}
+    recv_terms: Dict[NodeId, List] = {}
+    for x, tree in zip(xs, trees):
+        for node, t in tree_send_time(platform, tree).items():
+            send_terms.setdefault(node, []).append(x * t)
+        for node, t in tree_recv_time(platform, tree).items():
+            recv_terms.setdefault(node, []).append(x * t)
+    for node, terms in send_terms.items():
+        lp.add_constraint(lp_sum(terms) <= 1, name=f"send[{node}]")
+    for node, terms in recv_terms.items():
+        lp.add_constraint(lp_sum(terms) <= 1, name=f"recv[{node}]")
+    lp.maximize(lp_sum(xs))
+    sol = lp.solve(backend=backend)
+    rates = {
+        tree: sol[x]
+        for x, tree in zip(xs, trees)
+        if sol[x] != 0
+    }
+    return sol.objective, rates
+
+
+def greedy_tree_packing(
+    platform: Platform,
+    root: NodeId,
+    terminals: Optional[Sequence[NodeId]] = None,
+    rounds: int = 64,
+) -> Tuple[Fraction, Dict[Arborescence, Fraction]]:
+    """Polynomial heuristic packing (no enumeration): repeatedly add the
+    best single tree on residual port capacity.
+
+    Useful on platforms too large for exhaustive enumeration; gives a lower
+    bound on the optimal packing.
+    """
+    send_left: Dict[NodeId, Fraction] = {
+        n: Fraction(1) for n in platform.nodes()
+    }
+    recv_left: Dict[NodeId, Fraction] = {
+        n: Fraction(1) for n in platform.nodes()
+    }
+    packing: Dict[Arborescence, Fraction] = {}
+    total = Fraction(0)
+    term_set = (
+        {n for n in platform.nodes() if n != root}
+        if terminals is None
+        else set(terminals)
+    )
+    for _ in range(rounds):
+        # build a shortest-path arborescence on residual-capacity edges
+        tree = _residual_shortest_path_tree(
+            platform, root, term_set, send_left, recv_left
+        )
+        if tree is None:
+            break
+        sends = tree_send_time(platform, tree)
+        recvs = tree_recv_time(platform, tree)
+        rate = min(
+            min(send_left[n] / t for n, t in sends.items()),
+            min(recv_left[n] / t for n, t in recvs.items()),
+        )
+        if rate <= 0:
+            break
+        # commit half the bottleneck rate to keep later trees viable,
+        # except when a single tree saturates (then take it all)
+        commit = rate if len(packing) >= rounds - 1 else rate / 2
+        if commit == 0:
+            break
+        for n, t in sends.items():
+            send_left[n] -= commit * t
+        for n, t in recvs.items():
+            recv_left[n] -= commit * t
+        packing[tree] = packing.get(tree, Fraction(0)) + commit
+        total += commit
+    return total, packing
+
+
+def _residual_shortest_path_tree(
+    platform: Platform,
+    root: NodeId,
+    terminals: Set[NodeId],
+    send_left: Dict[NodeId, Fraction],
+    recv_left: Dict[NodeId, Fraction],
+) -> Optional[Arborescence]:
+    """Dijkstra tree over edges whose endpoints retain port capacity."""
+    import heapq
+
+    dist: Dict[NodeId, Fraction] = {root: Fraction(0)}
+    parent: Dict[NodeId, Edge] = {}
+    heap: List[Tuple[float, int, NodeId]] = [(0.0, 0, root)]
+    counter = 1
+    done: Set[NodeId] = set()
+    while heap:
+        _, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for v in platform.successors(u):
+            if send_left[u] <= 0 or recv_left[v] <= 0:
+                continue
+            nd = dist[u] + platform.c(u, v)
+            if v not in dist or nd < dist[v]:
+                dist[v] = nd
+                parent[v] = (u, v)
+                heapq.heappush(heap, (float(nd), counter, v))
+                counter += 1
+    if not terminals <= done:
+        return None
+    edges: Set[Edge] = set()
+    for t in terminals:
+        node = t
+        while node != root:
+            e = parent[node]
+            edges.add(e)
+            node = e[0]
+    return _prune_non_terminal_leaves(edges, root, terminals)

@@ -1,0 +1,34 @@
+"""Linear-programming substrate: modelling layer + exact and float backends.
+
+The exact backend (:mod:`repro.lp.simplex`) produces rational optima, which
+the paper's period construction requires; the scipy backend
+(:mod:`repro.lp.scipy_backend`) provides fast cross-checks.
+"""
+
+from .model import (
+    Constraint,
+    InfeasibleError,
+    LinearProgram,
+    LinExpr,
+    LPError,
+    LPSolution,
+    UnboundedError,
+    Variable,
+    lp_sum,
+)
+from .simplex import solve_exact
+from .scipy_backend import solve_scipy
+
+__all__ = [
+    "Constraint",
+    "InfeasibleError",
+    "LinearProgram",
+    "LinExpr",
+    "LPError",
+    "LPSolution",
+    "UnboundedError",
+    "Variable",
+    "lp_sum",
+    "solve_exact",
+    "solve_scipy",
+]

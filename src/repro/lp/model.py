@@ -1,0 +1,351 @@
+"""A small linear-programming modelling layer.
+
+The steady-state LPs of the paper (SSMS, SSPS, broadcast/multicast bounds,
+DAG collections) are assembled with this mini-language and handed to one of
+the backends in :mod:`repro.lp.simplex` (exact rational) or
+:mod:`repro.lp.scipy_backend` (floating point, HiGHS).
+
+Only what the library needs is implemented: real variables with bounds,
+linear expressions with exact :class:`~fractions.Fraction` coefficients,
+``<= / >= / ==`` constraints and a linear objective.
+
+Example
+-------
+>>> lp = LinearProgram()
+>>> x = lp.variable("x", lo=0)
+>>> y = lp.variable("y", lo=0)
+>>> lp.add_constraint(x + y <= 4)
+>>> lp.add_constraint(x + 3 * y <= 6)
+>>> lp.maximize(x + 2 * y)
+>>> sol = lp.solve()
+>>> sol.objective
+Fraction(5, 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .._rational import RationalLike, as_fraction
+
+Number = Union[int, float, str, Fraction]
+
+
+class LPError(Exception):
+    """Base class for modelling/solving errors."""
+
+
+class InfeasibleError(LPError):
+    """The LP admits no feasible point."""
+
+
+class UnboundedError(LPError):
+    """The LP objective is unbounded above."""
+
+
+class Variable:
+    """A real decision variable with optional bounds.
+
+    Create through :meth:`LinearProgram.variable`; arithmetic with numbers
+    and other variables builds :class:`LinExpr` objects.
+    """
+
+    __slots__ = ("name", "index", "lo", "hi")
+
+    def __init__(self, name: str, index: int,
+                 lo: Optional[Fraction], hi: Optional[Fraction]) -> None:
+        self.name = name
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+
+    # -- expression building ------------------------------------------
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self: Fraction(1)}, Fraction(0))
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return (-self._expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self._expr() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        return self._expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return self._expr() * -1
+
+    def __le__(self, other) -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float, str, Fraction)):
+            return self._expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coef * var) + constant`` over Fractions."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Optional[Dict[Variable, Fraction]] = None,
+                 constant: RationalLike = 0) -> None:
+        self.terms: Dict[Variable, Fraction] = dict(terms or {})
+        self.constant = as_fraction(constant)
+
+    @staticmethod
+    def _coerce(value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._expr()
+        return LinExpr({}, as_fraction(value))
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other) -> "LinExpr":
+        other = LinExpr._coerce(other)
+        out = self.copy()
+        for var, coef in other.terms.items():
+            out.terms[var] = out.terms.get(var, Fraction(0)) + coef
+            if out.terms[var] == 0:
+                del out.terms[var]
+        out.constant += other.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (LinExpr._coerce(other) * -1)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return LinExpr._coerce(other) + (self * -1)
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        f = as_fraction(factor)
+        if f == 0:
+            return LinExpr({}, 0)
+        return LinExpr({v: c * f for v, c in self.terms.items()},
+                       self.constant * f)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, factor: Number) -> "LinExpr":
+        f = as_fraction(factor)
+        if f == 0:
+            raise ZeroDivisionError("division of LinExpr by zero")
+        return self * (Fraction(1) / f)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1
+
+    # -- relations -----------------------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - LinExpr._coerce(other), "<=")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - LinExpr._coerce(other), ">=")
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float, str, Fraction)):
+            return Constraint(self - LinExpr._coerce(other), "==")
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def value(self, assignment: Mapping[Variable, Fraction]) -> Fraction:
+        """Evaluate under a variable assignment (missing vars count as 0)."""
+        total = self.constant
+        for var, coef in self.terms.items():
+            total += coef * assignment.get(var, Fraction(0))
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{coef}*{var.name}" for var, coef in self.terms.items()]
+        parts.append(str(self.constant))
+        return " + ".join(parts)
+
+
+def lp_sum(items: Iterable) -> LinExpr:
+    """Sum of variables/expressions/numbers (like ``sum`` but LP-aware)."""
+    total = LinExpr({}, 0)
+    for item in items:
+        total = total + item
+    return total
+
+
+@dataclass
+class Constraint:
+    """``expr (<=|>=|==) 0`` — built by comparing expressions."""
+
+    expr: LinExpr
+    sense: str  # "<=", ">=", "=="
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise LPError(f"bad constraint sense {self.sense!r}")
+
+    def normalized(self) -> Tuple[Dict[Variable, Fraction], str, Fraction]:
+        """Return (terms, sense, rhs) with the constant moved to the rhs."""
+        return dict(self.expr.terms), self.sense, -self.expr.constant
+
+    def violation(self, assignment: Mapping[Variable, Fraction]) -> Fraction:
+        """How far the assignment is from satisfying this constraint (>= 0)."""
+        lhs = self.expr.value(assignment)
+        if self.sense == "<=":
+            return max(Fraction(0), lhs)
+        if self.sense == ">=":
+            return max(Fraction(0), -lhs)
+        return abs(lhs)
+
+
+@dataclass
+class LPSolution:
+    """Result of an LP solve.
+
+    ``values`` maps every model variable to an exact Fraction (backends that
+    work in floats rationalise their output — see the backend docs for the
+    guarantees).  ``objective`` is the objective value at ``values``.
+    """
+
+    objective: Fraction
+    values: Dict[Variable, Fraction]
+    backend: str
+    iterations: int = 0
+
+    def __getitem__(self, var: Variable) -> Fraction:
+        return self.values.get(var, Fraction(0))
+
+    def value_by_name(self) -> Dict[str, Fraction]:
+        return {v.name: x for v, x in self.values.items()}
+
+
+class LinearProgram:
+    """Container for variables, constraints and one linear objective."""
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: Optional[LinExpr] = None
+        self.sense: str = "max"
+        self._names: Dict[str, Variable] = {}
+
+    def variable(
+        self,
+        name: str,
+        lo: Optional[RationalLike] = None,
+        hi: Optional[RationalLike] = None,
+    ) -> Variable:
+        """Create a variable; ``lo``/``hi`` are optional exact bounds."""
+        if name in self._names:
+            raise LPError(f"duplicate variable name {name!r}")
+        lof = None if lo is None else as_fraction(lo)
+        hif = None if hi is None else as_fraction(hi)
+        if lof is not None and hif is not None and lof > hif:
+            raise LPError(f"empty bound interval for {name!r}: [{lof}, {hif}]")
+        var = Variable(name, len(self.variables), lof, hif)
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def get_variable(self, name: str) -> Variable:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise LPError(f"unknown variable {name!r}") from None
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise LPError(
+                "add_constraint expects a Constraint (did a comparison "
+                "evaluate to bool? use explicit LinExpr operands)"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def maximize(self, expr) -> None:
+        self.objective = LinExpr._coerce(expr)
+        self.sense = "max"
+
+    def minimize(self, expr) -> None:
+        self.objective = LinExpr._coerce(expr)
+        self.sense = "min"
+
+    # ------------------------------------------------------------------
+    def solve(self, backend: str = "exact", **kwargs) -> LPSolution:
+        """Solve with the chosen backend (``"exact"`` or ``"scipy"``).
+
+        The exact backend returns the true rational optimum (required for
+        period extraction); the scipy backend is faster on large models and
+        is used for cross-checking and big sweeps.
+        """
+        if self.objective is None:
+            raise LPError("no objective set")
+        if backend == "exact":
+            from .simplex import solve_exact
+
+            return solve_exact(self, **kwargs)
+        if backend == "scipy":
+            from .scipy_backend import solve_scipy
+
+            return solve_scipy(self, **kwargs)
+        raise LPError(f"unknown backend {backend!r}")
+
+    def check(self, solution: LPSolution, tol: Fraction = Fraction(0)) -> None:
+        """Assert that ``solution`` satisfies all constraints and bounds.
+
+        With the exact backend ``tol`` should stay 0; for float backends a
+        small tolerance is appropriate.  Raises :class:`LPError` on failure.
+        """
+        for var in self.variables:
+            x = solution[var]
+            if var.lo is not None and x < var.lo - tol:
+                raise LPError(f"{var.name} = {x} below lower bound {var.lo}")
+            if var.hi is not None and x > var.hi + tol:
+                raise LPError(f"{var.name} = {x} above upper bound {var.hi}")
+        for i, cons in enumerate(self.constraints):
+            v = cons.violation(solution.values)
+            if v > tol:
+                label = cons.name or f"#{i}"
+                raise LPError(f"constraint {label} violated by {v}")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "variables": len(self.variables),
+            "constraints": len(self.constraints),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearProgram({self.name!r}, vars={len(self.variables)}, "
+            f"cons={len(self.constraints)})"
+        )

@@ -1,0 +1,305 @@
+"""Exact two-phase simplex over rational numbers.
+
+Why from scratch: the steady-state methodology needs the *rational* optimal
+basic solution (section 4.1 derives the period ``T`` as the lcm of the
+denominators of the activity variables), and no rational LP solver is
+available offline.  This is a dense tableau implementation with Bland's
+anti-cycling rule — O(m·n) Fraction operations per pivot, entirely adequate
+for the platform-sized LPs of this library (tens to a few hundred variables)
+and exact by construction.
+
+Standard-form conversion
+------------------------
+* ``x`` with lower bound ``lo``: substitute ``x = lo + u`` (``u >= 0``);
+  an upper bound adds the row ``u <= hi - lo``.
+* ``x`` with only an upper bound: substitute ``x = hi - u``.
+* free ``x``: substitute ``x = u - v``.
+* ``<=`` rows get a slack, ``>=`` rows a surplus; rows are sign-normalised
+  so the rhs is non-negative; artificial variables complete the phase-1
+  basis where no slack is usable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from .model import (
+    InfeasibleError,
+    LinearProgram,
+    LPError,
+    LPSolution,
+    UnboundedError,
+    Variable,
+)
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+class _StandardForm:
+    """min c·u  s.t.  A u = b (b >= 0), u >= 0, plus the decoding recipe."""
+
+    def __init__(self) -> None:
+        self.rows: List[Dict[int, Fraction]] = []  # sparse rows
+        self.rhs: List[Fraction] = []
+        self.cost: Dict[int, Fraction] = {}
+        self.cost_offset: Fraction = ZERO
+        self.num_cols = 0
+        # var -> list of (col, sign); plus constant offset per var
+        self.decode: Dict[Variable, Tuple[List[Tuple[int, Fraction]], Fraction]] = {}
+
+    def new_col(self) -> int:
+        col = self.num_cols
+        self.num_cols += 1
+        return col
+
+
+def _build_standard_form(lp: LinearProgram) -> _StandardForm:
+    sf = _StandardForm()
+    # 1. substitute variables.
+    subs: Dict[Variable, Tuple[List[Tuple[int, Fraction]], Fraction]] = {}
+    extra_rows: List[Tuple[Dict[int, Fraction], str, Fraction]] = []
+    for var in lp.variables:
+        if var.lo is not None:
+            u = sf.new_col()
+            subs[var] = ([(u, ONE)], var.lo)
+            if var.hi is not None:
+                extra_rows.append(({u: ONE}, "<=", var.hi - var.lo))
+        elif var.hi is not None:
+            u = sf.new_col()
+            subs[var] = ([(u, Fraction(-1))], var.hi)
+        else:
+            u = sf.new_col()
+            v = sf.new_col()
+            subs[var] = ([(u, ONE), (v, Fraction(-1))], ZERO)
+    sf.decode = subs
+
+    # 2. objective (always minimise internally).
+    assert lp.objective is not None
+    sign = Fraction(-1) if lp.sense == "max" else ONE
+    sf.cost_offset = sign * lp.objective.constant
+    for var, coef in lp.objective.terms.items():
+        cols, offset = subs[var]
+        sf.cost_offset += sign * coef * offset
+        for col, s in cols:
+            sf.cost[col] = sf.cost.get(col, ZERO) + sign * coef * s
+
+    # 3. constraint rows.
+    all_rows: List[Tuple[Dict[int, Fraction], str, Fraction]] = []
+    for cons in lp.constraints:
+        terms, sense, rhs = cons.normalized()
+        row: Dict[int, Fraction] = {}
+        shift = ZERO
+        for var, coef in terms.items():
+            cols, offset = subs[var]
+            shift += coef * offset
+            for col, s in cols:
+                row[col] = row.get(col, ZERO) + coef * s
+        row = {c: v for c, v in row.items() if v != 0}
+        all_rows.append((row, sense, rhs - shift))
+    all_rows.extend(extra_rows)
+
+    for row, sense, rhs in all_rows:
+        if not row:
+            # constant constraint: check satisfiability directly.
+            ok = (
+                (sense == "<=" and ZERO <= rhs)
+                or (sense == ">=" and ZERO >= rhs)
+                or (sense == "==" and rhs == 0)
+            )
+            if not ok:
+                raise InfeasibleError(
+                    f"constant constraint 0 {sense} {rhs} is unsatisfiable"
+                )
+            continue
+        r = dict(row)
+        if sense == "<=":
+            slack = sf.new_col()
+            r[slack] = ONE
+        elif sense == ">=":
+            slack = sf.new_col()
+            r[slack] = Fraction(-1)
+        if rhs < 0:
+            r = {c: -v for c, v in r.items()}
+            rhs = -rhs
+        sf.rows.append(r)
+        sf.rhs.append(rhs)
+    return sf
+
+
+def solve_exact(lp: LinearProgram, max_iterations: int = 200_000) -> LPSolution:
+    """Solve ``lp`` exactly; raises Infeasible/Unbounded errors as needed."""
+    sf = _build_standard_form(lp)
+    m = len(sf.rows)
+    n = sf.num_cols
+
+    # Dense tableau: m rows x (n + m artificials + 1 rhs); artificials are
+    # appended so that column j >= n is the artificial of row j - n.
+    width = n + m + 1
+    tableau: List[List[Fraction]] = []
+    basis: List[int] = []
+    for i, row in enumerate(sf.rows):
+        dense = [ZERO] * width
+        for col, val in row.items():
+            dense[col] = val
+        dense[-1] = sf.rhs[i]
+        tableau.append(dense)
+
+    # Choose initial basis: reuse a slack column (+1 coefficient, sole entry
+    # in its row among *potential* basis columns) when possible, else an
+    # artificial.  Simpler and safe: if the row has a column with coefficient
+    # +1 that appears in no other row, use it; otherwise add an artificial.
+    col_rows: Dict[int, List[int]] = {}
+    for i, row in enumerate(sf.rows):
+        for col in row:
+            col_rows.setdefault(col, []).append(i)
+    artificial_cols: List[int] = []
+    for i, row in enumerate(sf.rows):
+        chosen = -1
+        for col, val in row.items():
+            if val == 1 and len(col_rows[col]) == 1 and col not in sf.cost:
+                chosen = col
+                break
+        if chosen >= 0:
+            basis.append(chosen)
+        else:
+            art = n + i
+            tableau[i][art] = ONE
+            basis.append(art)
+            artificial_cols.append(art)
+
+    iterations = 0
+
+    def pivot(row_i: int, col_j: int) -> None:
+        piv_row = tableau[row_i]
+        piv = piv_row[col_j]
+        inv = ONE / piv
+        for j in range(width):
+            if piv_row[j] != 0:
+                piv_row[j] *= inv
+        for r in range(m):
+            if r == row_i:
+                continue
+            factor = tableau[r][col_j]
+            if factor == 0:
+                continue
+            target = tableau[r]
+            for j in range(width):
+                if piv_row[j] != 0:
+                    target[j] -= factor * piv_row[j]
+        basis[row_i] = col_j
+
+    def run_phase(cost: List[Fraction], allowed_cols: int) -> List[Fraction]:
+        """Price out the basis, then pivot to optimality with Bland's rule.
+
+        Returns the final reduced-cost row (length ``width``: the rhs cell
+        holds minus the objective value of the phase).
+        """
+        nonlocal iterations
+        z = [ZERO] * width
+        for j, c in enumerate(cost):
+            z[j] = c
+        # price out: z <- z - sum(cost[basis[i]] * row_i)
+        for i in range(m):
+            cb = cost[basis[i]] if basis[i] < len(cost) else ZERO
+            if cb == 0:
+                continue
+            row = tableau[i]
+            for j in range(width):
+                if row[j] != 0:
+                    z[j] -= cb * row[j]
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise LPError(
+                    f"simplex exceeded {max_iterations} iterations "
+                    f"(m={m}, n={n})"
+                )
+            # Bland: entering = smallest-index column with negative reduced
+            # cost among allowed columns.
+            enter = -1
+            for j in range(allowed_cols):
+                if z[j] < 0:
+                    enter = j
+                    break
+            if enter < 0:
+                return z
+            # ratio test; Bland tie-break on smallest basis column index.
+            leave = -1
+            best: Optional[Fraction] = None
+            for i in range(m):
+                a = tableau[i][enter]
+                if a > 0:
+                    ratio = tableau[i][-1] / a
+                    if best is None or ratio < best or (
+                        ratio == best and basis[i] < basis[leave]
+                    ):
+                        best = ratio
+                        leave = i
+            if leave < 0:
+                raise UnboundedError(
+                    f"objective of {lp.name!r} is unbounded "
+                    f"(column {enter} has no positive entries)"
+                )
+            pivot(leave, enter)
+            factor = z[enter]
+            piv_row = tableau[leave]
+            if factor != 0:
+                for j in range(width):
+                    if piv_row[j] != 0:
+                        z[j] -= factor * piv_row[j]
+
+    # ---------------- phase 1 ----------------
+    if artificial_cols:
+        cost1 = [ZERO] * width
+        for col in artificial_cols:
+            cost1[col] = ONE
+        z1 = run_phase(cost1, width - 1)
+        phase1_value = -z1[-1]
+        if phase1_value > 0:
+            raise InfeasibleError(
+                f"{lp.name!r} is infeasible (phase-1 optimum {phase1_value})"
+            )
+        # Drive remaining artificials out of the basis where possible.
+        for i in range(m):
+            if basis[i] >= n:
+                row = tableau[i]
+                enter = -1
+                for j in range(n):
+                    if row[j] != 0:
+                        enter = j
+                        break
+                if enter >= 0:
+                    pivot(i, enter)
+                # else: the row is all-zero over structural columns —
+                # a redundant constraint; the artificial stays basic at 0,
+                # which is harmless as long as it never re-enters (it cannot:
+                # phase 2 restricts entering columns to the structural ones).
+
+    # ---------------- phase 2 ----------------
+    cost2 = [ZERO] * width
+    for col, c in sf.cost.items():
+        cost2[col] = c
+    z2 = run_phase(cost2, n)
+    # objective value: cost2 . u = -(z2 rhs) ... plus offset
+    min_value = -z2[-1] + sf.cost_offset
+
+    # ---------------- decode ----------------
+    u = [ZERO] * sf.num_cols
+    for i in range(m):
+        if basis[i] < sf.num_cols:
+            u[basis[i]] = tableau[i][-1]
+    values: Dict[Variable, Fraction] = {}
+    for var, (cols, offset) in sf.decode.items():
+        x = offset
+        for col, s in cols:
+            x += s * u[col]
+        values[var] = x
+    objective = -min_value if lp.sense == "max" else min_value
+    return LPSolution(
+        objective=objective,
+        values=values,
+        backend="exact",
+        iterations=iterations,
+    )

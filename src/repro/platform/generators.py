@@ -1,0 +1,282 @@
+"""Platform generators: the paper's figures plus synthetic families.
+
+Every generator is deterministic given its arguments (random families take a
+``seed``), so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from .._rational import INF, RationalLike, as_fraction
+from .graph import Platform
+
+
+# ----------------------------------------------------------------------
+# Paper figures
+# ----------------------------------------------------------------------
+def paper_figure1(
+    weights: Optional[Sequence[RationalLike]] = None,
+    costs: Optional[dict] = None,
+) -> Platform:
+    """The example platform of Figure 1.
+
+    Figure 1 shows six nodes ``P1..P6`` and the (undirected in the drawing,
+    oriented in the model) links ``P1-P2, P1-P3, P2-P4, P2-P5, P3-P6,
+    P4-P5, P5-P6``.  The figure labels weights symbolically (``w_i``,
+    ``c_ij``); concrete values may be supplied, otherwise a representative
+    heterogeneous assignment is used.  Each drawn link becomes two directed
+    edges with the same cost, matching the paper's oriented-link model.
+    """
+    default_w: List[RationalLike] = [1, 2, 3, 2, 1, 4]
+    w = list(weights) if weights is not None else default_w
+    if len(w) != 6:
+        raise ValueError("figure 1 has exactly six nodes")
+    links = [("P1", "P2"), ("P1", "P3"), ("P2", "P4"), ("P2", "P5"),
+             ("P3", "P6"), ("P4", "P5"), ("P5", "P6")]
+    default_c = {
+        ("P1", "P2"): Fraction(1),
+        ("P1", "P3"): Fraction(2),
+        ("P2", "P4"): Fraction(1),
+        ("P2", "P5"): Fraction(3),
+        ("P3", "P6"): Fraction(1),
+        ("P4", "P5"): Fraction(2),
+        ("P5", "P6"): Fraction(1),
+    }
+    c = dict(default_c)
+    if costs:
+        for key, val in costs.items():
+            c[tuple(key)] = as_fraction(val)
+    g = Platform("paper-figure-1")
+    for i in range(6):
+        g.add_node(f"P{i + 1}", w[i])
+    for a, b in links:
+        g.add_bidirectional_edge(a, b, c[(a, b)])
+    return g
+
+
+def paper_figure2_multicast() -> Platform:
+    """The multicast counterexample platform of Figure 2.
+
+    Seven nodes ``P0..P6``; the source is ``P0`` and the multicast targets
+    are ``P5`` and ``P6`` (shaded in the figure).  Nine directed edges:
+    eight of cost 1 plus ``P3 -> P4`` of cost 2, as printed on the figure.
+
+    The edge set is recovered from the route analysis of section 4.3:
+    odd-numbered (label ``a``) messages reach P5 via ``P0->P1->P5`` and
+    even-numbered (label ``b``) messages via ``P0->P2->P3->P4->P5``;
+    messages reach P6 via ``r1 = P0->P1->P3->P4->P6`` (label ``a``) and
+    ``r2 = P0->P2->P6`` (label ``b``).  With these costs the max-LP admits
+    throughput 1 (each printed edge carrying 1/2 message per target per
+    time-unit, Figures 3a/3b) while the edge ``P3 -> P4`` would need to
+    carry one ``a`` and one ``b`` message — distinct instances — every two
+    time-units at cost 2 each, which exceeds its capacity (Figure 3d).
+    """
+    g = Platform("paper-figure-2-multicast")
+    for i in range(7):
+        g.add_node(f"P{i}", w=INF if i == 0 else 1)
+    unit_edges = [
+        ("P0", "P1"), ("P0", "P2"),
+        ("P1", "P5"), ("P1", "P3"),
+        ("P2", "P3"), ("P2", "P6"),
+        ("P4", "P5"), ("P4", "P6"),
+    ]
+    for a, b in unit_edges:
+        g.add_edge(a, b, 1)
+    g.add_edge("P3", "P4", 2)
+    return g
+
+
+MULTICAST_SOURCE = "P0"
+MULTICAST_TARGETS = ("P5", "P6")
+
+
+# ----------------------------------------------------------------------
+# Synthetic families
+# ----------------------------------------------------------------------
+def star(
+    n_workers: int,
+    master_w: RationalLike = 1,
+    worker_w: Optional[Sequence[RationalLike]] = None,
+    link_c: Optional[Sequence[RationalLike]] = None,
+    bidirectional: bool = False,
+    name: str = "star",
+) -> Platform:
+    """Master ``M`` plus ``n_workers`` workers ``W1..Wn`` (single-level tree).
+
+    The canonical master-slave platform: closed-form steady-state throughput
+    exists (see :func:`repro.core.master_slave.star_throughput`), which makes
+    this family the primary oracle for LP tests.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    g = Platform(name)
+    g.add_node("M", master_w)
+    for k in range(1, n_workers + 1):
+        w = worker_w[k - 1] if worker_w is not None else k
+        c = link_c[k - 1] if link_c is not None else 1
+        g.add_node(f"W{k}", w)
+        g.add_edge("M", f"W{k}", c)
+        if bidirectional:
+            g.add_edge(f"W{k}", "M", c)
+    return g
+
+
+def chain(
+    length: int,
+    node_w: RationalLike = 1,
+    link_c: RationalLike = 1,
+    name: str = "chain",
+) -> Platform:
+    """Linear chain ``N0 -> N1 -> ... -> N{length-1}``."""
+    if length < 2:
+        raise ValueError("chain needs at least two nodes")
+    g = Platform(name)
+    for k in range(length):
+        g.add_node(f"N{k}", node_w)
+    for k in range(length - 1):
+        g.add_edge(f"N{k}", f"N{k + 1}", link_c)
+    return g
+
+
+def binary_tree(
+    depth: int,
+    seed: Optional[int] = None,
+    w_range: Tuple[int, int] = (1, 5),
+    c_range: Tuple[int, int] = (1, 4),
+    name: str = "binary-tree",
+) -> Platform:
+    """Complete binary tree of the given depth, root ``T0``.
+
+    Heterogeneous weights drawn uniformly from the given integer ranges
+    (deterministic under ``seed``).  Edges point away from the root, the
+    natural orientation for master-slave distribution.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    rng = random.Random(seed)
+    g = Platform(name)
+    total = 2 ** (depth + 1) - 1
+    for k in range(total):
+        g.add_node(f"T{k}", rng.randint(*w_range))
+    for k in range(total):
+        for child in (2 * k + 1, 2 * k + 2):
+            if child < total:
+                g.add_edge(f"T{k}", f"T{child}", rng.randint(*c_range))
+    return g
+
+
+def grid2d(
+    rows: int,
+    cols: int,
+    seed: Optional[int] = None,
+    w_range: Tuple[int, int] = (1, 5),
+    c_range: Tuple[int, int] = (1, 4),
+    name: str = "grid2d",
+) -> Platform:
+    """2-D mesh with bidirectional links; node ``G0_0`` is the corner.
+
+    A platform *with cycles and multiple paths*, which the paper stresses the
+    model supports ("no specific assumption is made on the interconnection
+    graph").
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    rng = random.Random(seed)
+    g = Platform(name)
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node(f"G{r}_{c}", rng.randint(*w_range))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_bidirectional_edge(
+                    f"G{r}_{c}", f"G{r}_{c + 1}", rng.randint(*c_range)
+                )
+            if r + 1 < rows:
+                g.add_bidirectional_edge(
+                    f"G{r}_{c}", f"G{r + 1}_{c}", rng.randint(*c_range)
+                )
+    return g
+
+
+def random_connected(
+    n: int,
+    extra_edge_prob: float = 0.25,
+    seed: Optional[int] = None,
+    w_range: Tuple[int, int] = (1, 6),
+    c_range: Tuple[int, int] = (1, 5),
+    forwarder_prob: float = 0.0,
+    bidirectional: bool = True,
+    name: str = "random",
+) -> Platform:
+    """Random platform guaranteed connected from node ``R0``.
+
+    Construction: a random spanning tree rooted at ``R0`` (guaranteeing
+    reachability), then each remaining ordered pair gains an edge with
+    probability ``extra_edge_prob``.  ``forwarder_prob`` turns non-root
+    nodes into pure forwarders (``w = INF``), exercising the paper's
+    ``w_i = +inf`` case.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    g = Platform(name)
+    for k in range(n):
+        if k > 0 and rng.random() < forwarder_prob:
+            g.add_node(f"R{k}", INF)
+        else:
+            g.add_node(f"R{k}", rng.randint(*w_range))
+    for k in range(1, n):
+        parent = rng.randrange(k)
+        cost = rng.randint(*c_range)
+        g.add_edge(f"R{parent}", f"R{k}", cost)
+        if bidirectional:
+            g.add_edge(f"R{k}", f"R{parent}", cost)
+    for a in range(n):
+        for b in range(n):
+            if a == b or g.has_edge(f"R{a}", f"R{b}"):
+                continue
+            if rng.random() < extra_edge_prob:
+                g.add_edge(f"R{a}", f"R{b}", rng.randint(*c_range))
+    return g
+
+
+def clustered(
+    n_clusters: int,
+    cluster_size: int,
+    seed: Optional[int] = None,
+    intra_c: Tuple[int, int] = (1, 2),
+    inter_c: Tuple[int, int] = (4, 8),
+    w_range: Tuple[int, int] = (1, 4),
+    name: str = "clustered",
+) -> Platform:
+    """Clusters of fast nodes joined by slow backbone links (grid-like).
+
+    Models the paper's motivating scenario: clusters federated into a grid,
+    with cheap intra-cluster links and expensive inter-cluster links.  Each
+    cluster is a bidirectional star around a gateway ``C{k}_0``; gateways
+    form a bidirectional ring.
+    """
+    if n_clusters < 1 or cluster_size < 1:
+        raise ValueError("cluster counts must be positive")
+    rng = random.Random(seed)
+    g = Platform(name)
+    for k in range(n_clusters):
+        for m in range(cluster_size):
+            g.add_node(f"C{k}_{m}", rng.randint(*w_range))
+        for m in range(1, cluster_size):
+            g.add_bidirectional_edge(
+                f"C{k}_0", f"C{k}_{m}", rng.randint(*intra_c)
+            )
+    if n_clusters > 1:
+        for k in range(n_clusters):
+            nxt = (k + 1) % n_clusters
+            if n_clusters == 2 and k == 1:
+                break  # avoid duplicating the single ring edge
+            g.add_bidirectional_edge(
+                f"C{k}_0", f"C{nxt}_0", rng.randint(*inter_c)
+            )
+    return g

@@ -1,0 +1,143 @@
+"""Platform and schedule (de)serialisation.
+
+Plain-dict / JSON round-trips so platforms can live in version control and
+schedules can be shipped to the machines that execute them.  Exact
+rationals are encoded as ``"p/q"`` strings; infinite weights as ``"inf"``.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Optional
+
+from .._rational import INF, as_fraction, is_infinite
+from .graph import Platform, PlatformError
+
+
+def _encode_weight(value) -> str:
+    if is_infinite(value):
+        return "inf"
+    f = value if isinstance(value, Fraction) else as_fraction(value)
+    return f"{f.numerator}/{f.denominator}" if f.denominator != 1 else str(
+        f.numerator
+    )
+
+
+def _decode_weight(text: str):
+    if text == "inf":
+        return INF
+    return Fraction(text)
+
+
+def platform_to_dict(platform: Platform) -> Dict[str, Any]:
+    """Serialise a platform to a JSON-safe dict."""
+    return {
+        "name": platform.name,
+        "nodes": [
+            {"name": spec.name, "w": _encode_weight(spec.w)}
+            for spec in platform._nodes.values()  # noqa: SLF001 same package
+        ],
+        "edges": [
+            {"src": spec.src, "dst": spec.dst, "c": _encode_weight(spec.c)}
+            for spec in platform.edges()
+        ],
+    }
+
+
+def platform_from_dict(data: Dict[str, Any]) -> Platform:
+    """Rebuild a platform; raises :class:`PlatformError` on bad input."""
+    try:
+        g = Platform(data.get("name", "platform"))
+        for node in data["nodes"]:
+            g.add_node(node["name"], _decode_weight(node["w"]))
+        for edge in data["edges"]:
+            g.add_edge(edge["src"], edge["dst"], _decode_weight(edge["c"]))
+        return g
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, PlatformError):
+            raise
+        raise PlatformError(f"malformed platform data: {exc}") from exc
+
+
+def platform_to_json(platform: Platform, indent: int = 2) -> str:
+    return json.dumps(platform_to_dict(platform), indent=indent)
+
+
+def platform_from_json(text: str) -> Platform:
+    return platform_from_dict(json.loads(text))
+
+
+def schedule_to_dict(schedule) -> Dict[str, Any]:
+    """Serialise a :class:`~repro.schedule.periodic.PeriodicSchedule`."""
+    return {
+        "problem": schedule.problem,
+        "platform": platform_to_dict(schedule.platform),
+        "period": _encode_weight(schedule.period),
+        "throughput": _encode_weight(schedule.throughput),
+        "source": schedule.source,
+        "slices": [
+            {
+                "start": _encode_weight(sl.start),
+                "duration": _encode_weight(sl.duration),
+                "transfers": dict(sl.transfers),
+            }
+            for sl in schedule.slices
+        ],
+        "compute": dict(schedule.compute),
+        "messages": [
+            {"src": i, "dst": j, "count": count}
+            for (i, j), count in schedule.messages.items()
+        ],
+        "routes": {
+            commodity: [
+                {"path": list(path), "units": _encode_weight(units)}
+                for path, units in routes
+            ]
+            for commodity, routes in schedule.routes.items()
+        },
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]):
+    """Rebuild a periodic schedule (validated on construction)."""
+    from ..schedule.periodic import CommSlice, PeriodicSchedule
+
+    platform = platform_from_dict(data["platform"])
+    slices = [
+        CommSlice(
+            start=Fraction(s["start"]),
+            duration=Fraction(s["duration"]),
+            transfers=dict(s["transfers"]),
+        )
+        for s in data["slices"]
+    ]
+    schedule = PeriodicSchedule(
+        platform=platform,
+        problem=data["problem"],
+        period=Fraction(data["period"]),
+        throughput=Fraction(data["throughput"]),
+        slices=slices,
+        compute={k: int(v) for k, v in data.get("compute", {}).items()},
+        messages={
+            (m["src"], m["dst"]): int(m["count"])
+            for m in data.get("messages", [])
+        },
+        routes={
+            commodity: [
+                (tuple(r["path"]), Fraction(r["units"])) for r in routes
+            ]
+            for commodity, routes in data.get("routes", {}).items()
+        },
+        source=data.get("source"),
+    )
+    schedule.validate()
+    return schedule
+
+
+def schedule_to_json(schedule, indent: int = 2) -> str:
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def schedule_from_json(text: str):
+    return schedule_from_dict(json.loads(text))

@@ -1,0 +1,64 @@
+"""Schedule reconstruction substrate (section 4.1 and the section 5
+extensions): matchings, weighted edge colouring, flow decomposition,
+periodic schedules, start-up grouping and fixed-period rounding."""
+
+from .matching import hopcroft_karp, perfect_matching
+from .edge_coloring import (
+    EdgeColoringError,
+    MatchingSlice,
+    verify_coloring,
+    vertex_loads,
+    weighted_edge_coloring,
+)
+from .flows import FlowError, cancel_cycles, check_flow_conservation, decompose_flow
+from .periodic import CommSlice, PeriodicSchedule, ScheduleError
+from .reconstruction import reconstruct_schedule
+from .batch import BatchSchedule, batch_ratio_series, build_batch_schedule
+from .collective import packing_to_schedule, tree_routes
+from .fixed_period import (
+    fixed_period_schedule,
+    rounding_loss_bound,
+    throughput_vs_period,
+)
+from .send_or_receive import (
+    reconstruct_send_or_receive_schedule,
+    schedule_to_trace,
+)
+from .startup import (
+    StartupAnalysis,
+    asymptotic_ratio_bound,
+    default_group_count,
+    grouped_schedule_makespan,
+)
+
+__all__ = [
+    "hopcroft_karp",
+    "perfect_matching",
+    "EdgeColoringError",
+    "MatchingSlice",
+    "verify_coloring",
+    "vertex_loads",
+    "weighted_edge_coloring",
+    "FlowError",
+    "cancel_cycles",
+    "check_flow_conservation",
+    "decompose_flow",
+    "CommSlice",
+    "PeriodicSchedule",
+    "ScheduleError",
+    "reconstruct_schedule",
+    "packing_to_schedule",
+    "tree_routes",
+    "fixed_period_schedule",
+    "rounding_loss_bound",
+    "throughput_vs_period",
+    "StartupAnalysis",
+    "asymptotic_ratio_bound",
+    "default_group_count",
+    "grouped_schedule_makespan",
+    "reconstruct_send_or_receive_schedule",
+    "schedule_to_trace",
+    "BatchSchedule",
+    "batch_ratio_series",
+    "build_batch_schedule",
+]

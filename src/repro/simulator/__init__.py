@@ -1,0 +1,29 @@
+"""Event-driven simulation of the one-port full-overlap platform model
+(section 2) with trace validation for the section 5.1 model variants."""
+
+from .engine import SimulationError, Simulator
+from .periodic_runner import (
+    PeriodicRunner,
+    PeriodicRunResult,
+    steady_state_reached_after,
+)
+from .collective_runner import (
+    CollectiveRunner,
+    CollectiveRunResult,
+    max_route_length,
+)
+from .trace import Interval, ModelViolation, Trace
+
+__all__ = [
+    "SimulationError",
+    "Simulator",
+    "PeriodicRunner",
+    "PeriodicRunResult",
+    "steady_state_reached_after",
+    "Interval",
+    "ModelViolation",
+    "Trace",
+    "CollectiveRunner",
+    "CollectiveRunResult",
+    "max_route_length",
+]

@@ -1,0 +1,129 @@
+"""SteadyStateSolution unit tests: rates, periods, simplification."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro._rational import INF
+from repro.core.activities import SteadyStateError, SteadyStateSolution
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators as gen
+from repro.platform.graph import Platform
+
+
+def tiny():
+    g = Platform("tiny")
+    g.add_node("M", 1)
+    g.add_node("W", 2)
+    g.add_edge("M", "W", 3)
+    return g
+
+
+class TestRates:
+    def test_compute_rate(self):
+        g = tiny()
+        sol = SteadyStateSolution(
+            platform=g, problem="master-slave", throughput=Fraction(0),
+            alpha={"W": Fraction(1, 2)}, source="M",
+        )
+        assert sol.compute_rate("W") == Fraction(1, 4)
+        assert sol.compute_rate("M") == 0
+
+    def test_forwarder_alpha_rejected(self):
+        g = Platform("f")
+        g.add_node("M", 1)
+        g.add_node("F", INF)
+        g.add_edge("M", "F", 1)
+        sol = SteadyStateSolution(
+            platform=g, problem="master-slave", throughput=Fraction(0),
+            alpha={"F": Fraction(1)}, source="M",
+        )
+        with pytest.raises(SteadyStateError):
+            sol.compute_rate("F")
+
+    def test_edge_rate(self):
+        g = tiny()
+        sol = SteadyStateSolution(
+            platform=g, problem="master-slave", throughput=Fraction(0),
+            s={("M", "W"): Fraction(1, 2)}, source="M",
+        )
+        assert sol.edge_rate("M", "W") == Fraction(1, 6)
+
+    def test_activity_on_missing_edge_caught(self):
+        g = tiny()
+        sol = SteadyStateSolution(
+            platform=g, problem="master-slave", throughput=Fraction(0),
+            s={("W", "M"): Fraction(1, 2)}, source="M",
+        )
+        with pytest.raises(SteadyStateError):
+            sol.check_bounds()
+
+
+class TestPeriod:
+    def test_period_makes_counts_integral(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        T = sol.period()
+        for node in sol.alpha:
+            assert (sol.compute_rate(node) * T).denominator == 1
+        for (i, j) in sol.s:
+            assert (sol.edge_rate(i, j) * T).denominator == 1
+
+    def test_period_minimal_for_known_case(self, star4):
+        sol = solve_master_slave(star4, "M")
+        assert sol.period() == 2  # rates are 1/2-granular on this star
+
+    def test_tasks_and_messages_integral(self, star4):
+        sol = solve_master_slave(star4, "M")
+        T = sol.period()
+        tasks = sol.tasks_per_period(T)
+        msgs = sol.messages_per_period(T)
+        assert all(isinstance(v, int) for v in tasks.values())
+        assert all(isinstance(v, int) for v in msgs.values())
+
+    def test_wrong_period_detected(self, star4):
+        sol = solve_master_slave(star4, "M")
+        with pytest.raises(SteadyStateError):
+            sol.tasks_per_period(1)  # 1 is not a multiple of the period
+
+
+class TestSimplify:
+    def test_cycle_removed_preserving_invariants(self):
+        g = Platform("loop")
+        g.add_node("M", 1)
+        g.add_node("A", 1)
+        g.add_node("B", 1)
+        g.add_edge("M", "A", 1)
+        g.add_bidirectional_edge("A", "B", 1)
+        # hand-build: M sends 1/2 to A; A and B circulate junk at rate 1/4
+        sol = SteadyStateSolution(
+            platform=g, problem="master-slave", throughput=Fraction(3, 2),
+            alpha={"M": Fraction(1), "A": Fraction(1, 2)},
+            s={
+                ("M", "A"): Fraction(1, 2),
+                ("A", "B"): Fraction(1, 4),
+                ("B", "A"): Fraction(1, 4),
+            },
+            source="M",
+        )
+        sol.simplify()
+        assert sol.s[("A", "B")] == 0
+        assert sol.s[("B", "A")] == 0
+        assert sol.s[("M", "A")] == Fraction(1, 2)
+        sol.verify()
+
+    def test_simplify_noop_for_scatter(self, fig2):
+        from repro.core.scatter import solve_scatter
+
+        sol = solve_scatter(fig2, "P0", ["P5", "P6"])
+        before = dict(sol.s)
+        sol.simplify()  # problem != master-slave: untouched
+        assert sol.s == before
+
+
+class TestSummary:
+    def test_summary_mentions_throughput(self, star4):
+        sol = solve_master_slave(star4, "M")
+        text = sol.summary()
+        assert "throughput" in text
+        assert "3/2" in text

@@ -1,0 +1,83 @@
+"""Explicit finite-batch schedule tests (§4.2 materialised)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators as gen
+from repro.schedule.batch import batch_ratio_series, build_batch_schedule
+from repro.schedule.periodic import ScheduleError
+from repro.schedule.reconstruction import reconstruct_schedule
+
+
+def schedule_for(platform, master):
+    return reconstruct_schedule(solve_master_slave(platform, master))
+
+
+class TestBatchSchedule:
+    def test_phases_add_up(self, star4):
+        sched = schedule_for(star4, "M")
+        batch = build_batch_schedule(sched, 100)
+        assert batch.makespan == (
+            batch.init_time
+            + sched.period * batch.steady_periods
+            + batch.cleanup_time
+        )
+
+    def test_makespan_above_lower_bound(self, any_platform):
+        name, platform, master = any_platform
+        sched = schedule_for(platform, master)
+        batch = build_batch_schedule(sched, 50)
+        assert batch.makespan >= batch.lower_bound
+
+    def test_ratio_tends_to_one(self, star4):
+        sched = schedule_for(star4, "M")
+        series = batch_ratio_series(sched, [10, 100, 1000, 10000])
+        ratios = [float(r) for _, r in series]
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 1.01
+
+    def test_overhead_constant_in_n(self, star4):
+        """makespan - n/ntask is bounded by a constant (strong §4.2)."""
+        sched = schedule_for(star4, "M")
+        overheads = [
+            float(build_batch_schedule(sched, n).makespan
+                  - Fraction(n) / sched.throughput)
+            for n in (100, 1000, 10000)
+        ]
+        assert max(overheads) - min(overheads) <= max(
+            float(sched.period) * 2, 4.0
+        )
+
+    def test_trace_valid_under_one_port(self, star4):
+        sched = schedule_for(star4, "M")
+        batch = build_batch_schedule(sched, 12, record_trace=True)
+        batch.trace.validate("one-port")
+        # phases appear in the trace
+        labels = {iv.label for iv in batch.trace.intervals}
+        assert "steady" in labels
+        assert "init" in labels or not sched.routes.get("task")
+
+    def test_grid_trace_valid(self, grid33):
+        sched = schedule_for(grid33, "G0_0")
+        batch = build_batch_schedule(sched, 60, record_trace=True)
+        batch.trace.validate("one-port")
+
+    def test_zero_tasks(self, star4):
+        sched = schedule_for(star4, "M")
+        batch = build_batch_schedule(sched, 0)
+        assert batch.steady_periods == 0
+
+    def test_rejects_scatter(self, fig2):
+        from repro.core.scatter import solve_scatter
+
+        sol = solve_scatter(fig2, "P0", ["P5", "P6"])
+        sched = reconstruct_schedule(sol)
+        with pytest.raises(ScheduleError):
+            build_batch_schedule(sched, 10)
+
+    def test_negative_tasks_rejected(self, star4):
+        sched = schedule_for(star4, "M")
+        with pytest.raises(ValueError):
+            build_batch_schedule(sched, -1)

@@ -1,0 +1,86 @@
+"""CLI tests (direct invocation of repro.cli.main)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_solve_with_generator(self, capsys):
+        rc = main(["solve", "--generator", "star", "--args", "3",
+                   "--master", "M", "--periods", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "deficit" in out
+
+    def test_solve_with_platform_file(self, tmp_path, capsys):
+        rc = main(["export", "--generator", "chain", "--args", "3",
+                   "-o", str(tmp_path / "p.json")])
+        assert rc == 0
+        rc = main(["solve", "--platform", str(tmp_path / "p.json"),
+                   "--master", "N0"])
+        assert rc == 0
+        assert "steady-state" in capsys.readouterr().out
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--generator", "nope", "--master", "M"])
+
+    def test_missing_platform_source(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--master", "M"])
+
+
+class TestCollectiveCommands:
+    def test_scatter(self, capsys):
+        rc = main(["scatter", "--generator", "paper_figure2_multicast",
+                   "--source", "P0", "--targets", "P5", "P6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TP = 1/2" in out
+        assert "commodity" in out
+
+    def test_broadcast(self, capsys):
+        rc = main(["broadcast", "--generator", "chain", "--args", "3",
+                   "--source", "N0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LP bound = 1" in out
+        assert "optimal" in out
+
+    def test_multicast_bracket(self, capsys):
+        rc = main(["multicast", "--generator", "paper_figure2_multicast",
+                   "--source", "P0", "--targets", "P5", "P6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3/4" in out
+        assert "NOT achievable" in out
+
+
+class TestFiguresAndExport:
+    def test_figures(self, capsys):
+        rc = main(["figures"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 3(d)" in out
+        assert "occupation 2 > 1" in out
+
+    def test_export_stdout(self, capsys):
+        rc = main(["export", "--generator", "star", "--args", "2"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["nodes"]) == 3
+
+    def test_export_seed_forwarded(self, capsys):
+        rc = main(["export", "--generator", "random_connected",
+                   "--args", "5", "--seed", "7"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        main(["export", "--generator", "random_connected",
+              "--args", "5", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second

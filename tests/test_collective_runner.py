@@ -1,0 +1,74 @@
+"""Tests for the per-commodity scatter executor."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.scatter import solve_scatter
+from repro.platform import generators as gen
+from repro.schedule.reconstruction import reconstruct_schedule
+from repro.simulator.collective_runner import (
+    CollectiveRunner,
+    max_route_length,
+)
+
+
+def scatter_schedule(platform, source, targets):
+    sol = solve_scatter(platform, source, targets)
+    return sol, reconstruct_schedule(sol)
+
+
+class TestCollectiveRunner:
+    def test_fig2_delivery_rate(self, fig2):
+        sol, sched = scatter_schedule(fig2, "P0", ["P5", "P6"])
+        res = CollectiveRunner(sched).run(20)
+        per_period_target = sol.throughput * sched.period
+        for k in ("P5", "P6"):
+            # steady delivery after priming
+            assert res.per_period[k][-1] == per_period_target
+            assert res.deficit(k) >= 0
+
+    def test_priming_bounded_by_route_length(self):
+        g = gen.chain(4, link_c=1)
+        sol, sched = scatter_schedule(g, "N0", ["N1", "N2", "N3"])
+        res = CollectiveRunner(sched).run(12)
+        hops = max_route_length(sched)
+        per_period_target = sol.throughput * sched.period
+        for k in ("N1", "N2", "N3"):
+            for p in range(hops, 12):
+                assert res.per_period[k][p] == per_period_target
+
+    def test_deficit_constant(self, fig2):
+        sol, sched = scatter_schedule(fig2, "P0", ["P5", "P6"])
+        short = CollectiveRunner(sched).run(8)
+        long = CollectiveRunner(sched).run(30)
+        for k in ("P5", "P6"):
+            assert short.deficit(k) == long.deficit(k)
+
+    def test_total_delivery_bound(self, fig2):
+        sol, sched = scatter_schedule(fig2, "P0", ["P5", "P6"])
+        res = CollectiveRunner(sched).run(15)
+        for k in ("P5", "P6"):
+            assert res.delivered[k] <= res.bound(k)
+
+    def test_rejects_master_slave_schedule(self, star4):
+        from repro.core.master_slave import solve_master_slave
+
+        sol = solve_master_slave(star4, "M")
+        sched = reconstruct_schedule(sol)
+        with pytest.raises(ValueError):
+            CollectiveRunner(sched)
+
+    def test_zero_periods(self, fig2):
+        sol, sched = scatter_schedule(fig2, "P0", ["P5", "P6"])
+        res = CollectiveRunner(sched).run(0)
+        assert all(v == 0 for v in res.delivered.values())
+
+    def test_negative_periods_rejected(self, fig2):
+        sol, sched = scatter_schedule(fig2, "P0", ["P5", "P6"])
+        with pytest.raises(ValueError):
+            CollectiveRunner(sched).run(-1)
+
+    def test_max_route_length(self, fig2):
+        sol, sched = scatter_schedule(fig2, "P0", ["P5", "P6"])
+        assert max_route_length(sched) == 2  # P0 -> P1/P2 -> target

@@ -1,0 +1,153 @@
+"""DAG-collection tests (section 4.2's mixed data/task parallelism)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import BEGIN, TaskGraph, TaskGraphError, solve_dag_collection
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators as gen
+from repro.platform.graph import Platform
+
+
+class TestTaskGraphConstruction:
+    def test_duplicate_type(self):
+        dag = TaskGraph()
+        dag.add_type("a", 1)
+        with pytest.raises(TaskGraphError):
+            dag.add_type("a", 2)
+
+    def test_unknown_type_in_file(self):
+        dag = TaskGraph()
+        dag.add_type("a", 1)
+        with pytest.raises(TaskGraphError):
+            dag.add_file("a", "b", 1)
+
+    def test_cycle_detected(self):
+        dag = TaskGraph()
+        dag.add_type("a", 1)
+        dag.add_type("b", 1)
+        dag.add_file("a", "b", 1)
+        with pytest.raises(TaskGraphError):
+            dag.add_file("b", "a", 1)
+
+    def test_negative_work(self):
+        dag = TaskGraph()
+        with pytest.raises(TaskGraphError):
+            dag.add_type("a", -1)
+
+    def test_zero_size_file(self):
+        dag = TaskGraph()
+        dag.add_type("a", 1)
+        dag.add_type("b", 1)
+        with pytest.raises(TaskGraphError):
+            dag.add_file("a", "b", 0)
+
+    def test_roots_and_neighbours(self):
+        dag = TaskGraph.chain([1, 2, 3], [1, 1])
+        assert dag.predecessors("t1") == ["t0"]
+        assert dag.successors("t1") == ["t2"]
+        assert BEGIN in dag.types
+
+    def test_double_anchor_rejected(self):
+        dag = TaskGraph.single_task()
+        with pytest.raises(TaskGraphError):
+            dag.anchor_at_master()
+
+    def test_fork_join_shape(self):
+        dag = TaskGraph.fork_join(3)
+        assert len(dag.real_types()) == 5  # fork + 3 branches + join
+        assert dag.predecessors("join") == [f"branch{b}" for b in range(3)]
+
+
+class TestDegenerateEqualsSSMS:
+    """A single unit-work task with a unit input file IS master-slave."""
+
+    def test_star(self, star4):
+        dag = TaskGraph.single_task(work=1, input_size=1)
+        ds = solve_dag_collection(star4, dag, "M")
+        ms = solve_master_slave(star4, "M")
+        assert ds.throughput == ms.throughput
+
+    def test_fig1(self, fig1):
+        dag = TaskGraph.single_task()
+        ds = solve_dag_collection(fig1, dag, "P1")
+        assert ds.throughput == solve_master_slave(fig1, "P1").throughput
+
+    def test_scaled_task(self, star4):
+        """work=2 halves every node's rate: throughput exactly halves
+        relative to the same LP with unit work only when communication
+        is not binding; in general it is at most half... assert the
+        trivially valid direction."""
+        heavy = solve_dag_collection(
+            star4, TaskGraph.single_task(work=2, input_size=1), "M"
+        )
+        light = solve_dag_collection(
+            star4, TaskGraph.single_task(work=1, input_size=1), "M"
+        )
+        assert heavy.throughput <= light.throughput
+
+
+class TestPipelines:
+    def test_chain_on_chain(self):
+        g = gen.chain(3, node_w=1, link_c=1)
+        dag = TaskGraph.chain([1, 1, 1], [1, 1])
+        sol = solve_dag_collection(g, dag, "N0")
+        assert sol.throughput == 1  # perfect pipeline
+        sol.verify()
+
+    def test_chain_collapses_on_single_node(self):
+        g = Platform("solo")
+        g.add_node("M", 1)
+        dag = TaskGraph.chain([1, 2], [1])
+        sol = solve_dag_collection(g, dag, "M")
+        # one node does all 3 units of work per instance
+        assert sol.throughput == Fraction(1, 3)
+
+    def test_fork_join_throughput(self, star4):
+        dag = TaskGraph.fork_join(2, branch_work=2)
+        sol = solve_dag_collection(star4, dag, "M")
+        sol.verify()
+        assert sol.throughput > 0
+        total_work = sum(dag.types.values())
+        cap = sum(
+            (Fraction(1) / star4.node(n).w for n in star4.compute_nodes()),
+            start=Fraction(0),
+        )
+        assert sol.throughput <= cap / total_work
+
+    def test_heavy_files_throttle(self):
+        g = gen.chain(2, node_w=1, link_c=1)
+        cheap = TaskGraph.chain([1, 1], [1])
+        bulky = TaskGraph.chain([1, 1], [10])
+        tp_cheap = solve_dag_collection(g, cheap, "N0").throughput
+        tp_bulky = solve_dag_collection(g, bulky, "N0").throughput
+        assert tp_bulky <= tp_cheap
+
+    def test_forwarders_cannot_execute(self):
+        from repro._rational import INF
+
+        g = Platform("fw")
+        g.add_node("M", 1)
+        g.add_node("F", INF)
+        g.add_node("W", 1)
+        g.add_edge("M", "F", 1)
+        g.add_edge("F", "W", 1)
+        dag = TaskGraph.single_task()
+        sol = solve_dag_collection(g, dag, "M")
+        assert all(n != "F" for (n, t) in sol.cons)
+        assert sol.throughput == 2
+
+    def test_requires_anchor(self, star4):
+        dag = TaskGraph()
+        dag.add_type("t", 1)
+        with pytest.raises(TaskGraphError):
+            solve_dag_collection(star4, dag, "M")
+
+    def test_verify_catches_tampering(self, star4):
+        dag = TaskGraph.single_task()
+        sol = solve_dag_collection(star4, dag, "M")
+        key = next(iter(sol.cons))
+        sol.cons[key] = sol.cons[key] * 2
+        with pytest.raises(TaskGraphError):
+            sol.verify()

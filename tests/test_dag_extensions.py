@@ -1,0 +1,119 @@
+"""Tests for the Laplace graph (§6) and the affinity extension."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro._rational import INF
+from repro.core.dag import TaskGraph, TaskGraphError, solve_dag_collection
+from repro.platform import generators as gen
+from repro.platform.graph import Platform
+
+
+class TestLaplaceGraph:
+    def test_shape(self):
+        dag = TaskGraph.laplace(3)
+        assert len(dag.real_types()) == 9
+        assert dag.predecessors("l1_1") == ["l0_1", "l1_0"]
+        assert dag.successors("l1_1") == ["l2_1", "l1_2"]
+
+    def test_exponential_path_counts(self):
+        """binomial(2n-2, n-1): the paper's 'exponential number of paths'."""
+        for n, expected in ((2, 2), (3, 6), (4, 20), (5, 70), (7, 924)):
+            dag = TaskGraph.laplace(n)
+            assert dag.count_simple_paths(
+                "l0_0", f"l{n - 1}_{n - 1}"
+            ) == expected
+
+    def test_single_cell(self):
+        dag = TaskGraph.laplace(1)
+        assert dag.real_types() == ["l0_0"]
+
+    def test_validation(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph.laplace(0)
+
+    def test_solves_on_platform(self, star4):
+        dag = TaskGraph.laplace(2)
+        sol = solve_dag_collection(star4, dag, "M")
+        sol.verify()
+        assert sol.throughput > 0
+
+    def test_count_paths_unknown_type(self):
+        dag = TaskGraph.laplace(2)
+        with pytest.raises(TaskGraphError):
+            dag.count_simple_paths("l0_0", "nope")
+
+
+class TestAffinity:
+    def platform(self):
+        return gen.star(2, master_w=2, worker_w=[1, 1], link_c=[1, 1],
+                        bidirectional=True)
+
+    def test_default_matches_no_affinity(self):
+        g = self.platform()
+        dag = TaskGraph.single_task()
+        plain = solve_dag_collection(g, dag, "M").throughput
+        with_unit = solve_dag_collection(
+            g, dag, "M", affinity={("W1", "task"): 1}
+        ).throughput
+        assert plain == with_unit
+
+    def test_slowdown_multiplier(self):
+        g = self.platform()
+        dag = TaskGraph.single_task()
+        slow = solve_dag_collection(
+            g, dag, "M",
+            affinity={("W1", "task"): 4, ("W2", "task"): 4,
+                      ("M", "task"): 4},
+        ).throughput
+        plain = solve_dag_collection(g, dag, "M").throughput
+        assert slow < plain
+
+    def test_forbidden_type(self):
+        g = self.platform()
+        dag = TaskGraph.single_task()
+        sol = solve_dag_collection(
+            g, dag, "M", affinity={("W1", "task"): INF}
+        )
+        assert all(key != ("W1", "task") for key in sol.cons)
+        sol.verify()
+
+    def test_fully_forbidden_gives_zero(self):
+        g = self.platform()
+        dag = TaskGraph.single_task()
+        sol = solve_dag_collection(
+            g, dag, "M",
+            affinity={(n, "task"): INF for n in g.nodes()},
+        )
+        assert sol.throughput == 0
+
+    def test_specialisation_forces_file_traffic(self):
+        """When consecutive stages live on different workers, their file
+        must cross the platform — throughput drops below the colocated
+        uniform value."""
+        g = self.platform()
+        dag = TaskGraph.chain([1, 1], [1])
+        uniform = solve_dag_collection(g, dag, "M").throughput
+        specialised = solve_dag_collection(
+            g, dag, "M",
+            affinity={
+                ("W2", "t0"): INF, ("M", "t0"): INF,   # t0 only on W1
+                ("W1", "t1"): INF, ("M", "t1"): INF,   # t1 only on W2
+            },
+        ).throughput
+        assert 0 < specialised < uniform
+
+    def test_verify_checks_affinity_budget(self):
+        g = self.platform()
+        dag = TaskGraph.single_task()
+        sol = solve_dag_collection(
+            g, dag, "M", affinity={("W1", "task"): 2}
+        )
+        sol.verify()
+        # inflate a rate so the (affinity-weighted) CPU budget breaks
+        key = ("W1", "task")
+        if key in sol.cons:
+            sol.cons[key] = sol.cons[key] * 3
+            with pytest.raises(TaskGraphError):
+                sol.verify()

@@ -1,0 +1,125 @@
+"""Divisible-load tests (section 5.2 application, ref [8])."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.divisible import (
+    StarWorker,
+    makespan_lower_bound,
+    multi_round_makespan,
+    one_round_schedule,
+    steady_state_rate,
+)
+
+
+def workers_basic():
+    return [
+        StarWorker(Fraction(1), Fraction(1), Fraction(1)),
+        StarWorker(Fraction(2), Fraction(1), Fraction(2)),
+        StarWorker(Fraction(3), Fraction(2), Fraction(1)),
+    ]
+
+
+class TestOneRound:
+    def test_all_workers_finish_simultaneously(self):
+        W = Fraction(60)
+        wk = workers_basic()
+        mk, alphas = one_round_schedule(W, wk)
+        assert sum(alphas, start=Fraction(0)) == W
+        # recompute each worker's finish time in send order (by c)
+        order = sorted(range(len(wk)), key=lambda k: (wk[k].c, k))
+        clock = Fraction(0)
+        finishes = []
+        for k in order:
+            clock += wk[k].startup + wk[k].c * alphas[k]
+            finishes.append(clock + wk[k].w * alphas[k])
+        assert all(f == mk for f in finishes)
+
+    def test_makespan_above_lower_bound(self):
+        W = Fraction(100)
+        mk, _ = one_round_schedule(W, workers_basic())
+        assert mk >= makespan_lower_bound(W, workers_basic())
+
+    def test_master_computes_too(self):
+        W = Fraction(30)
+        mk_without, _ = one_round_schedule(W, workers_basic())
+        mk_with, alphas = one_round_schedule(
+            W, workers_basic(), master_w=Fraction(2)
+        )
+        assert mk_with < mk_without
+        assert sum(alphas, start=Fraction(0)) < W  # master kept a share
+
+    def test_custom_order(self):
+        W = Fraction(40)
+        mk_bw, _ = one_round_schedule(W, workers_basic())
+        mk_rev, _ = one_round_schedule(W, workers_basic(), order=[2, 1, 0])
+        assert mk_bw <= mk_rev  # bandwidth-centric order is optimal
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            one_round_schedule(10, workers_basic(), order=[0, 0, 1])
+
+    def test_tiny_load_drops_workers(self):
+        """With big start-ups a small load uses fewer workers."""
+        wk = [
+            StarWorker(Fraction(1), Fraction(1), Fraction(0)),
+            StarWorker(Fraction(1), Fraction(1), Fraction(100)),
+        ]
+        mk, alphas = one_round_schedule(Fraction(2), wk)
+        assert alphas[1] == 0
+        assert alphas[0] == 2
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            one_round_schedule(-1, workers_basic())
+
+
+class TestSteadyRate:
+    def test_rate_is_bandwidth_centric(self):
+        wk = [
+            StarWorker(Fraction(1), Fraction(1)),
+            StarWorker(Fraction(1), Fraction(1)),
+        ]
+        # both saturate: port gives 1 task/time total across c=1 links,
+        # workers each absorb <= 1 -> rate = 1
+        assert steady_state_rate(wk) == 1
+
+    def test_with_master(self):
+        wk = [StarWorker(Fraction(1), Fraction(2))]
+        assert steady_state_rate(wk, master_w=Fraction(2)) == 1
+
+
+class TestMultiRound:
+    def test_converges_to_lower_bound(self):
+        wk = workers_basic()
+        ratios = []
+        for W in (100, 1000, 10000, 100000):
+            mk = multi_round_makespan(Fraction(W), wk)
+            lb = makespan_lower_bound(Fraction(W), wk)
+            ratios.append(float(mk / lb))
+        assert ratios[-1] < 1.05
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_beats_one_round_eventually(self):
+        """§5.2's point: amortised start-ups win for large loads."""
+        wk = workers_basic()
+        W = Fraction(100_000)
+        multi = multi_round_makespan(W, wk)
+        single, _ = one_round_schedule(W, wk)
+        assert multi < single
+
+    def test_one_round_wins_small_loads(self):
+        wk = workers_basic()
+        W = Fraction(10)
+        multi = multi_round_makespan(W, wk)
+        single, _ = one_round_schedule(W, wk)
+        assert single <= multi
+
+    def test_explicit_round_scale(self):
+        wk = workers_basic()
+        W = Fraction(1000)
+        default = multi_round_makespan(W, wk)
+        tiny_rounds = multi_round_makespan(W, wk, rounds_scale=1)
+        # m=1 pays a start-up every period: strictly worse
+        assert default < tiny_rounds

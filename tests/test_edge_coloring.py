@@ -1,0 +1,153 @@
+"""Weighted bipartite edge colouring (§4.1): correctness and compactness.
+
+The decomposition must (a) produce matchings, (b) cover each edge for
+exactly its weight, (c) finish within the maximum port load, and (d) stay
+polynomial-size no matter how large the weights (periods) are.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedule.edge_coloring import (
+    EdgeColoringError,
+    MatchingSlice,
+    verify_coloring,
+    vertex_loads,
+    weighted_edge_coloring,
+)
+
+weight = st.fractions(
+    min_value=Fraction(0), max_value=Fraction(50), max_denominator=12
+)
+
+
+class TestBasic:
+    def test_empty(self):
+        assert weighted_edge_coloring([]) == []
+
+    def test_single_edge(self):
+        slices = weighted_edge_coloring([("a", "x", Fraction(3))])
+        assert len(slices) == 1
+        assert slices[0].duration == 3
+        assert slices[0].pairs == {"a": "x"}
+
+    def test_two_disjoint_edges_share_a_slice(self):
+        slices = weighted_edge_coloring(
+            [("a", "x", Fraction(2)), ("b", "y", Fraction(2))]
+        )
+        assert len(slices) == 1
+        assert slices[0].pairs == {"a": "x", "b": "y"}
+
+    def test_conflicting_edges_are_serialised(self):
+        # same sender: must be in different slices
+        slices = weighted_edge_coloring(
+            [("a", "x", Fraction(1)), ("a", "y", Fraction(2))]
+        )
+        total = sum((s.duration for s in slices), start=Fraction(0))
+        assert total == 3  # sender load = 3
+
+    def test_same_receiver_serialised(self):
+        slices = weighted_edge_coloring(
+            [("a", "x", Fraction(1)), ("b", "x", Fraction(1))]
+        )
+        for s in slices:
+            assert len(s.pairs) == 1
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(EdgeColoringError):
+            weighted_edge_coloring(
+                [("a", "x", Fraction(1)), ("a", "x", Fraction(1))]
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(EdgeColoringError):
+            weighted_edge_coloring([("a", "x", Fraction(-1))])
+
+    def test_zero_weights_skipped(self):
+        assert weighted_edge_coloring([("a", "x", Fraction(0))]) == []
+
+    def test_slice_validation(self):
+        with pytest.raises(EdgeColoringError):
+            MatchingSlice(pairs={"a": "x", "b": "x"}, duration=Fraction(1))
+        with pytest.raises(EdgeColoringError):
+            MatchingSlice(pairs={"a": "x"}, duration=Fraction(0))
+
+    def test_exponential_period_compact_description(self):
+        """Huge weights (the log T is polynomial point of §4.1)."""
+        big = Fraction(10**30)
+        edges = [
+            ("a", "x", big), ("a", "y", big + 1),
+            ("b", "x", big + 2), ("b", "y", big + 3),
+        ]
+        slices = weighted_edge_coloring(edges)
+        assert len(slices) <= 4 + 4  # |E| + padding, far below the weights
+        verify_coloring(edges, slices)
+
+
+@st.composite
+def weighted_bipartite(draw):
+    n_left = draw(st.integers(min_value=1, max_value=5))
+    n_right = draw(st.integers(min_value=1, max_value=5))
+    edges = []
+    for u in range(n_left):
+        for v in range(n_right):
+            w = draw(weight)
+            if w > 0 and draw(st.booleans()):
+                edges.append((f"s{u}", f"r{v}", w))
+    return edges
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_bipartite())
+    def test_decomposition_invariants(self, edges):
+        slices = weighted_edge_coloring(edges)
+        verify_coloring(edges, slices)
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_bipartite())
+    def test_total_duration_equals_max_load(self, edges):
+        if not edges:
+            return
+        slices = weighted_edge_coloring(edges)
+        send, recv = vertex_loads(edges)
+        max_load = max(list(send.values()) + list(recv.values()))
+        covered = {}
+        for s in slices:
+            for u, v in s.pairs.items():
+                covered[(u, v)] = covered.get((u, v), Fraction(0)) + s.duration
+        # every maximally loaded sender must be busy the whole time
+        total = sum((s.duration for s in slices), start=Fraction(0))
+        assert total <= max_load
+
+    @settings(max_examples=60, deadline=None)
+    @given(weighted_bipartite())
+    def test_slice_count_is_polynomial(self, edges):
+        slices = weighted_edge_coloring(edges)
+        n_vertices = len({u for u, _, _ in edges}) + len({v for _, v, _ in edges})
+        assert len(slices) <= len(edges) + n_vertices
+
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_bipartite())
+    def test_one_port_within_every_slice(self, edges):
+        for s in weighted_edge_coloring(edges):
+            senders = list(s.pairs.keys())
+            receivers = list(s.pairs.values())
+            assert len(set(senders)) == len(senders)
+            assert len(set(receivers)) == len(receivers)
+
+
+class TestVerifyColoring:
+    def test_detects_wrong_cover(self):
+        edges = [("a", "x", Fraction(2))]
+        bad = [MatchingSlice(pairs={"a": "x"}, duration=Fraction(1))]
+        with pytest.raises(EdgeColoringError):
+            verify_coloring(edges, bad)
+
+    def test_detects_extra_edge(self):
+        edges = [("a", "x", Fraction(1))]
+        bad = [MatchingSlice(pairs={"b": "y"}, duration=Fraction(1))]
+        with pytest.raises(EdgeColoringError):
+            verify_coloring(edges, bad)

@@ -1,0 +1,101 @@
+"""Integer-granularity executor tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators as gen
+from repro.schedule.reconstruction import reconstruct_schedule
+from repro.simulator.event_executor import EventExecutor, _edge_message_intervals
+from repro.simulator.periodic_runner import PeriodicRunner
+
+
+def schedule_for(platform, master):
+    return reconstruct_schedule(solve_master_slave(platform, master))
+
+
+class TestMessageCarving:
+    def test_counts_match(self, any_platform):
+        name, platform, master = any_platform
+        sched = schedule_for(platform, master)
+        carved = _edge_message_intervals(sched)
+        for e, intervals in carved.items():
+            assert len(intervals) == sched.messages[e]
+
+    def test_each_message_takes_exactly_c(self, star4):
+        sched = schedule_for(star4, "M")
+        carved = _edge_message_intervals(sched)
+        for (i, j), intervals in carved.items():
+            c = star4.c(i, j)
+            for (a, b) in intervals:
+                # contiguous within one slice here: duration == c
+                assert b - a == c
+
+    def test_messages_within_period(self, grid33):
+        sched = schedule_for(grid33, "G0_0")
+        for intervals in _edge_message_intervals(sched).values():
+            for (a, b) in intervals:
+                assert 0 <= a < b <= sched.period
+
+
+class TestEventExecution:
+    def test_steady_state_integral(self, any_platform):
+        name, platform, master = any_platform
+        sched = schedule_for(platform, master)
+        res = EventExecutor(sched).run(platform.num_nodes + 6)
+        target = sched.tasks_per_period()
+        # the last period processes exactly T * ntask WHOLE tasks
+        assert res.completed_per_period[-1] == target
+
+    def test_trace_one_port(self, any_platform):
+        name, platform, master = any_platform
+        sched = schedule_for(platform, master)
+        res = EventExecutor(sched).run(5)
+        res.trace.validate("one-port")
+        res.trace.check_matched_transfers()
+
+    def test_agrees_with_fluid_runner(self, star4):
+        """Fluid and integral executions complete the same totals (the
+        fluid plan is integral per period by construction)."""
+        sched = schedule_for(star4, "M")
+        fluid = PeriodicRunner(sched).run(12)
+        event = EventExecutor(sched).run(12)
+        assert Fraction(event.total_completed) == fluid.total_completed
+
+    def test_integer_counts(self, grid33):
+        sched = schedule_for(grid33, "G0_0")
+        res = EventExecutor(sched).run(8)
+        assert all(isinstance(v, int) for v in res.completed.values())
+        assert all(isinstance(v, int) for v in res.completed_per_period)
+
+    def test_priming_starves_early_slots(self):
+        """In period 0 only the master's messages depart."""
+        g = gen.chain(3, node_w=1, link_c=1)
+        sched = schedule_for(g, "N0")
+        res = EventExecutor(sched).run(4)
+        first_period = [m for m in res.messages if m.period == 0]
+        assert all(m.src == "N0" for m in first_period)
+
+    def test_deficit_constant(self, star4):
+        sched = schedule_for(star4, "M")
+        target = sched.tasks_per_period()
+        short = EventExecutor(sched).run(8)
+        long = EventExecutor(sched).run(30)
+        deficit_short = 8 * target - short.total_completed
+        deficit_long = 30 * target - long.total_completed
+        assert deficit_short == deficit_long
+
+    def test_rejects_scatter(self, fig2):
+        from repro.core.scatter import solve_scatter
+        from repro.schedule.periodic import ScheduleError
+
+        sol = solve_scatter(fig2, "P0", ["P5", "P6"])
+        sched = reconstruct_schedule(sol)
+        with pytest.raises(ScheduleError):
+            EventExecutor(sched)
+
+    def test_negative_periods(self, star4):
+        sched = schedule_for(star4, "M")
+        with pytest.raises(ValueError):
+            EventExecutor(sched).run(-1)

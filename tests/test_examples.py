@@ -1,0 +1,60 @@
+"""Every example must run to completion and print its headline artefacts."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "throughput = 3/2" in out
+        assert "deficit" in out
+        assert "round-robin" in out
+
+    def test_multicast_counterexample(self):
+        out = run_example("multicast_counterexample.py")
+        assert "Figure 3(a)" in out
+        assert "P3 -> P4" in out
+        assert "3/4" in out
+        assert "NP-hard" in out
+
+    def test_grid_collectives(self):
+        out = run_example("grid_collectives.py")
+        assert "scatter" in out
+        assert "broadcast" in out
+        assert "reduce" in out
+
+    def test_adaptive_grid(self):
+        out = run_example("adaptive_grid.py")
+        assert "adaptive" in out
+        assert "oracle" in out
+
+    def test_divisible_load(self):
+        out = run_example("divisible_load.py")
+        assert "one-round" in out
+        assert "multi-round" in out
+
+    def test_topology_discovery(self):
+        out = run_example("topology_discovery.py")
+        assert "env-tree" in out
+        assert "truth" in out
+
+    def test_certificates_and_execution(self):
+        out = run_example("certificates_and_execution.py")
+        assert "certificate" in out
+        assert "tight: True" in out
+        assert "one-port" in out

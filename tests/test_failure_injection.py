@@ -1,0 +1,74 @@
+"""Failure-injection tests: graceful degradation of demand-driven runs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.greedy import run_demand_driven
+from repro.core.master_slave import ntask
+from repro.platform import generators as gen
+
+
+class TestCpuFailures:
+    def test_dead_worker_contributes_nothing_after_failure(self, star4):
+        clean = run_demand_driven(star4, "M", 200, policy="bandwidth")
+        failed = run_demand_driven(
+            star4, "M", 200, policy="bandwidth", failures={"W1": 0}
+        )
+        assert failed.completed["W1"] == 0
+        assert failed.total_completed < clean.total_completed
+
+    def test_mid_run_failure_partial_work(self, star4):
+        res = run_demand_driven(
+            star4, "M", 200, policy="bandwidth",
+            failures={"W1": Fraction(100)},
+        )
+        # W1 worked the first half only
+        full = run_demand_driven(star4, "M", 200, policy="bandwidth")
+        assert 0 < res.completed["W1"] < full.completed["W1"]
+
+    def test_system_keeps_running(self, star4):
+        """Surviving nodes keep pulling work: no deadlock, no crash."""
+        res = run_demand_driven(
+            star4, "M", 300, policy="bandwidth",
+            failures={"W1": 0, "W2": 0, "W3": 0, "W4": 0},
+        )
+        # only the master computes, at its own rate
+        assert res.completed["M"] > 0
+        assert res.total_completed == res.completed["M"]
+        res.trace.validate("one-port")
+
+    def test_master_failure_stops_everything_eventually(self, star4):
+        res = run_demand_driven(
+            star4, "M", 300, policy="bandwidth", failures={"M": 0}
+        )
+        assert res.completed["M"] == 0
+        # distribution continues: the master's port still ships files
+        assert sum(res.completed.values()) > 0
+
+    def test_intermediate_failure_on_tree(self, tree3):
+        """An inner node's CPU death must not block its subtree's feed
+        (forwarding survives in this failure model)."""
+        inner = "T1"
+        res = run_demand_driven(
+            tree3, "T0", 400, policy="bandwidth", failures={inner: 0}
+        )
+        assert res.completed[inner] == 0
+        subtree = [n for n in tree3.reachable_from(inner) if n != inner]
+        assert any(res.completed[n] > 0 for n in subtree)
+
+    def test_rate_still_bounded_by_lp(self, star4):
+        lp = ntask(star4, "M")
+        res = run_demand_driven(
+            star4, "M", 200, policy="bandwidth",
+            failures={"W2": Fraction(50)},
+        )
+        assert res.rate <= lp
+
+    def test_traces_stay_valid_under_failures(self, grid33):
+        res = run_demand_driven(
+            grid33, "G0_0", 120, policy="bandwidth",
+            failures={"G1_1": Fraction(30), "G2_2": 0},
+        )
+        res.trace.validate("one-port")
+        res.trace.check_matched_transfers()

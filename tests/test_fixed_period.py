@@ -1,0 +1,72 @@
+"""Fixed-period schedule tests (section 5.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators as gen
+from repro.schedule.fixed_period import (
+    fixed_period_schedule,
+    rounding_loss_bound,
+    throughput_vs_period,
+)
+from repro.schedule.periodic import ScheduleError
+from repro.simulator.periodic_runner import PeriodicRunner
+
+
+class TestFixedPeriod:
+    def test_schedule_is_feasible(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        sched = fixed_period_schedule(sol, 7)
+        sched.validate()
+        sched.check_message_counts()
+        assert sched.period == 7
+
+    def test_throughput_never_exceeds_lp(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        for tau in (3, 10, 50):
+            sched = fixed_period_schedule(sol, tau)
+            assert sched.throughput <= sol.throughput
+
+    def test_loss_bounded_by_route_count(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        for tau in (5, 25, 125):
+            sched = fixed_period_schedule(sol, tau)
+            loss = sol.throughput - sched.throughput
+            assert loss <= rounding_loss_bound(sol, tau)
+
+    def test_converges_to_optimum(self, star4):
+        """§5.4: throughput tends to the optimum as tau grows."""
+        sol = solve_master_slave(star4, "M")
+        series = throughput_vs_period(sol, [2, 8, 32, 128, 512])
+        gaps = [float(sol.throughput - tp) for _, tp in series]
+        assert gaps[-1] <= gaps[0]
+        assert gaps[-1] < 0.02
+
+    def test_tiny_period_may_do_nothing(self, star4):
+        sol = solve_master_slave(star4, "M")
+        sched = fixed_period_schedule(sol, Fraction(1, 100))
+        assert sched.throughput == 0  # nothing fits: floors to zero
+
+    def test_runs_in_simulator(self, star4):
+        sol = solve_master_slave(star4, "M")
+        sched = fixed_period_schedule(sol, 11)
+        res = PeriodicRunner(sched).run(20)
+        long = PeriodicRunner(sched).run(40)
+        assert res.deficit == long.deficit  # still a constant
+
+    def test_invalid_tau(self, star4):
+        sol = solve_master_slave(star4, "M")
+        with pytest.raises(ScheduleError):
+            fixed_period_schedule(sol, 0)
+
+    def test_only_master_slave_supported(self, fig2):
+        from repro.core.scatter import solve_scatter
+
+        sol = solve_scatter(fig2, "P0", ["P5", "P6"])
+        with pytest.raises(ScheduleError):
+            fixed_period_schedule(sol, 5)

@@ -1,0 +1,188 @@
+"""Flow decomposition and cycle cancellation tests."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platform.graph import Platform
+from repro.schedule.flows import (
+    FlowError,
+    cancel_cycles,
+    check_flow_conservation,
+    decompose_flow,
+)
+
+
+def diamond():
+    g = Platform("diamond")
+    for n in "SABT":
+        g.add_node(n, 1)
+    g.add_edge("S", "A", 1)
+    g.add_edge("S", "B", 1)
+    g.add_edge("A", "T", 1)
+    g.add_edge("B", "T", 1)
+    g.add_edge("A", "B", 1)
+    return g
+
+
+class TestCancelCycles:
+    def test_no_cycles_untouched(self):
+        flow = {("S", "A"): Fraction(1), ("A", "T"): Fraction(1)}
+        assert cancel_cycles(flow) == flow
+
+    def test_pure_cycle_removed(self):
+        flow = {("A", "B"): Fraction(2), ("B", "A"): Fraction(2)}
+        assert cancel_cycles(flow) == {}
+
+    def test_cycle_on_top_of_path(self):
+        flow = {
+            ("S", "A"): Fraction(1),
+            ("A", "T"): Fraction(1),
+            ("A", "B"): Fraction(3),
+            ("B", "A"): Fraction(3),
+        }
+        clean = cancel_cycles(flow)
+        assert clean == {("S", "A"): Fraction(1), ("A", "T"): Fraction(1)}
+
+    def test_triangle_cycle(self):
+        flow = {
+            ("A", "B"): Fraction(1),
+            ("B", "C"): Fraction(1),
+            ("C", "A"): Fraction(1),
+        }
+        assert cancel_cycles(flow) == {}
+
+    def test_divergence_preserved(self):
+        flow = {
+            ("S", "A"): Fraction(2),
+            ("A", "B"): Fraction(3),
+            ("B", "A"): Fraction(1),
+            ("A", "T"): Fraction(0),
+            ("B", "T"): Fraction(2),
+        }
+        clean = cancel_cycles(flow)
+
+        def net(f, node):
+            out = sum((v for (a, _), v in f.items() if a == node),
+                      start=Fraction(0))
+            inc = sum((v for (_, b), v in f.items() if b == node),
+                      start=Fraction(0))
+            return out - inc
+
+        for node in "SABT":
+            assert net(flow, node) == net(clean, node)
+
+
+class TestDecompose:
+    def test_single_path(self):
+        g = diamond()
+        flow = {("S", "A"): Fraction(1), ("A", "T"): Fraction(1)}
+        paths = decompose_flow(g, flow, "S", {"T": Fraction(1)})
+        assert paths == [(("S", "A", "T"), Fraction(1))]
+
+    def test_split_paths(self):
+        g = diamond()
+        flow = {
+            ("S", "A"): Fraction(1, 2),
+            ("S", "B"): Fraction(1, 2),
+            ("A", "T"): Fraction(1, 2),
+            ("B", "T"): Fraction(1, 2),
+        }
+        paths = decompose_flow(g, flow, "S", {"T": Fraction(1)})
+        assert len(paths) == 2
+        assert sum((r for _, r in paths), start=Fraction(0)) == 1
+
+    def test_multi_demand(self):
+        g = diamond()
+        flow = {
+            ("S", "A"): Fraction(1),
+            ("A", "B"): Fraction(1, 3),
+            ("A", "T"): Fraction(1, 3),
+        }
+        demands = {"A": Fraction(1, 3), "B": Fraction(1, 3), "T": Fraction(1, 3)}
+        paths = decompose_flow(g, flow, "S", demands)
+        delivered = {}
+        for path, rate in paths:
+            delivered[path[-1]] = delivered.get(path[-1], Fraction(0)) + rate
+        assert delivered == demands
+
+    def test_flow_with_cycle_still_decomposes(self):
+        g = diamond()
+        flow = {
+            ("S", "A"): Fraction(1),
+            ("A", "T"): Fraction(1),
+            ("A", "B"): Fraction(2),
+            ("B", "A"): Fraction(2),
+        }
+        paths = decompose_flow(g, flow, "S", {"T": Fraction(1)})
+        assert paths == [(("S", "A", "T"), Fraction(1))]
+
+    def test_inconsistent_flow_raises(self):
+        g = diamond()
+        flow = {("S", "A"): Fraction(1, 2)}
+        with pytest.raises(FlowError):
+            decompose_flow(g, flow, "S", {"T": Fraction(1)})
+
+    def test_no_demands(self):
+        g = diamond()
+        assert decompose_flow(g, {}, "S", {}) == []
+
+
+class TestConservationCheck:
+    def test_good_flow_passes(self):
+        g = diamond()
+        flow = {("S", "A"): Fraction(1), ("A", "T"): Fraction(1)}
+        check_flow_conservation(g, flow, "S", {"T": Fraction(1)})
+
+    def test_bad_flow_raises(self):
+        g = diamond()
+        flow = {("S", "A"): Fraction(1)}
+        with pytest.raises(FlowError):
+            check_flow_conservation(g, flow, "S", {"T": Fraction(1)})
+
+
+@st.composite
+def random_path_flow(draw):
+    """Superpose 1-4 random simple paths on the diamond; decomposition must
+    recover a path set with the same per-sink totals."""
+    g = diamond()
+    all_paths = g.simple_paths("S", "T") + g.simple_paths("S", "B")
+    chosen = draw(
+        st.lists(
+            st.sampled_from(range(len(all_paths))), min_size=1, max_size=4
+        )
+    )
+    rates = [
+        draw(st.fractions(min_value=Fraction(1, 4), max_value=Fraction(3),
+                          max_denominator=8))
+        for _ in chosen
+    ]
+    flow = {}
+    demands = {}
+    for idx, rate in zip(chosen, rates):
+        path = all_paths[idx]
+        for a, b in zip(path, path[1:]):
+            flow[(a, b)] = flow.get((a, b), Fraction(0)) + rate
+        demands[path[-1]] = demands.get(path[-1], Fraction(0)) + rate
+    return g, flow, demands
+
+
+class TestDecomposeProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(random_path_flow())
+    def test_round_trip(self, data):
+        g, flow, demands = data
+        paths = decompose_flow(g, flow, "S", demands)
+        delivered = {}
+        edge_usage = {}
+        for path, rate in paths:
+            assert path[0] == "S"
+            assert rate > 0
+            delivered[path[-1]] = delivered.get(path[-1], Fraction(0)) + rate
+            for a, b in zip(path, path[1:]):
+                edge_usage[(a, b)] = edge_usage.get((a, b), Fraction(0)) + rate
+        assert delivered == {k: v for k, v in demands.items() if v > 0}
+        # decomposition never uses more of an edge than the flow provided
+        for e, used in edge_usage.items():
+            assert used <= flow[e]

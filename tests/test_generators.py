@@ -1,0 +1,144 @@
+"""Tests for the platform generators, incl. the paper's figures."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform import generators as gen
+from repro.platform.graph import PlatformError
+
+
+class TestPaperFigures:
+    def test_figure1_shape(self):
+        g = gen.paper_figure1()
+        assert g.num_nodes == 6
+        # seven drawn links, each oriented both ways
+        assert g.num_edges == 14
+        for a, b in [("P1", "P2"), ("P1", "P3"), ("P2", "P4"),
+                     ("P2", "P5"), ("P3", "P6"), ("P4", "P5"), ("P5", "P6")]:
+            assert g.has_edge(a, b)
+            assert g.has_edge(b, a)
+
+    def test_figure1_custom_weights(self):
+        g = gen.paper_figure1(weights=[1] * 6, costs={("P1", "P2"): 5})
+        assert g.w("P3") == 1
+        assert g.c("P1", "P2") == 5
+
+    def test_figure1_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            gen.paper_figure1(weights=[1, 2])
+
+    def test_figure2_shape(self):
+        g = gen.paper_figure2_multicast()
+        assert g.num_nodes == 7
+        assert g.num_edges == 9
+        # the one expensive edge
+        assert g.c("P3", "P4") == 2
+        unit_edges = [e for e in g.edges() if e.c == 1]
+        assert len(unit_edges) == 8
+
+    def test_figure2_routes_exist(self):
+        """The four routes of the section 4.3 narrative must exist."""
+        g = gen.paper_figure2_multicast()
+        for path in [
+            ["P0", "P1", "P5"],
+            ["P0", "P2", "P3", "P4", "P5"],
+            ["P0", "P1", "P3", "P4", "P6"],
+            ["P0", "P2", "P6"],
+        ]:
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b), f"missing {a}->{b}"
+
+    def test_figure2_source_is_forwarder(self):
+        g = gen.paper_figure2_multicast()
+        assert not g.node("P0").can_compute
+
+
+class TestStar:
+    def test_default(self):
+        g = gen.star(3)
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+        assert g.successors("M") == ["W1", "W2", "W3"]
+
+    def test_custom(self):
+        g = gen.star(2, worker_w=[5, 7], link_c=[2, 3])
+        assert g.w("W2") == 7
+        assert g.c("M", "W2") == 3
+
+    def test_bidirectional(self):
+        g = gen.star(2, bidirectional=True)
+        assert g.has_edge("W1", "M")
+
+    def test_needs_workers(self):
+        with pytest.raises(ValueError):
+            gen.star(0)
+
+
+class TestChain:
+    def test_shape(self):
+        g = gen.chain(4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+        assert g.depth_from("N0") == 3
+
+    def test_min_length(self):
+        with pytest.raises(ValueError):
+            gen.chain(1)
+
+
+class TestTreeGridRandomClustered:
+    def test_binary_tree(self):
+        g = gen.binary_tree(3, seed=1)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+        assert g.is_connected_from("T0")
+
+    def test_binary_tree_depth_validation(self):
+        with pytest.raises(ValueError):
+            gen.binary_tree(0)
+
+    def test_grid(self):
+        g = gen.grid2d(3, 4, seed=2)
+        assert g.num_nodes == 12
+        # internal bidirectional mesh: 2*(3*3 + 2*4) = 34 directed edges
+        assert g.num_edges == 2 * (3 * 3 + 2 * 4)
+        assert g.is_connected_from("G0_0")
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            gen.grid2d(0, 3)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_connected(self, seed):
+        g = gen.random_connected(9, seed=seed)
+        assert g.is_connected_from("R0")
+
+    def test_random_deterministic(self):
+        a = gen.random_connected(8, seed=5)
+        b = gen.random_connected(8, seed=5)
+        assert a.describe() == b.describe()
+
+    def test_random_forwarders(self):
+        g = gen.random_connected(20, seed=3, forwarder_prob=1.0)
+        # root always computes; everyone else is a forwarder
+        assert g.compute_nodes() == ["R0"]
+
+    def test_random_min_size(self):
+        with pytest.raises(ValueError):
+            gen.random_connected(1)
+
+    def test_clustered(self):
+        g = gen.clustered(3, 4, seed=11)
+        assert g.num_nodes == 12
+        assert g.is_connected_from("C0_0")
+
+    def test_clustered_two_rings(self):
+        g = gen.clustered(2, 2, seed=11)
+        # one ring link between the two gateways, both directions
+        assert g.has_edge("C0_0", "C1_0")
+        assert g.has_edge("C1_0", "C0_0")
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            gen.clustered(0, 2)

@@ -1,0 +1,87 @@
+"""Hopcroft-Karp tests, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedule.matching import hopcroft_karp, perfect_matching
+
+
+def check_is_matching(adjacency, matching):
+    rights = list(matching.values())
+    assert len(set(rights)) == len(rights), "a right vertex matched twice"
+    for u, v in matching.items():
+        assert v in set(adjacency[u]), "matched pair is not an edge"
+
+
+class TestBasic:
+    def test_empty(self):
+        assert hopcroft_karp({}) == {}
+
+    def test_single_edge(self):
+        assert hopcroft_karp({"a": ["x"]}) == {"a": "x"}
+
+    def test_competition_resolved_by_augmenting(self):
+        # both want x, but a can switch to y
+        m = hopcroft_karp({"a": ["x", "y"], "b": ["x"]})
+        assert len(m) == 2
+
+    def test_no_edges_left_vertex(self):
+        m = hopcroft_karp({"a": [], "b": ["x"]})
+        assert m == {"b": "x"}
+
+    def test_perfect_matching_ok(self):
+        m = perfect_matching({"a": ["x"], "b": ["y"]})
+        assert len(m) == 2
+
+    def test_perfect_matching_fails(self):
+        with pytest.raises(ValueError):
+            perfect_matching({"a": ["x"], "b": ["x"]})
+
+    def test_long_augmenting_chain(self):
+        # classic chain that forces length-5 augmenting paths
+        adj = {
+            "a": ["x"],
+            "b": ["x", "y"],
+            "c": ["y", "z"],
+        }
+        m = hopcroft_karp(adj)
+        assert len(m) == 3
+
+
+@st.composite
+def bipartite_graph(draw):
+    n_left = draw(st.integers(min_value=1, max_value=8))
+    n_right = draw(st.integers(min_value=1, max_value=8))
+    edges = set()
+    for u in range(n_left):
+        for v in range(n_right):
+            if draw(st.booleans()):
+                edges.add((u, v))
+    adjacency = {u: [v for (uu, v) in edges if uu == u] for u in range(n_left)}
+    return adjacency
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=60, deadline=None)
+    @given(bipartite_graph())
+    def test_maximum_cardinality_matches_networkx(self, adjacency):
+        ours = hopcroft_karp(adjacency)
+        check_is_matching(adjacency, ours)
+
+        g = nx.Graph()
+        lefts = [("L", u) for u in adjacency]
+        g.add_nodes_from(lefts, bipartite=0)
+        for u, vs in adjacency.items():
+            for v in vs:
+                g.add_node(("R", v), bipartite=1)
+                g.add_edge(("L", u), ("R", v))
+        if g.number_of_edges() == 0:
+            assert ours == {}
+            return
+        theirs = nx.bipartite.maximum_matching(g, top_nodes=lefts)
+        # networkx returns both directions; count the left-side pairs
+        their_size = sum(1 for k in theirs if k[0] == "L")
+        assert len(ours) == their_size

@@ -1,0 +1,134 @@
+"""PeriodicSchedule structural validation tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform import generators as gen
+from repro.schedule.periodic import CommSlice, PeriodicSchedule, ScheduleError
+
+
+def make_schedule(star4, slices, compute=None, messages=None, period=4):
+    return PeriodicSchedule(
+        platform=star4,
+        problem="master-slave",
+        period=Fraction(period),
+        throughput=Fraction(1),
+        slices=slices,
+        compute=compute or {},
+        messages=messages or {},
+        source="M",
+    )
+
+
+class TestCommSlice:
+    def test_end(self):
+        s = CommSlice(Fraction(1), Fraction(2), {"M": "W1"})
+        assert s.end == 3
+
+
+class TestValidation:
+    def test_valid_empty(self, star4):
+        make_schedule(star4, []).validate()
+
+    def test_valid_single_slice(self, star4):
+        sched = make_schedule(
+            star4,
+            [CommSlice(Fraction(0), Fraction(1), {"M": "W1"})],
+            messages={("M", "W1"): 1},
+        )
+        sched.validate()
+        sched.check_message_counts()
+
+    def test_overlapping_slices_rejected(self, star4):
+        sched = make_schedule(star4, [
+            CommSlice(Fraction(0), Fraction(2), {"M": "W1"}),
+            CommSlice(Fraction(1), Fraction(1), {"M": "W2"}),
+        ])
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_slice_beyond_period_rejected(self, star4):
+        sched = make_schedule(star4, [
+            CommSlice(Fraction(3), Fraction(2), {"M": "W1"}),
+        ])
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_non_matching_slice_rejected(self, star4):
+        sched = make_schedule(star4, [
+            CommSlice(Fraction(0), Fraction(1), {"M": "W1", "W1": "W1"}),
+        ])
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_missing_edge_rejected(self, star4):
+        sched = make_schedule(star4, [
+            CommSlice(Fraction(0), Fraction(1), {"W1": "W2"}),
+        ])
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_compute_overflow_rejected(self, star4):
+        # W3 has w = 3; 2 tasks need 6 > period 4
+        sched = make_schedule(star4, [], compute={"W3": 2})
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_forwarder_compute_rejected(self):
+        from repro._rational import INF
+        from repro.platform.graph import Platform
+
+        g = Platform("f")
+        g.add_node("M", 1)
+        g.add_node("F", INF)
+        g.add_edge("M", "F", 1)
+        sched = PeriodicSchedule(
+            platform=g, problem="master-slave", period=Fraction(4),
+            throughput=Fraction(1), slices=[], compute={"F": 1}, source="M",
+        )
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_message_count_mismatch_detected(self, star4):
+        sched = make_schedule(
+            star4,
+            [CommSlice(Fraction(0), Fraction(1), {"M": "W1"})],
+            messages={("M", "W1"): 3},
+        )
+        with pytest.raises(ScheduleError):
+            sched.check_message_counts()
+
+
+class TestQueries:
+    def test_comm_time(self, star4):
+        sched = make_schedule(star4, [
+            CommSlice(Fraction(0), Fraction(1), {"M": "W1"}),
+            CommSlice(Fraction(1), Fraction(2), {"M": "W1"}),
+        ])
+        assert sched.comm_time("M", "W1") == 3
+        assert sched.comm_time("M", "W2") == 0
+
+    def test_port_busy(self, star4):
+        sched = make_schedule(star4, [
+            CommSlice(Fraction(0), Fraction(1), {"M": "W1"}),
+            CommSlice(Fraction(1), Fraction(1), {"M": "W2"}),
+        ])
+        send, recv = sched.port_busy("M")
+        assert send == 2 and recv == 0
+        send, recv = sched.port_busy("W1")
+        assert send == 0 and recv == 1
+
+    def test_tasks_per_period(self, star4):
+        sched = make_schedule(star4, [], compute={"M": 2, "W1": 1})
+        assert sched.tasks_per_period() == 3
+
+    def test_describe(self, star4):
+        sched = make_schedule(
+            star4,
+            [CommSlice(Fraction(0), Fraction(1), {"M": "W1"})],
+            compute={"M": 2},
+        )
+        text = sched.describe()
+        assert "period T = 4" in text
+        assert "M->W1" in text

@@ -1,0 +1,100 @@
+"""Periodic executor tests: priming, steady state, and the §4.2 claim that
+the deficit against K*T*ntask is a constant independent of K."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators as gen
+from repro.schedule.reconstruction import reconstruct_schedule
+from repro.simulator.periodic_runner import (
+    PeriodicRunner,
+    steady_state_reached_after,
+)
+
+
+def build(platform, master):
+    sol = solve_master_slave(platform, master)
+    return sol, reconstruct_schedule(sol)
+
+
+class TestSteadyState:
+    def test_constant_deficit(self, any_platform):
+        """THE asymptotic optimality claim, machine-checked."""
+        name, platform, master = any_platform
+        sol, sched = build(platform, master)
+        short = PeriodicRunner(sched).run(10)
+        long = PeriodicRunner(sched).run(41)
+        assert short.deficit == long.deficit
+        assert short.deficit >= 0
+
+    def test_rate_approaches_lp(self, any_platform):
+        name, platform, master = any_platform
+        sol, sched = build(platform, master)
+        res = PeriodicRunner(sched).run(60)
+        assert res.achieved_rate <= sol.throughput
+        # deficit constant  =>  rate -> LP value like C/K
+        gap = sol.throughput - res.achieved_rate
+        assert gap <= res.deficit / (60 * sched.period)
+
+    def test_steady_state_reached_within_platform_size(self, any_platform):
+        """Priming needs at most ~depth periods (section 4.2: "no more
+        than the depth of the platform graph")."""
+        name, platform, master = any_platform
+        sol, sched = build(platform, master)
+        res = PeriodicRunner(sched).run(platform.num_nodes + 2)
+        reached = steady_state_reached_after(res)
+        assert reached <= platform.num_nodes
+
+    def test_full_rate_periods_exact(self, star4):
+        sol, sched = build(star4, "M")
+        res = PeriodicRunner(sched).run(10)
+        per_period_target = sol.throughput * sched.period
+        start = steady_state_reached_after(res)
+        for p in range(start, 10):
+            assert res.completed_per_period[p] == per_period_target
+
+    def test_trace_respects_one_port(self, any_platform):
+        name, platform, master = any_platform
+        sol, sched = build(platform, master)
+        res = PeriodicRunner(sched, record_trace=True).run(6)
+        res.trace.validate("one-port")
+
+    def test_zero_periods(self, star4):
+        sol, sched = build(star4, "M")
+        res = PeriodicRunner(sched).run(0)
+        assert res.total_completed == 0
+        assert res.deficit == 0
+
+    def test_master_only_platform(self):
+        from repro.platform.graph import Platform
+
+        g = Platform("solo")
+        g.add_node("M", 2)
+        sol, sched = build(g, "M")
+        res = PeriodicRunner(sched).run(5)
+        assert res.deficit == 0  # no communication, no priming needed
+        assert res.total_completed == sol.throughput * sched.period * 5
+
+    def test_rejects_non_master_slave(self, fig2):
+        from repro.core.scatter import solve_scatter
+
+        sol = solve_scatter(fig2, "P0", ["P5", "P6"])
+        sched = reconstruct_schedule(sol)
+        with pytest.raises(ValueError):
+            PeriodicRunner(sched)
+
+    def test_negative_periods_rejected(self, star4):
+        sol, sched = build(star4, "M")
+        with pytest.raises(ValueError):
+            PeriodicRunner(sched).run(-1)
+
+
+class TestAgainstGreedyUpperBound:
+    def test_no_run_exceeds_lp_bound(self, any_platform):
+        """The LP optimum really is an upper bound (section 3.1)."""
+        name, platform, master = any_platform
+        sol, sched = build(platform, master)
+        res = PeriodicRunner(sched).run(25)
+        assert res.total_completed <= res.steady_state_bound

@@ -1,0 +1,108 @@
+"""Port-model variant tests (section 5.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import solve_master_slave
+from repro.core.port_models import (
+    greedy_interval_coloring,
+    send_or_receive_schedule_length,
+    solve_master_slave_multiport,
+    solve_master_slave_send_or_receive,
+)
+from repro.platform import generators as gen
+from repro.platform.graph import Platform
+
+
+class TestThroughputOrdering:
+    def test_sor_le_oneport_le_multiport(self, any_platform):
+        name, platform, master = any_platform
+        sor = solve_master_slave_send_or_receive(platform, master).throughput
+        one = solve_master_slave(platform, master).throughput
+        mp2 = solve_master_slave_multiport(platform, master, 2).throughput
+        mp4 = solve_master_slave_multiport(platform, master, 4).throughput
+        assert sor <= one <= mp2 <= mp4
+
+    def test_sor_strictly_hurts_relays(self):
+        """A pure forwarder must now time-share receiving and forwarding:
+        under full overlap it relays 1 task/time-unit (both ports busy),
+        under send-or-receive only 1/2."""
+        from repro._rational import INF
+
+        g = Platform("relay-chain")
+        g.add_node("N0", 1)
+        g.add_node("N1", INF)  # forwarder: every task crosses both ports
+        g.add_node("N2", 1)
+        g.add_edge("N0", "N1", 1)
+        g.add_edge("N1", "N2", 1)
+        one = solve_master_slave(g, "N0").throughput
+        sor = solve_master_slave_send_or_receive(g, "N0").throughput
+        assert one == 2
+        assert sor == Fraction(3, 2)
+
+    def test_multiport_unlocks_parallel_children(self):
+        g = gen.star(3, master_w=1, worker_w=[1, 1, 1], link_c=[1, 1, 1])
+        one = solve_master_slave(g, "M").throughput
+        mp3 = solve_master_slave_multiport(g, "M", 3).throughput
+        assert mp3 > one
+
+    def test_multiport_caps_at_link_capacity(self):
+        """Extra cards cannot push a single link beyond s_ij <= 1."""
+        g = gen.star(1, master_w=1, worker_w=[1], link_c=[1])
+        mp = solve_master_slave_multiport(g, "M", 8).throughput
+        assert mp == 2  # master 1 + worker 1 (link saturated)
+
+    def test_ports_validation(self, star4):
+        with pytest.raises(ValueError):
+            solve_master_slave_multiport(star4, "M", 0)
+
+    def test_conservation_holds_in_variants(self, star4):
+        sol = solve_master_slave_send_or_receive(star4, "M")
+        sol.check_master_slave_conservation()
+        sol2 = solve_master_slave_multiport(star4, "M", 2)
+        sol2.check_master_slave_conservation()
+
+
+class TestGreedyColoring:
+    def test_disjoint_pairs_share_slice(self):
+        slices = greedy_interval_coloring(
+            [("a", "b", Fraction(1)), ("c", "d", Fraction(1))]
+        )
+        assert len(slices) == 1
+
+    def test_node_conflicts_serialised(self):
+        # b both receives and sends: under send-or-receive these conflict
+        slices = greedy_interval_coloring(
+            [("a", "b", Fraction(1)), ("b", "c", Fraction(1))]
+        )
+        assert len(slices) == 2
+
+    def test_total_at_most_twice_load(self):
+        edges = [
+            ("a", "b", Fraction(2)), ("b", "c", Fraction(1)),
+            ("c", "a", Fraction(1)), ("a", "c", Fraction(1)),
+        ]
+        slices = greedy_interval_coloring(edges)
+        total = sum((d for _, d in slices), start=Fraction(0))
+        load = {}
+        for u, v, w in edges:
+            load[u] = load.get(u, Fraction(0)) + w
+            load[v] = load.get(v, Fraction(0)) + w
+        assert total <= 2 * max(load.values())
+
+    def test_cover_is_exact(self):
+        edges = [("a", "b", Fraction(3)), ("b", "a", Fraction(2))]
+        slices = greedy_interval_coloring(edges)
+        covered = {}
+        for batch, d in slices:
+            for u, v in batch.items():
+                covered[(u, v)] = covered.get((u, v), Fraction(0)) + d
+        assert covered == {("a", "b"): Fraction(3), ("b", "a"): Fraction(2)}
+
+    def test_schedule_length_measured(self):
+        g = gen.chain(3, node_w=1, link_c=1)
+        sol = solve_master_slave_send_or_receive(g, "N0")
+        T, length = send_or_receive_schedule_length(sol)
+        # the greedy orchestration must fit within the Shannon-type factor
+        assert length <= 2 * T

@@ -1,0 +1,103 @@
+"""End-to-end reconstruction tests (section 4.1's pipeline).
+
+For every platform family: solve SSMS, reconstruct, and machine-check the
+paper's claims about the resulting periodic schedule.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import solve_master_slave
+from repro.core.scatter import solve_scatter
+from repro.platform import generators as gen
+from repro.schedule.periodic import ScheduleError
+from repro.schedule.reconstruction import reconstruct_schedule
+
+
+class TestMasterSlaveReconstruction:
+    def test_all_invariants(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        sched = reconstruct_schedule(sol)
+        # validate() and check_message_counts() ran inside; re-check core:
+        assert sched.period >= 1
+        assert sched.throughput == sol.throughput
+
+    def test_tasks_per_period_matches_throughput(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        sched = reconstruct_schedule(sol)
+        assert Fraction(sched.tasks_per_period()) == (
+            sol.throughput * sched.period
+        )
+
+    def test_counts_are_integers(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        sched = reconstruct_schedule(sol)
+        for count in sched.compute.values():
+            assert isinstance(count, int)
+        for count in sched.messages.values():
+            assert isinstance(count, int) and count > 0
+
+    def test_slice_count_polynomial(self, any_platform):
+        """The compact-description claim: #slices is O(|E| + p), however
+        large T gets."""
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        sched = reconstruct_schedule(sol)
+        assert len(sched.slices) <= platform.num_edges + 2 * platform.num_nodes
+
+    def test_routes_deliver_all_remote_tasks(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave(platform, master)
+        sched = reconstruct_schedule(sol)
+        remote = sum(
+            cnt for node, cnt in sched.compute.items() if node != master
+        )
+        delivered = sum(
+            (rate for _, rate in sched.routes.get("task", [])),
+            start=Fraction(0),
+        )
+        assert delivered == remote
+
+    def test_period_override(self, star4):
+        sol = solve_master_slave(star4, "M")
+        base = reconstruct_schedule(sol)
+        doubled = reconstruct_schedule(sol, period=int(base.period) * 2)
+        assert doubled.period == base.period * 2
+        assert doubled.tasks_per_period() == 2 * base.tasks_per_period()
+
+    def test_bad_period_override(self, star4):
+        sol = solve_master_slave(star4, "M")
+        base = reconstruct_schedule(sol)
+        with pytest.raises(ScheduleError):
+            reconstruct_schedule(sol, period=int(base.period) * 2 + 1)
+
+    def test_figure1_concrete(self, fig1):
+        sol = solve_master_slave(fig1, "P1")
+        sched = reconstruct_schedule(sol)
+        assert sched.period == 2
+        assert sched.tasks_per_period() == 4  # throughput 2 x period 2
+
+
+class TestScatterReconstruction:
+    def test_fig2_scatter_schedule(self, fig2):
+        sol = solve_scatter(fig2, "P0", ["P5", "P6"])
+        sched = reconstruct_schedule(sol)
+        assert sched.throughput == Fraction(1, 2)
+        # each commodity's route decomposition delivers TP*T messages
+        for k in ("P5", "P6"):
+            delivered = sum(
+                (rate for _, rate in sched.routes[k]), start=Fraction(0)
+            )
+            assert delivered == sol.throughput * sched.period
+
+    def test_chain_scatter_schedule(self):
+        g = gen.chain(3, link_c=1)
+        sol = solve_scatter(g, "N0", ["N1", "N2"])
+        sched = reconstruct_schedule(sol)
+        # relayed commodity occupies both hops
+        assert sched.comm_time("N0", "N1") == sched.period  # both commodities
+        assert sched.comm_time("N1", "N2") == sched.period / 2

@@ -1,0 +1,82 @@
+"""Tests for the send-or-receive reconstruction (§5.1.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro._rational import INF
+from repro.core.port_models import solve_master_slave_send_or_receive
+from repro.platform import generators as gen
+from repro.platform.graph import Platform
+from repro.schedule.send_or_receive import (
+    reconstruct_send_or_receive_schedule,
+    schedule_to_trace,
+)
+
+
+def relay_chain():
+    g = Platform("relay-chain")
+    g.add_node("N0", 1)
+    g.add_node("N1", INF)
+    g.add_node("N2", 1)
+    g.add_edge("N0", "N1", 1)
+    g.add_edge("N1", "N2", 1)
+    return g
+
+
+class TestSorReconstruction:
+    def test_star_no_stretch(self, star4):
+        """On a star nobody both sends and receives: stretch = 1."""
+        sol = solve_master_slave_send_or_receive(star4, "M")
+        sched, stretch = reconstruct_send_or_receive_schedule(sol)
+        assert stretch == 1
+        assert sched.throughput == sol.throughput
+
+    def test_relay_chain_schedules_serially(self):
+        """The forwarder's receive and send are serialised in the slices."""
+        g = relay_chain()
+        sol = solve_master_slave_send_or_receive(g, "N0")
+        sched, stretch = reconstruct_send_or_receive_schedule(sol)
+        trace = schedule_to_trace(sched, periods=2)
+        trace.validate("send-or-receive")
+        assert 1 <= stretch <= 2
+
+    def test_throughput_scales_with_stretch(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave_send_or_receive(platform, master)
+        if sol.throughput == 0:
+            return
+        sched, stretch = reconstruct_send_or_receive_schedule(sol)
+        assert sched.throughput == sol.throughput / stretch
+        assert 1 <= stretch <= 2  # Shannon-type guarantee
+
+    def test_traces_pass_sor_validation(self, any_platform):
+        name, platform, master = any_platform
+        sol = solve_master_slave_send_or_receive(platform, master)
+        sched, _ = reconstruct_send_or_receive_schedule(sol)
+        trace = schedule_to_trace(sched, periods=3)
+        trace.validate("send-or-receive")
+        trace.validate("one-port")  # sor traces are a fortiori one-port
+
+    def test_one_port_schedule_can_violate_sor(self):
+        """The contrast: a full-overlap reconstruction uses simultaneous
+        send+receive at relays, which the sor validator rejects."""
+        from repro.core.master_slave import solve_master_slave
+        from repro.schedule.reconstruction import reconstruct_schedule
+        from repro.simulator.trace import ModelViolation
+
+        g = relay_chain()
+        sol = solve_master_slave(g, "N0")
+        sched = reconstruct_schedule(sol)
+        trace = schedule_to_trace(sched, periods=1)
+        trace.validate("one-port")
+        with pytest.raises(ModelViolation):
+            trace.validate("send-or-receive")
+
+    def test_rejects_scatter_solutions(self, fig2):
+        from repro.core.scatter import solve_scatter
+        from repro.schedule.periodic import ScheduleError
+
+        sol = solve_scatter(fig2, "P0", ["P5", "P6"])
+        with pytest.raises(ScheduleError):
+            reconstruct_send_or_receive_schedule(sol)

@@ -1,0 +1,71 @@
+"""Hypothesis round-trip properties for serialisation."""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.platform import generators as gen
+from repro.platform.serialization import (
+    platform_from_json,
+    platform_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
+
+SLOW = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def any_generated_platform(draw):
+    kind = draw(st.sampled_from(["star", "chain", "tree", "grid", "random"]))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    if kind == "star":
+        n = draw(st.integers(min_value=1, max_value=5))
+        return gen.star(n)
+    if kind == "chain":
+        n = draw(st.integers(min_value=2, max_value=6))
+        return gen.chain(n)
+    if kind == "tree":
+        return gen.binary_tree(draw(st.integers(min_value=1, max_value=3)),
+                               seed=seed)
+    if kind == "grid":
+        return gen.grid2d(draw(st.integers(min_value=1, max_value=3)),
+                          draw(st.integers(min_value=1, max_value=3)),
+                          seed=seed)
+    return gen.random_connected(draw(st.integers(min_value=2, max_value=7)),
+                                seed=seed,
+                                forwarder_prob=draw(
+                                    st.sampled_from([0.0, 0.3])))
+
+
+class TestRoundTripProperties:
+    @settings(**SLOW)
+    @given(any_generated_platform())
+    def test_platform_round_trip_exact(self, platform):
+        clone = platform_from_json(platform_to_json(platform))
+        assert clone.nodes() == platform.nodes()
+        for node in platform.nodes():
+            assert clone.w(node) == platform.w(node)
+        for spec in platform.edges():
+            assert clone.c(spec.src, spec.dst) == spec.c
+        assert clone.num_edges == platform.num_edges
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(any_generated_platform())
+    def test_schedule_round_trip_executes_identically(self, platform):
+        from repro.core.master_slave import solve_master_slave
+        from repro.schedule.reconstruction import reconstruct_schedule
+        from repro.simulator.periodic_runner import PeriodicRunner
+
+        master = platform.nodes()[0]
+        sched = reconstruct_schedule(solve_master_slave(platform, master))
+        clone = schedule_from_json(schedule_to_json(sched))
+        a = PeriodicRunner(sched).run(7)
+        b = PeriodicRunner(clone).run(7)
+        assert a.total_completed == b.total_completed
+        assert a.deficit == b.deficit

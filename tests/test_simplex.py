@@ -1,0 +1,203 @@
+"""Exact simplex: unit cases, pathological cases, and a property test
+cross-checking against scipy's HiGHS on random feasible LPs."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import (
+    InfeasibleError,
+    LinearProgram,
+    lp_sum,
+    UnboundedError,
+)
+
+coef = st.integers(min_value=-5, max_value=5)
+
+
+class TestBasic:
+    def test_textbook_max(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0)
+        y = lp.variable("y", lo=0)
+        lp.add_constraint(x + y <= 4)
+        lp.add_constraint(x + 3 * y <= 6)
+        lp.maximize(x + 2 * y)
+        sol = lp.solve()
+        assert sol.objective == 5
+        assert sol[x] == 3 and sol[y] == 1
+
+    def test_min_with_free_variable(self):
+        lp = LinearProgram()
+        x = lp.variable("x")  # free
+        y = lp.variable("y", lo=0)
+        lp.add_constraint(x + y >= 2)
+        lp.minimize(x + 2 * y)
+        sol = lp.solve()
+        assert sol.objective == 2
+
+    def test_upper_bound_only_variable(self):
+        lp = LinearProgram()
+        x = lp.variable("x", hi=3)
+        lp.maximize(x)
+        sol = lp.solve()
+        assert sol.objective == 3
+
+    def test_equality_constraints(self):
+        lp = LinearProgram()
+        a = lp.variable("a", lo=0, hi=1)
+        b = lp.variable("b", lo=0, hi=1)
+        c = lp.variable("c", lo=0)
+        lp.add_constraint(a + b + c == Fraction(3, 2))
+        lp.add_constraint(c <= Fraction(1, 3))
+        lp.maximize(2 * a + b + 3 * c)
+        sol = lp.solve()
+        assert sol.objective == Fraction(19, 6)
+        lp.check(sol)
+
+    def test_exact_fractions_in_data(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0)
+        lp.add_constraint(x * Fraction(1, 3) <= Fraction(1, 7))
+        lp.maximize(x)
+        assert lp.solve().objective == Fraction(3, 7)
+
+    def test_objective_constant_offset(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0, hi=1)
+        lp.maximize(x + 10)
+        assert lp.solve().objective == 11
+
+    def test_degenerate_redundant_equalities(self):
+        """Redundant rows leave an artificial basic at zero — must not crash."""
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0)
+        y = lp.variable("y", lo=0)
+        lp.add_constraint(x + y == 2)
+        lp.add_constraint(2 * x + 2 * y == 4)  # redundant
+        lp.maximize(x)
+        sol = lp.solve()
+        assert sol.objective == 2
+
+    def test_zero_objective(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0, hi=1)
+        lp.add_constraint(x >= Fraction(1, 2))
+        lp.maximize(x * 0)
+        assert lp.solve().objective == 0
+
+
+class TestInfeasibleUnbounded:
+    def test_infeasible_bounds_vs_constraints(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0, hi=1)
+        lp.add_constraint(x >= 2)
+        lp.maximize(x)
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_infeasible_equalities(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0)
+        y = lp.variable("y", lo=0)
+        lp.add_constraint(x + y == 1)
+        lp.add_constraint(x + y == 2)
+        lp.maximize(x)
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_constant_infeasible_row(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0)
+        lp.add_constraint((x - x) >= 1)  # 0 >= 1
+        lp.maximize(x)
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0)
+        lp.maximize(x)
+        with pytest.raises(UnboundedError):
+            lp.solve()
+
+    def test_unbounded_direction_in_plane(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0)
+        y = lp.variable("y", lo=0)
+        lp.add_constraint(x - y <= 1)
+        lp.maximize(x)
+        with pytest.raises(UnboundedError):
+            lp.solve()
+
+    def test_scipy_infeasible_matches(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lo=0, hi=1)
+        lp.add_constraint(x >= 2)
+        lp.maximize(x)
+        with pytest.raises(InfeasibleError):
+            lp.solve(backend="scipy")
+
+
+@st.composite
+def random_feasible_lp(draw):
+    """A bounded LP feasible at the origin: Ax <= b with b >= 0, x in
+    [0, 10]^n, random objective."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=1, max_value=5))
+    rows = [
+        [draw(coef) for _ in range(n)]
+        for _ in range(m)
+    ]
+    rhs = [draw(st.integers(min_value=0, max_value=20)) for _ in range(m)]
+    obj = [draw(coef) for _ in range(n)]
+    return n, rows, rhs, obj
+
+
+class TestAgainstScipy:
+    @settings(max_examples=40, deadline=None)
+    @given(random_feasible_lp())
+    def test_exact_matches_highs(self, data):
+        n, rows, rhs, obj = data
+
+        def build():
+            lp = LinearProgram()
+            xs = [lp.variable(f"x{i}", lo=0, hi=10) for i in range(n)]
+            for row, b in zip(rows, rhs):
+                lp.add_constraint(
+                    lp_sum(c * x for c, x in zip(row, xs)) <= b
+                )
+            lp.maximize(lp_sum(c * x for c, x in zip(obj, xs)))
+            return lp
+
+        exact = build().solve(backend="exact")
+        approx = build().solve(backend="scipy")
+        assert abs(float(exact.objective) - float(approx.objective)) < 1e-6
+        # the exact solution must satisfy its own model exactly
+        build().check(exact)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_feasible_lp())
+    def test_solution_is_feasible_and_extreme(self, data):
+        n, rows, rhs, obj = data
+        lp = LinearProgram()
+        xs = [lp.variable(f"x{i}", lo=0, hi=10) for i in range(n)]
+        for row, b in zip(rows, rhs):
+            lp.add_constraint(lp_sum(c * x for c, x in zip(row, xs)) <= b)
+        lp.maximize(lp_sum(c * x for c, x in zip(obj, xs)))
+        sol = lp.solve()
+        lp.check(sol)
+        # optimality spot-check: no +/- unit move improves the objective
+        for i, x in enumerate(xs):
+            for delta in (Fraction(1, 7), Fraction(-1, 7)):
+                trial = dict(sol.values)
+                trial[x] = trial[x] + delta
+                if trial[x] < 0 or trial[x] > 10:
+                    continue
+                ok = all(
+                    cons.violation(trial) == 0 for cons in lp.constraints
+                )
+                if ok:
+                    trial_obj = lp.objective.value(trial)
+                    assert trial_obj <= sol.objective

@@ -1,0 +1,115 @@
+"""Start-up cost tests (section 5.2): grouping, phases, asymptotics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators as gen
+from repro.schedule.reconstruction import reconstruct_schedule
+from repro.schedule.startup import (
+    asymptotic_ratio_bound,
+    default_group_count,
+    grouped_schedule_makespan,
+)
+
+
+@pytest.fixture(scope="module")
+def star_schedule():
+    g = gen.star(3, master_w=2, worker_w=[1, 2, 4], link_c=[1, 2, 3])
+    sol = solve_master_slave(g, "M")
+    return reconstruct_schedule(sol)
+
+
+def unit_startups(schedule, value=1):
+    return {e: Fraction(value) for e in schedule.messages}
+
+
+class TestGroupCount:
+    def test_paper_formula(self):
+        # m = ceil(sqrt(n / ntask))
+        assert default_group_count(100, Fraction(1)) == 10
+        assert default_group_count(1000, Fraction(4)) >= 15
+
+    def test_minimum_one(self):
+        assert default_group_count(0, Fraction(1)) == 1
+        assert default_group_count(1, Fraction(100)) == 1
+
+
+class TestGroupedMakespan:
+    def test_structure(self, star_schedule):
+        analysis = grouped_schedule_makespan(
+            star_schedule, unit_startups(star_schedule), 500
+        )
+        assert analysis.total_time >= analysis.lower_bound
+        assert analysis.tasks_per_group == (
+            analysis.m * star_schedule.period * star_schedule.throughput
+        )
+        assert analysis.group_length > analysis.m * star_schedule.period
+
+    def test_ratio_decreases_with_n(self, star_schedule):
+        startups = unit_startups(star_schedule)
+        ratios = [
+            grouped_schedule_makespan(star_schedule, startups, n).ratio
+            for n in (100, 1000, 10000, 100000)
+        ]
+        assert all(r >= 1 for r in ratios)
+        assert ratios == sorted(ratios, reverse=True)
+        assert float(ratios[-1]) < 1.05
+
+    def test_sqrt_convergence_bound(self, star_schedule):
+        """ratio - 1 <= C / sqrt(n) with one platform constant C."""
+        import math
+
+        startups = unit_startups(star_schedule)
+        cs = []
+        for n in (400, 3600, 40000, 360000):
+            ratio = grouped_schedule_makespan(
+                star_schedule, startups, n
+            ).ratio
+            cs.append((float(ratio) - 1) * math.sqrt(n))
+        # the implied constant stays bounded (within 3x of its smallest)
+        assert max(cs) <= 3 * max(min(cs), 1e-9) + 50
+
+    def test_closed_form_bound_dominates(self, star_schedule):
+        """The paper's closed-form bound must upper-bound the ratio
+        whenever the default m is used."""
+        startups = unit_startups(star_schedule)
+        for n in (1000, 10000, 100000):
+            measured = grouped_schedule_makespan(
+                star_schedule, startups, n
+            ).ratio
+            bound = asymptotic_ratio_bound(star_schedule, startups, n)
+            assert float(measured) <= float(bound) + 0.02
+
+    def test_zero_startups_recover_plain_schedule(self, star_schedule):
+        analysis = grouped_schedule_makespan(
+            star_schedule, {}, 10000, m=1
+        )
+        # still pays init/cleanup phases, but no per-group overhead
+        assert analysis.group_length == star_schedule.period
+
+    def test_explicit_m(self, star_schedule):
+        a1 = grouped_schedule_makespan(
+            star_schedule, unit_startups(star_schedule), 10000, m=1
+        )
+        a_default = grouped_schedule_makespan(
+            star_schedule, unit_startups(star_schedule), 10000
+        )
+        # the paper's sqrt choice beats no grouping
+        assert a_default.total_time < a1.total_time
+
+    def test_bigger_startups_bigger_makespan(self, star_schedule):
+        small = grouped_schedule_makespan(
+            star_schedule, unit_startups(star_schedule, 1), 5000
+        )
+        large = grouped_schedule_makespan(
+            star_schedule, unit_startups(star_schedule, 50), 5000
+        )
+        assert large.total_time > small.total_time
+
+    def test_validation(self, star_schedule):
+        with pytest.raises(ValueError):
+            grouped_schedule_makespan(star_schedule, {}, -1)
+        with pytest.raises(ValueError):
+            grouped_schedule_makespan(star_schedule, {}, 10, m=0)

@@ -1,0 +1,67 @@
+"""Closed-form bound tests: every bound dominates the LP optimum."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.master_slave import ntask
+from repro.core.throughput_bounds import (
+    best_cut_bound,
+    bound_envelope,
+    cpu_capacity_bound,
+    cut_bound,
+    master_port_bound,
+)
+from repro.platform import generators as gen
+from repro.platform.graph import Platform, PlatformError
+
+
+class TestBoundsDominate:
+    def test_all_bounds_dominate_lp(self, any_platform):
+        name, platform, master = any_platform
+        lp = ntask(platform, master)
+        env = bound_envelope(platform, master)
+        for label, bound in env.items():
+            assert lp <= bound, f"{label} on {name}"
+
+    def test_cpu_bound_tight_when_comm_free(self):
+        """With ultra-cheap links the CPU capacity is the binding bound."""
+        g = gen.star(3, master_w=2, worker_w=[1, 2, 4],
+                     link_c=[Fraction(1, 100)] * 3)
+        assert ntask(g, "M") == cpu_capacity_bound(g)
+
+    def test_master_cut_tight_on_stars(self, star4):
+        """On the star the {master} cut is exactly the LP optimum."""
+        assert ntask(star4, "M") == cut_bound(star4, {"M"}, "M")
+
+    def test_master_port_bound_value(self, star4):
+        # master rate 1/2 + cheapest link c=1 -> 1 export/unit
+        assert master_port_bound(star4, "M") == Fraction(3, 2)
+
+    def test_cut_requires_master(self, star4):
+        with pytest.raises(PlatformError):
+            cut_bound(star4, {"W1"}, "M")
+
+    def test_best_cut_refuses_large_platforms(self):
+        g = gen.random_connected(14, seed=1)
+        with pytest.raises(PlatformError):
+            best_cut_bound(g, "R0", max_nodes=12)
+
+    def test_best_cut_at_most_single_cut(self, star4):
+        assert best_cut_bound(star4, "M") <= cut_bound(star4, {"M"}, "M")
+
+    def test_isolated_master(self):
+        g = Platform("solo")
+        g.add_node("M", 4)
+        assert master_port_bound(g, "M") == Fraction(1, 4)
+        assert cut_bound(g, {"M"}, "M") == Fraction(1, 4)
+
+    def test_forwarder_master_bound(self):
+        from repro._rational import INF
+
+        g = Platform("fw")
+        g.add_node("M", INF)
+        g.add_node("W", 1)
+        g.add_edge("M", "W", 2)
+        assert master_port_bound(g, "M") == Fraction(1, 2)
+        assert ntask(g, "M") == Fraction(1, 2)  # the bound is tight here
