@@ -1,0 +1,218 @@
+"""S1 — the scheduling service: cached vs cold latency, sustained req/s.
+
+Measures, on the paper's Figure 1 platform and a Zipf-distributed mix of
+requests across platform families and problem kinds:
+
+* cold solve latency (p50/p99) — full LP build + solve per request;
+* cache-hit latency (p50/p99) — fingerprint + LRU lookup;
+* warm re-solve latency — weight-only mutation through the incremental
+  path, asserted exactly equal to a cold solve of the mutated platform;
+* sustained mixed-request throughput and cache hit rate under a Zipf
+  request distribution (a few hot platforms, a long tail).
+
+Emits ``BENCH_service.json`` at the repo root so later PRs have a
+trajectory to beat.  Run standalone::
+
+    python benchmarks/bench_s1_service.py [--quick] [--out FILE]
+
+or through pytest (``pytest benchmarks/bench_s1_service.py -s``).
+
+Asserted shape: cache hits are >= 10x faster than cold solves (they are
+typically ~100x), the single-process broker sustains >= 100 mixed
+requests/sec with >= 50% hit rate on the Zipf mix, and a warm re-solve
+after a weight-only mutation reproduces the cold throughput exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro import Broker, SolveRequest, generators
+from repro.core.master_slave import solve_master_slave
+from repro.service import EndpointMetrics, IncrementalSolver
+
+
+def _percentile(samples, p):
+    """Nearest-rank percentile via the service's own metrics machinery, so
+    BENCH_service.json uses the same statistic the /metrics endpoint reports."""
+    em = EndpointMetrics("bench", reservoir_size=max(len(samples), 1))
+    for s in samples:
+        em.observe(s)
+    return em.percentile(p)
+
+
+def _time(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+def bench_cold_vs_hit(quick: bool) -> dict:
+    """Figure-1 master-slave: cold solve vs cache hit, p50/p99."""
+    fig1 = generators.paper_figure1()
+    req = SolveRequest(problem="master-slave", platform=fig1, master="P1")
+    rounds_cold = 10 if quick else 30
+    rounds_hit = 50 if quick else 300
+
+    cold = []
+    for _ in range(rounds_cold):
+        with Broker(executor="sync", incremental=False) as broker:
+            cold.append(_time(lambda: broker.solve(req)))
+
+    hits = []
+    with Broker(executor="sync") as broker:
+        broker.solve(req)  # prime
+        for _ in range(rounds_hit):
+            hits.append(_time(lambda: broker.solve(req)))
+        assert broker.cache.stats.hits == rounds_hit
+
+    cold_p50, hit_p50 = _percentile(cold, 50), _percentile(hits, 50)
+    speedup = cold_p50 / hit_p50
+    assert speedup >= 10, (
+        f"cache hit only {speedup:.1f}x faster than cold (need >= 10x)"
+    )
+    return {
+        "cold_p50_ms": cold_p50 * 1e3,
+        "cold_p99_ms": _percentile(cold, 99) * 1e3,
+        "hit_p50_ms": hit_p50 * 1e3,
+        "hit_p99_ms": _percentile(hits, 99) * 1e3,
+        "hit_speedup_p50": speedup,
+    }
+
+
+def bench_warm_resolve(quick: bool) -> dict:
+    """Weight-only mutations: warm re-solve latency + exactness."""
+    fig1 = generators.paper_figure1()
+    inc = IncrementalSolver()
+    inc.solve_master_slave(fig1, "P1")
+    rounds = 10 if quick else 40
+    latencies = []
+    rng = random.Random(20040427)
+    for _ in range(rounds):
+        factor = Fraction(rng.randint(1, 16), rng.randint(1, 16))
+        mutated = fig1.scale(compute=factor, comm=1 / factor)
+        start = time.perf_counter()
+        warm = inc.solve_master_slave(mutated, "P1")
+        latencies.append(time.perf_counter() - start)
+        cold = solve_master_slave(mutated, "P1")
+        assert warm.throughput == cold.throughput, (
+            f"warm {warm.throughput} != cold {cold.throughput}"
+        )
+    assert inc.stats.warm_solves == rounds
+    return {
+        "warm_resolve_p50_ms": _percentile(latencies, 50) * 1e3,
+        "warm_resolves_checked": rounds,
+    }
+
+
+def _zipf_request_pool() -> list:
+    """Distinct request specs across platform families and problem kinds."""
+    fig1 = generators.paper_figure1()
+    fig2 = generators.paper_figure2_multicast()
+    pool = [
+        SolveRequest(problem="master-slave", platform=fig1, master="P1"),
+        SolveRequest(problem="scatter", platform=fig2, source="P0",
+                     targets=("P5", "P6")),
+        SolveRequest(problem="broadcast", platform=generators.chain(4),
+                     source="N0"),
+        SolveRequest(problem="multicast", platform=fig2, source="P0",
+                     targets=("P5", "P6")),
+    ]
+    for n in range(2, 6):
+        pool.append(SolveRequest(
+            problem="master-slave",
+            platform=generators.star(n, worker_w=list(range(1, n + 1)),
+                                     link_c=[1] * n),
+            master="M"))
+    for depth in (2, 3):
+        pool.append(SolveRequest(
+            problem="master-slave",
+            platform=generators.binary_tree(depth, seed=depth),
+            master="T0"))
+    for length in (3, 5):
+        pool.append(SolveRequest(
+            problem="broadcast", platform=generators.chain(length),
+            source="N0"))
+    return pool
+
+
+def bench_zipf_mix(quick: bool) -> dict:
+    """Sustained requests/sec + hit rate on a Zipf-distributed stream.
+
+    Requests are issued one by one (the serving path, not the batch path)
+    so every request pays a fingerprint + cache lookup, which is what the
+    reported hit rate measures.
+    """
+    pool = _zipf_request_pool()
+    n_requests = 200 if quick else 800
+    rng = random.Random(1)
+    # Zipf-ish: rank r drawn with probability ~ 1/r^1.1
+    weights = [1.0 / (r + 1) ** 1.1 for r in range(len(pool))]
+    sequence = rng.choices(pool, weights=weights, k=n_requests)
+
+    with Broker(executor="sync") as broker:
+        start = time.perf_counter()
+        results = [broker.solve(req) for req in sequence]
+        elapsed = time.perf_counter() - start
+        hit_rate = broker.cache.stats.hit_rate
+        distinct = len({r.fingerprint for r in results})
+
+    rps = n_requests / elapsed
+    assert rps >= 100, f"only {rps:.0f} requests/sec (need >= 100)"
+    assert hit_rate >= 0.5, f"hit rate {hit_rate:.2f} (need >= 0.5)"
+    return {
+        "requests": n_requests,
+        "distinct_requests": distinct,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": rps,
+        "cache_hit_rate": hit_rate,
+    }
+
+
+# ----------------------------------------------------------------------
+def run(quick: bool = False) -> dict:
+    report = {
+        "benchmark": "S1 service",
+        "quick": quick,
+        "latency": bench_cold_vs_hit(quick),
+        "warm_resolve": bench_warm_resolve(quick),
+        "zipf_mix": bench_zipf_mix(quick),
+    }
+    return report
+
+
+def test_s1_service(capsys):
+    """Pytest entry point (quick mode; run the script for full numbers)."""
+    report = run(quick=True)
+    with capsys.disabled():
+        print("\n==== S1: scheduling service ====")
+        print(json.dumps(report, indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller rounds (CI smoke run)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_service.json)")
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,6 +78,25 @@ from .platform.topology import (
     env_tree_view,
     view_quality,
 )
+# Service-layer exports are lazy (PEP 562): `import repro` must not pay
+# for http.server / concurrent.futures unless the service is actually used.
+_SERVICE_EXPORTS = frozenset({
+    "Broker",
+    "BrokerResult",
+    "IncrementalSolver",
+    "MetricsRegistry",
+    "SolutionCache",
+    "SolveRequest",
+    "request_fingerprint",
+})
+
+
+def __getattr__(name):
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -141,4 +160,5 @@ __all__ = [
     "view_quality",
     "ssms_certificate",
     "build_batch_schedule",
+    *sorted(_SERVICE_EXPORTS),
 ]

@@ -8,7 +8,9 @@ Commands
 ``broadcast``  broadcast bound + achieving tree packing;
 ``multicast``  the sum/packing/max bracket for a target set;
 ``figures``    regenerate the paper's Figures 1-3 artefacts;
-``export``     write a generator-built platform as JSON for editing.
+``export``     write a generator-built platform as JSON for editing;
+``serve``      run the scheduling service (HTTP JSON API, or --stdio);
+``submit``     send one solve request to a server (or solve locally).
 
 Examples
 --------
@@ -18,6 +20,9 @@ Examples
     python -m repro figures
     python -m repro export --generator grid2d --args 3 3 -o grid.json
     python -m repro solve --platform grid.json --master G0_0
+    python -m repro serve --port 8585
+    python -m repro submit --url http://127.0.0.1:8585 \\
+        --problem master-slave --generator star --args 4 --master M
 """
 
 from __future__ import annotations
@@ -33,6 +38,23 @@ from .platform.graph import Platform
 from .platform.serialization import platform_from_json, platform_to_json
 
 
+def _parse_generator_arg(text: str):
+    """``int`` -> ``Fraction`` -> ``str`` fallback.
+
+    ``str.isdigit`` silently mis-parsed negative integers and non-integer
+    rationals ("-1", "1.5", "3/2" all stayed strings); exact rationals are
+    first-class platform weights, so parse them properly.
+    """
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError):
+        return text
+
+
 def _load_platform(args) -> Platform:
     if args.platform:
         with open(args.platform, "r", encoding="utf-8") as handle:
@@ -41,7 +63,7 @@ def _load_platform(args) -> Platform:
         factory = getattr(generators, args.generator, None)
         if factory is None or not callable(factory):
             raise SystemExit(f"unknown generator {args.generator!r}")
-        gen_args = [int(a) if a.isdigit() else a for a in args.args]
+        gen_args = [_parse_generator_arg(a) for a in args.args]
         return factory(*gen_args, **({"seed": args.seed}
                                      if args.seed is not None else {}))
     raise SystemExit("provide --platform FILE or --generator NAME")
@@ -157,6 +179,103 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _build_broker(args):
+    from .service.broker import Broker
+    from .service.cache import SolutionCache
+
+    cache = SolutionCache(
+        max_size=args.cache_size,
+        ttl=args.ttl if args.ttl and args.ttl > 0 else None,
+    )
+    return Broker(cache=cache, workers=args.workers, executor=args.executor)
+
+
+def cmd_serve(args) -> int:
+    from .service.api import ServiceServer, serve_stdio
+
+    broker = _build_broker(args)
+    if args.stdio:
+        try:
+            return serve_stdio(broker, sys.stdin, sys.stdout)
+        finally:
+            broker.close()
+    server = ServiceServer((args.host, args.port), broker=broker,
+                           verbose=args.verbose)
+    print(f"repro service listening on http://{args.host}:{server.port} "
+          f"(cache {args.cache_size} entries, {args.workers} workers)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        broker.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from .service.api import handle_request, request_to_dict
+    from .service.broker import Broker, SolveRequest
+
+    if args.request:
+        with open(args.request, "r", encoding="utf-8") as handle:
+            envelope = _json.load(handle)
+        if "op" not in envelope:
+            envelope = {"op": "solve", "request": envelope}
+    else:
+        if not args.problem:
+            raise SystemExit("provide --request FILE or --problem NAME")
+        platform = _load_platform(args)
+        from .service.broker import BrokerError
+
+        try:
+            request = SolveRequest(
+                problem=args.problem,
+                platform=platform,
+                source=args.source,
+                master=args.master,  # SolveRequest rejects a conflicting pair
+                targets=tuple(args.targets or ()),
+                options={"backend": args.backend},
+                include_schedule=args.include_schedule,
+            )
+        except BrokerError as exc:
+            raise SystemExit(str(exc))
+        envelope = {"op": "solve", "request": request_to_dict(request)}
+
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            args.url.rstrip("/") + "/api",
+            data=_json.dumps(envelope).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=args.timeout) as resp:
+                body = resp.read()
+        except urllib.error.HTTPError as exc:  # 422 still carries JSON
+            body = exc.read()
+        except urllib.error.URLError as exc:
+            raise SystemExit(f"cannot reach {args.url}: {exc.reason}")
+        try:
+            response = _json.loads(body)
+        except _json.JSONDecodeError:
+            raise SystemExit(
+                f"non-JSON response from {args.url} "
+                f"(is this a repro server?): {body[:200]!r}"
+            )
+    else:
+        with Broker(executor="sync") as broker:
+            response = handle_request(broker, envelope)
+
+    print(_json.dumps(response, indent=2))
+    return 0 if response.get("ok") else 1
+
+
 def _add_platform_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--platform", help="platform JSON file")
     parser.add_argument("--generator",
@@ -204,6 +323,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_options(p)
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("serve", help="run the scheduling service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8585,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--stdio", action="store_true",
+                   help="JSON-lines over stdin/stdout instead of HTTP")
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--ttl", type=float, default=0,
+                   help="cache TTL in seconds (0 = no expiry)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--executor", choices=["thread", "process", "sync"],
+                   default="thread")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one solve request")
+    _add_platform_options(p)
+    p.add_argument("--url", help="server base URL (omit to solve locally)")
+    p.add_argument("--request", help="JSON request/envelope file")
+    p.add_argument("--problem",
+                   help="problem kind (master-slave, scatter, broadcast, ...)")
+    p.add_argument("--source")
+    p.add_argument("--master")
+    p.add_argument("--targets", nargs="*", default=[])
+    p.add_argument("--backend", default="exact")
+    p.add_argument("--include-schedule", action="store_true")
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.set_defaults(func=cmd_submit)
 
     return parser
 

@@ -9,9 +9,11 @@ from .master_slave import (
     solve_master_slave,
     star_throughput,
 )
+from .master_slave import package_ssms_solution
 from .scatter import (
     build_ssps_lp,
     solve_all_to_all,
+    solve_all_to_all_solution,
     solve_gather,
     solve_scatter,
 )
@@ -59,7 +61,30 @@ from .steiner import (
     shortest_path_tree,
 )
 
+# ----------------------------------------------------------------------
+# Solver entry points by problem kind — the routing table consumed by the
+# request broker (repro.service.broker).  Keys are the wire-level problem
+# names of the JSON API; values are the canonical one-shot solver for that
+# problem.  A solver with the common ``(platform, source, backend=...)``
+# shape is servable by registering it here alone; solvers taking targets,
+# task graphs or extra options also need an argument adapter in
+# ``repro.service.broker.execute_request``.
+# ----------------------------------------------------------------------
+SOLVER_ENTRY_POINTS = {
+    "master-slave": solve_master_slave,
+    "scatter": solve_scatter,
+    "gather": solve_gather,
+    "all-to-all": solve_all_to_all_solution,
+    "broadcast": solve_broadcast,
+    "reduce": solve_reduce,
+    "multicast": solve_multicast,
+    "dag": solve_dag_collection,
+    "multiport": solve_master_slave_multiport,
+    "send-or-receive": solve_master_slave_send_or_receive,
+}
+
 __all__ = [
+    "SOLVER_ENTRY_POINTS",
     "SteadyStateError",
     "SteadyStateSolution",
     "bandwidth_centric_rates",
@@ -68,7 +93,9 @@ __all__ = [
     "solve_master_slave",
     "star_throughput",
     "build_ssps_lp",
+    "package_ssms_solution",
     "solve_all_to_all",
+    "solve_all_to_all_solution",
     "solve_gather",
     "solve_scatter",
     "BroadcastSolution",

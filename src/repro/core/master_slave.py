@@ -93,17 +93,20 @@ def build_ssms_lp(
     return lp, handles
 
 
-def solve_master_slave(
-    platform: Platform, master: NodeId, backend: str = "exact"
+def package_ssms_solution(
+    platform: Platform,
+    master: NodeId,
+    sol: LPSolution,
+    handles: Dict[str, object],
+    backend: str = "exact",
 ) -> SteadyStateSolution:
-    """Solve SSMS(G) and return verified steady-state activities.
+    """Turn an SSMS LP solution back into verified steady-state activities.
 
-    The returned solution satisfies every invariant of
-    :class:`~repro.core.activities.SteadyStateSolution` exactly (with the
-    default exact backend).
+    Shared by :func:`solve_master_slave` and the warm re-solve path of
+    :mod:`repro.service.incremental` (which re-solves a coefficient-patched
+    copy of the same LP, so the handle dict is reused across platforms with
+    identical topology).
     """
-    lp, handles = build_ssms_lp(platform, master)
-    sol = lp.solve(backend=backend)
     alpha: Dict[NodeId, Fraction] = {}
     s: Dict[Tuple[NodeId, NodeId], Fraction] = {}
     for key, var in handles.items():
@@ -123,6 +126,20 @@ def solve_master_slave(
     if backend == "exact":
         out.verify()
     return out
+
+
+def solve_master_slave(
+    platform: Platform, master: NodeId, backend: str = "exact"
+) -> SteadyStateSolution:
+    """Solve SSMS(G) and return verified steady-state activities.
+
+    The returned solution satisfies every invariant of
+    :class:`~repro.core.activities.SteadyStateSolution` exactly (with the
+    default exact backend).
+    """
+    lp, handles = build_ssms_lp(platform, master)
+    sol = lp.solve(backend=backend)
+    return package_ssms_solution(platform, master, sol, handles, backend=backend)
 
 
 def ntask(platform: Platform, master: NodeId, backend: str = "exact") -> Fraction:

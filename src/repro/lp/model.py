@@ -9,6 +9,20 @@ Only what the library needs is implemented: real variables with bounds,
 linear expressions with exact :class:`~fractions.Fraction` coefficients,
 ``<= / >= / ==`` constraints and a linear objective.
 
+Coefficient rebuild (warm re-solve hook)
+----------------------------------------
+An assembled model can have its numeric coefficients *rewritten in place*
+without touching its structure: :meth:`LinearProgram.constraint_by_name`
+finds a named constraint, :meth:`LinearProgram.set_constraint_coefficient`
+and :meth:`LinearProgram.set_objective_coefficient` replace individual
+``coef * var`` terms (a zero coefficient removes the term).  This is the
+hook :mod:`repro.service.incremental` uses for warm re-solves: when only
+platform weights change, the steady-state LPs keep their exact variable /
+constraint structure and only the ``1/w`` and ``1/c`` coefficients move,
+so the model is patched and re-solved without re-assembly.  Any change to
+the platform *topology* changes the structure itself and requires a fresh
+build.
+
 Example
 -------
 >>> lp = LinearProgram()
@@ -249,6 +263,9 @@ class LPSolution:
 class LinearProgram:
     """Container for variables, constraints and one linear objective."""
 
+    #: sentinel marking a constraint name used more than once
+    _AMBIGUOUS = object()
+
     def __init__(self, name: str = "lp") -> None:
         self.name = name
         self.variables: List[Variable] = []
@@ -256,6 +273,7 @@ class LinearProgram:
         self.objective: Optional[LinExpr] = None
         self.sense: str = "max"
         self._names: Dict[str, Variable] = {}
+        self._constraint_names: Dict[str, object] = {}
 
     def variable(
         self,
@@ -289,8 +307,50 @@ class LinearProgram:
             )
         if name:
             constraint.name = name
+        if constraint.name:
+            if constraint.name in self._constraint_names:
+                self._constraint_names[constraint.name] = self._AMBIGUOUS
+            else:
+                self._constraint_names[constraint.name] = constraint
         self.constraints.append(constraint)
         return constraint
+
+    # ------------------------------------------------------------------
+    # coefficient rebuild (warm re-solve hook — see the module docstring)
+    # ------------------------------------------------------------------
+    def constraint_by_name(self, name: str) -> Constraint:
+        """Look up a named constraint (errors on unknown/ambiguous names)."""
+        found = self._constraint_names.get(name)
+        if found is None:
+            raise LPError(f"unknown constraint name {name!r}")
+        if found is self._AMBIGUOUS:
+            raise LPError(f"constraint name {name!r} is not unique")
+        return found  # type: ignore[return-value]
+
+    def set_constraint_coefficient(
+        self, name: str, var: Variable, coef: RationalLike
+    ) -> None:
+        """Replace the coefficient of ``var`` in the named constraint.
+
+        A zero coefficient removes the term.  Only coefficients move; the
+        constraint's sense and membership are untouched.
+        """
+        cons = self.constraint_by_name(name)
+        cf = as_fraction(coef)
+        if cf == 0:
+            cons.expr.terms.pop(var, None)
+        else:
+            cons.expr.terms[var] = cf
+
+    def set_objective_coefficient(self, var: Variable, coef: RationalLike) -> None:
+        """Replace the coefficient of ``var`` in the objective."""
+        if self.objective is None:
+            raise LPError("no objective set")
+        cf = as_fraction(coef)
+        if cf == 0:
+            self.objective.terms.pop(var, None)
+        else:
+            self.objective.terms[var] = cf
 
     def maximize(self, expr) -> None:
         self.objective = LinExpr._coerce(expr)

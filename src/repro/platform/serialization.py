@@ -24,6 +24,11 @@ def _encode_weight(value) -> str:
     )
 
 
+#: public alias — the one wire encoding of exact rationals, shared by the
+#: service layer (fingerprints, API payloads) so the format cannot drift
+encode_weight = _encode_weight
+
+
 def _decode_weight(text: str):
     if text == "inf":
         return INF
@@ -141,3 +146,68 @@ def schedule_to_json(schedule, indent: int = 2) -> str:
 
 def schedule_from_json(text: str):
     return schedule_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# steady-state solutions (the service API's response payload)
+# ----------------------------------------------------------------------
+def solution_to_dict(solution) -> Dict[str, Any]:
+    """Serialise a :class:`~repro.core.activities.SteadyStateSolution`.
+
+    The wire format follows the platform conventions above: exact
+    rationals as ``"p/q"`` strings, activities as explicit records rather
+    than tuple keys so the JSON stays self-describing.
+    """
+    return {
+        "problem": solution.problem,
+        "platform": platform_to_dict(solution.platform),
+        "throughput": _encode_weight(solution.throughput),
+        "alpha": {
+            node: _encode_weight(a) for node, a in solution.alpha.items()
+        },
+        "s": [
+            {"src": i, "dst": j, "value": _encode_weight(v)}
+            for (i, j), v in solution.s.items()
+        ],
+        "send": [
+            {"src": i, "dst": j, "commodity": k, "rate": _encode_weight(r)}
+            for (i, j, k), r in solution.send.items()
+        ],
+        "source": solution.source,
+        "targets": list(solution.targets),
+        "edge_occupation_mode": solution.edge_occupation_mode,
+    }
+
+
+def solution_from_dict(data: Dict[str, Any]):
+    """Rebuild a steady-state solution from its wire form."""
+    from ..core.activities import SteadyStateSolution
+
+    return SteadyStateSolution(
+        platform=platform_from_dict(data["platform"]),
+        problem=data["problem"],
+        throughput=_decode_weight(data["throughput"]),
+        alpha={
+            n: _decode_weight(a) for n, a in data.get("alpha", {}).items()
+        },
+        s={
+            (rec["src"], rec["dst"]): _decode_weight(rec["value"])
+            for rec in data.get("s", [])
+        },
+        send={
+            (rec["src"], rec["dst"], rec["commodity"]):
+                _decode_weight(rec["rate"])
+            for rec in data.get("send", [])
+        },
+        source=data.get("source"),
+        targets=tuple(data.get("targets", ())),
+        edge_occupation_mode=data.get("edge_occupation_mode", "sum"),
+    )
+
+
+def solution_to_json(solution, indent: int = 2) -> str:
+    return json.dumps(solution_to_dict(solution), indent=indent)
+
+
+def solution_from_json(text: str):
+    return solution_from_dict(json.loads(text))

@@ -1,0 +1,74 @@
+"""repro.service — a cached, batched steady-state scheduling service.
+
+The paper's central argument is that steady-state throughput is *cheap to
+compute* (one LP per platform) and therefore practical to recompute as
+platforms change.  This package turns the one-shot solver library into a
+long-running scheduling service that amortises solves across requests:
+
+* :mod:`~repro.service.fingerprint` — canonical, order-independent hashing
+  of a platform + problem spec, so structurally identical requests share a
+  cache key;
+* :mod:`~repro.service.cache` — an LRU + TTL solution cache with hit /
+  miss / eviction counters and explicit invalidation on platform mutation;
+* :mod:`~repro.service.broker` — a request broker that coalesces duplicate
+  in-flight requests, batches distinct ones and fans them out to a worker
+  pool over the existing LP backends;
+* :mod:`~repro.service.incremental` — warm re-solve when only edge/node
+  weights change (the LP structure is reused, only coefficients are
+  rebuilt; topology changes fall back to a full rebuild);
+* :mod:`~repro.service.api` — a JSON request/response layer and the
+  ``python -m repro serve`` / ``python -m repro submit`` CLI entry points;
+* :mod:`~repro.service.metrics` — per-endpoint latency / throughput
+  counters exposed through the API.
+
+Quickstart
+----------
+>>> from repro import generators
+>>> from repro.service import Broker, SolveRequest
+>>> broker = Broker()
+>>> req = SolveRequest(problem="master-slave",
+...                    platform=generators.paper_figure1(), master="P1")
+>>> cold = broker.solve(req)
+>>> warm = broker.solve(req)          # served from cache
+>>> assert warm.cached and warm.solution.throughput == cold.solution.throughput
+"""
+
+from .fingerprint import (
+    platform_signature,
+    request_fingerprint,
+    spec_signature,
+    topology_signature,
+)
+from .cache import CacheEntry, CacheStats, SolutionCache
+from .metrics import EndpointMetrics, MetricsRegistry
+from .broker import Broker, BrokerResult, SolveRequest
+from .incremental import IncrementalSolver, WarmSolveStats
+from .api import (
+    ServiceServer,
+    handle_request,
+    request_from_dict,
+    request_to_dict,
+    response_to_dict,
+)
+
+__all__ = [
+    "platform_signature",
+    "topology_signature",
+    "spec_signature",
+    "request_fingerprint",
+    "CacheEntry",
+    "CacheStats",
+    "SolutionCache",
+    "EndpointMetrics",
+    "MetricsRegistry",
+    "Broker",
+    "BrokerResult",
+    "SolveRequest",
+    "IncrementalSolver",
+    "WarmSolveStats",
+    "ServiceServer",
+    "handle_request",
+    "request_from_dict",
+    "request_to_dict",
+    "response_to_dict",
+]

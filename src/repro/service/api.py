@@ -1,0 +1,335 @@
+"""JSON request/response API for the scheduling service.
+
+The wire format reuses the conventions of
+:mod:`repro.platform.serialization` (exact rationals as ``"p/q"``
+strings, ``"inf"`` for forwarders).  One envelope per message::
+
+    {"op": "solve",  "request":  {<solve request>}}
+    {"op": "batch",  "requests": [<solve request>, ...]}
+    {"op": "invalidate", "platform": {<platform>}}
+    {"op": "metrics"} | {"op": "cache"} | {"op": "ping"}
+
+A solve request::
+
+    {"problem": "master-slave",          # key of SOLVER_ENTRY_POINTS
+     "platform": {...},                  # platform_to_dict format
+     "source": "P1",                     # or "master" — synonyms
+     "targets": ["P5", "P6"],            # scatter/gather/multicast/a2a
+     "dag": {"types": {...}, "files": [...]},   # dag problems only
+     "options": {"backend": "exact"},
+     "include_schedule": false}
+
+Responses always carry ``"ok"``; solve responses add the fingerprint,
+cache/warm flags, latency, the throughput and a problem-shaped
+``"solution"`` payload (plus ``"schedule"`` when requested).
+
+Transport is pluggable: :func:`handle_request` is a pure
+dict-in/dict-out function; :class:`ServiceServer` wraps it in a
+threaded stdlib HTTP server (``POST /api``, ``GET /metrics`` /
+``/cache`` / ``/healthz``) for ``python -m repro serve``, and the same
+handler drives the ``--stdio`` JSON-lines mode used in tests and
+pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from ..core.activities import SteadyStateSolution
+from ..core.broadcast import BroadcastSolution
+from ..core.dag import TaskGraph
+from ..core.multicast import MulticastAnalysis
+from ..platform.serialization import (
+    encode_weight as _encode_fraction,
+    platform_from_dict,
+    platform_to_dict,
+    schedule_to_dict,
+    solution_to_dict,
+)
+from .broker import Broker, BrokerError, BrokerResult, SolveRequest
+
+
+# ----------------------------------------------------------------------
+# request decoding
+# ----------------------------------------------------------------------
+def _dag_from_dict(data: Dict[str, Any]) -> TaskGraph:
+    dag = TaskGraph()
+    for name, work in data.get("types", {}).items():
+        dag.add_type(name, Fraction(str(work)))
+    for rec in data.get("files", []):
+        dag.add_file(rec["producer"], rec["consumer"], Fraction(str(rec["size"])))
+    if data.get("anchor", True):
+        dag.anchor_at_master(Fraction(str(data.get("input_size", 1))))
+    return dag
+
+
+def _dag_to_dict(dag: TaskGraph) -> Dict[str, Any]:
+    from ..core.dag import BEGIN
+
+    return {
+        "types": {
+            t: _encode_fraction(w) for t, w in dag.types.items() if t != BEGIN
+        },
+        "files": [
+            {"producer": a, "consumer": b, "size": _encode_fraction(sz)}
+            for (a, b), sz in dag.files.items() if a != BEGIN
+        ],
+        "anchor": BEGIN in dag.types,
+        "input_size": _encode_fraction(
+            next(
+                (sz for (a, _b), sz in dag.files.items() if a == BEGIN),
+                Fraction(1),
+            )
+        ),
+    }
+
+
+def request_from_dict(data: Dict[str, Any]) -> SolveRequest:
+    """Decode a solve request envelope into a :class:`SolveRequest`."""
+    if "problem" not in data:
+        raise BrokerError("solve request needs a 'problem'")
+    if "platform" not in data:
+        raise BrokerError("solve request needs a 'platform'")
+    dag = None
+    if data.get("dag") is not None:
+        dag = _dag_from_dict(data["dag"])
+    return SolveRequest(
+        problem=str(data["problem"]),
+        platform=platform_from_dict(data["platform"]),
+        source=data.get("source"),
+        master=data.get("master"),
+        targets=data.get("targets", ()),  # SolveRequest rejects bare strings
+        dag=dag,
+        options=dict(data.get("options", {})),
+        include_schedule=bool(data.get("include_schedule", False)),
+    )
+
+
+def request_to_dict(request: SolveRequest) -> Dict[str, Any]:
+    """Encode a :class:`SolveRequest` (inverse of :func:`request_from_dict`)."""
+    out: Dict[str, Any] = {
+        "problem": request.problem,
+        "platform": platform_to_dict(request.platform),
+        "source": request.source,
+        "targets": list(request.targets),
+        "options": request.option_dict(),
+        "include_schedule": request.include_schedule,
+    }
+    if request.dag is not None:
+        out["dag"] = _dag_to_dict(request.dag)
+    return out
+
+
+# ----------------------------------------------------------------------
+# response encoding
+# ----------------------------------------------------------------------
+def _solution_payload(solution: Any) -> Dict[str, Any]:
+    if isinstance(solution, SteadyStateSolution):
+        return solution_to_dict(solution)
+    if isinstance(solution, BroadcastSolution):
+        return {
+            "problem": "broadcast",
+            "lp_bound": _encode_fraction(solution.lp_bound),
+            "achieved": _encode_fraction(solution.achieved),
+            "optimal": solution.optimal,
+            "exhaustive": solution.exhaustive,
+            "packing": [
+                {"rate": _encode_fraction(rate),
+                 "edges": sorted([u, v] for u, v in tree)}
+                for tree, rate in solution.packing.items()
+            ],
+        }
+    if isinstance(solution, MulticastAnalysis):
+        return {
+            "problem": "multicast",
+            "sum_lp": _encode_fraction(solution.sum_lp),
+            "tree_optimal": _encode_fraction(solution.tree_optimal),
+            "max_lp": _encode_fraction(solution.max_lp),
+            "exhaustive": solution.exhaustive,
+            "max_lp_achievable": solution.max_lp_achievable,
+        }
+    # DagSolution and anything else with a throughput
+    payload: Dict[str, Any] = {"problem": type(solution).__name__}
+    if hasattr(solution, "throughput"):
+        payload["throughput"] = _encode_fraction(solution.throughput)
+    if hasattr(solution, "cons"):
+        payload["cons"] = [
+            {"node": n, "type": t, "rate": _encode_fraction(r)}
+            for (n, t), r in solution.cons.items() if r != 0
+        ]
+    return payload
+
+
+def response_to_dict(result: BrokerResult) -> Dict[str, Any]:
+    """Encode a broker result as the solve response payload."""
+    out: Dict[str, Any] = {
+        "ok": True,
+        "fingerprint": result.fingerprint,
+        "cached": result.cached,
+        "warm": result.warm,
+        "latency_seconds": result.latency_seconds,
+        "throughput": _encode_fraction(result.throughput),
+        "solution": _solution_payload(result.solution),
+    }
+    if result.schedule is not None:
+        out["schedule"] = schedule_to_dict(result.schedule)
+    return out
+
+
+def _error_response(exc: BaseException) -> Dict[str, Any]:
+    return {"ok": False, "error": str(exc), "type": type(exc).__name__}
+
+
+# ----------------------------------------------------------------------
+# the dispatcher
+# ----------------------------------------------------------------------
+def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one decoded envelope; never raises for request errors."""
+    try:
+        op = data.get("op", "solve")
+        # solve/batch are metered inside the broker ("solve", "solve.batch");
+        # the lightweight ops are metered here so every documented endpoint
+        # shows up in /metrics
+        if op == "ping":
+            with broker.metrics.timer("ping"):
+                return {"ok": True, "pong": True}
+        if op == "metrics":
+            with broker.metrics.timer("metrics"):
+                return {"ok": True, **broker.snapshot()}
+        if op == "cache":
+            with broker.metrics.timer("cache"):
+                return {"ok": True, "cache": broker.cache.snapshot()}
+        if op == "invalidate":
+            with broker.metrics.timer("invalidate"):
+                if "platform" not in data:
+                    raise BrokerError("invalidate needs a 'platform'")
+                removed = broker.invalidate_platform(
+                    platform_from_dict(data["platform"])
+                )
+                return {"ok": True, "invalidated": removed}
+        if op == "solve":
+            request = request_from_dict(data.get("request", data))
+            # submit() rather than solve(): concurrent identical requests
+            # arriving on different transport threads coalesce into one LP
+            return response_to_dict(broker.submit(request).result())
+        if op == "batch":
+            # per-request error isolation: one malformed/failing request
+            # must not discard the other members' completed solves
+            decoded = []
+            for raw in data.get("requests", []):
+                try:
+                    decoded.append(request_from_dict(raw))
+                except Exception as exc:  # noqa: BLE001 — wire boundary
+                    decoded.append(_error_response(exc))
+            with broker.metrics.timer("solve.batch"):
+                futures = [
+                    broker.submit(item) if isinstance(item, SolveRequest)
+                    else None
+                    for item in decoded
+                ]
+                results = []
+                for item, fut in zip(decoded, futures):
+                    if fut is None:
+                        results.append(item)  # the decode error
+                        continue
+                    try:
+                        results.append(response_to_dict(fut.result()))
+                    except Exception as exc:  # noqa: BLE001 — wire boundary
+                        results.append(_error_response(exc))
+            return {"ok": True, "results": results}
+        raise BrokerError(f"unknown op {op!r}")
+    except Exception as exc:  # noqa: BLE001 — wire boundary
+        return _error_response(exc)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceServer"  # type: ignore[assignment]
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        broker = self.server.broker
+        if self.path in ("/healthz", "/"):
+            self._send_json({"ok": True, "service": "repro", "ready": True})
+        elif self.path == "/metrics":
+            self._send_json(handle_request(broker, {"op": "metrics"}))
+        elif self.path == "/cache":
+            self._send_json(handle_request(broker, {"op": "cache"}))
+        else:
+            self._send_json({"ok": False, "error": "not found"}, status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path not in ("/api", "/"):
+            # mirror do_GET: a POST to /metrics or a typo'd path is client
+            # misconfiguration, not a solve request
+            self._send_json({"ok": False, "error": "not found"}, status=404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            data = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(_error_response(exc), status=400)
+            return
+        response = handle_request(self.server.broker, data)
+        self._send_json(response, status=200 if response.get("ok") else 422)
+
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threaded HTTP front-end over a :class:`Broker`.
+
+    >>> server = ServiceServer(("127.0.0.1", 0), broker=Broker())
+    >>> server.port  # doctest: +SKIP
+    43521
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address=("127.0.0.1", 8585),
+        broker: Optional[Broker] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.broker = broker if broker is not None else Broker()
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve_stdio(broker: Broker, stdin, stdout) -> int:
+    """JSON-lines loop: one envelope per input line, one response per line."""
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = _error_response(exc)
+        else:
+            if data.get("op") == "shutdown":
+                print(json.dumps({"ok": True, "bye": True}), file=stdout,
+                      flush=True)
+                break
+            response = handle_request(broker, data)
+        print(json.dumps(response), file=stdout, flush=True)
+    return 0

@@ -1,0 +1,526 @@
+"""Request broker: coalescing, batching and worker-pool fan-out.
+
+The broker sits between the JSON API (or a library caller) and the LP
+solvers.  For every :class:`SolveRequest` it:
+
+1. computes the request's canonical fingerprint
+   (:mod:`repro.service.fingerprint`);
+2. serves it from the :class:`~repro.service.cache.SolutionCache` when a
+   structurally identical request was solved before;
+3. **coalesces** duplicate in-flight requests — two concurrent submissions
+   with the same fingerprint share one solve (one LP, two futures
+   resolved);
+4. otherwise routes the request through the solver routing table
+   (:data:`repro.core.SOLVER_ENTRY_POINTS`) on a worker pool — threads by
+   default, an optional process pool for CPU-bound sweeps — taking the
+   warm re-solve shortcut of :mod:`repro.service.incremental` when a
+   master-slave model with the same topology is already hot.
+
+:meth:`Broker.solve_batch` accepts a mixed list of requests, dedupes them
+by fingerprint and fans the distinct ones out concurrently — the service
+analogue of the paper's observation that one LP per platform is cheap
+enough to recompute freely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import SOLVER_ENTRY_POINTS
+from ..core.activities import SteadyStateSolution
+from ..core.dag import TaskGraph
+from ..platform.graph import NodeId, Platform
+from .cache import CacheEntry, SolutionCache
+from .fingerprint import request_fingerprint
+from .incremental import IncrementalSolver
+from .metrics import MetricsRegistry
+
+#: problems whose result the reconstruction pipeline can turn into a
+#: periodic schedule (gather solutions flow towards the sink, which the
+#: route decomposition does not model yet)
+RECONSTRUCTABLE = frozenset({"master-slave", "scatter", "all-to-all"})
+
+
+class BrokerError(ValueError):
+    """Malformed request (unknown problem kind, missing fields, ...)."""
+
+
+#: solver keyword defaults, folded into every request's options so that a
+#: request relying on a default and one spelling it out explicitly hash to
+#: the same fingerprint (and therefore share cache entries and coalesce)
+_COMMON_OPTION_DEFAULTS = {"backend": "exact"}
+_PROBLEM_OPTION_DEFAULTS = {
+    "scatter": {"port_model": "one-port", "ports": 1},
+    "multiport": {"ports": 2},
+    "broadcast": {"tree_limit": 100_000},
+    "reduce": {"tree_limit": 100_000},
+    "multicast": {"tree_limit": 100_000},
+}
+
+
+def _normalized_options(problem: str, options: Any) -> Tuple[Tuple[str, Any], ...]:
+    opts = dict(_COMMON_OPTION_DEFAULTS)
+    opts.update(_PROBLEM_OPTION_DEFAULTS.get(problem, {}))
+    opts.update(dict(options))
+    return tuple(sorted(opts.items()))
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One steady-state solve, in solver-neutral form.
+
+    ``problem`` is a key of :data:`repro.core.SOLVER_ENTRY_POINTS`;
+    ``source`` is the distinguished node (master / scatter source /
+    broadcast source / gather sink / DAG master — absent for all-to-all);
+    ``targets`` is the commodity set (scatter targets, gather sources,
+    multicast targets, all-to-all participants).  ``options`` carries
+    solver keywords (``backend``, ``ports``, ``port_model``,
+    ``tree_limit``); ``include_schedule`` asks for the reconstructed
+    periodic schedule alongside the solution.
+    """
+
+    problem: str
+    platform: Platform
+    source: Optional[NodeId] = None
+    targets: Tuple[NodeId, ...] = ()
+    dag: Optional[TaskGraph] = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+    include_schedule: bool = False
+
+    def __init__(
+        self,
+        problem: str,
+        platform: Platform,
+        source: Optional[NodeId] = None,
+        master: Optional[NodeId] = None,
+        targets: Any = (),
+        dag: Optional[TaskGraph] = None,
+        options: Any = (),
+        include_schedule: bool = False,
+    ) -> None:
+        if master is not None and source is not None and master != source:
+            raise BrokerError("pass either source or master, not both")
+        if isinstance(targets, (str, bytes)):
+            # tuple("P5") would silently become ('P', '5')
+            raise BrokerError(
+                f"targets must be a sequence of node names, got the bare "
+                f"string {targets!r}"
+            )
+        if include_schedule and problem not in RECONSTRUCTABLE:
+            # fail loudly up front rather than returning a response whose
+            # missing "schedule" the client cannot tell from a server bug
+            raise BrokerError(
+                f"include_schedule is not supported for {problem!r}; "
+                f"schedules are reconstructable for: "
+                f"{sorted(RECONSTRUCTABLE)}"
+            )
+        object.__setattr__(self, "problem", problem)
+        # snapshot: Platform is mutable (add_node/add_edge), and both the
+        # memoized fingerprint and any cached solution must describe the
+        # platform as it was when the request was made — not whatever the
+        # caller mutates it into afterwards
+        object.__setattr__(self, "platform", platform.copy())
+        object.__setattr__(self, "source", source if source is not None else master)
+        object.__setattr__(self, "targets", tuple(targets))
+        object.__setattr__(self, "dag", dag)
+        object.__setattr__(self, "options", _normalized_options(problem, options))
+        object.__setattr__(self, "include_schedule", bool(include_schedule))
+
+    @property
+    def master(self) -> Optional[NodeId]:
+        return self.source
+
+    def option_dict(self) -> Dict[str, Any]:
+        return dict(self.options)
+
+    def fingerprint(self) -> str:
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        options = self.option_dict()
+        if self.dag is not None:
+            # fold the DAG spec into the canonical options so two requests
+            # with the same platform but different task graphs never collide
+            options["__dag_types"] = tuple(
+                (t, str(w)) for t, w in sorted(self.dag.types.items())
+            )
+            options["__dag_files"] = tuple(
+                (a, b, str(sz)) for (a, b), sz in sorted(self.dag.files.items())
+            )
+        fp = request_fingerprint(
+            self.platform,
+            self.problem,
+            source=self.source,
+            targets=self.targets,
+            options=options,
+        )
+        object.__setattr__(self, "_fingerprint", fp)
+        return fp
+
+
+@dataclass
+class BrokerResult:
+    """What a solve request resolves to."""
+
+    fingerprint: str
+    solution: Any
+    schedule: Any = None
+    cached: bool = False
+    warm: bool = False
+    latency_seconds: float = 0.0
+
+    @property
+    def throughput(self):
+        sol = self.solution
+        for attr in ("throughput", "achieved", "tree_optimal"):
+            if hasattr(sol, attr):
+                return getattr(sol, attr)
+        raise AttributeError(f"no throughput on {type(sol).__name__}")
+
+
+# ----------------------------------------------------------------------
+# cold execution — module-level so a process pool can pickle it
+# ----------------------------------------------------------------------
+def execute_request(request: SolveRequest) -> Any:
+    """Route one request through the solver table and return the raw result."""
+    solver = SOLVER_ENTRY_POINTS.get(request.problem)
+    if solver is None:
+        raise BrokerError(
+            f"unknown problem {request.problem!r}; known: "
+            f"{sorted(SOLVER_ENTRY_POINTS)}"
+        )
+    opts = request.option_dict()
+    backend = opts.get("backend", "exact")
+    platform = request.platform
+    problem = request.problem
+    if problem in ("master-slave", "send-or-receive"):
+        _require(request.source, "source/master", problem)
+        return solver(platform, request.source, backend=backend)
+    if problem == "multiport":
+        _require(request.source, "source/master", problem)
+        return solver(platform, request.source,
+                      ports=int(opts.get("ports", 2)), backend=backend)
+    if problem == "scatter":
+        _require(request.source, "source", problem)
+        _require(request.targets, "targets", problem)
+        return solver(platform, request.source, list(request.targets),
+                      backend=backend,
+                      port_model=opts.get("port_model", "one-port"),
+                      ports=int(opts.get("ports", 1)))
+    if problem == "gather":
+        _require(request.source, "source (the sink)", problem)
+        _require(request.targets, "targets (the sources)", problem)
+        return solver(platform, request.source, list(request.targets),
+                      backend=backend)
+    if problem == "all-to-all":
+        participants = list(request.targets) or None
+        return solver(platform, participants, backend=backend)
+    if problem in ("broadcast", "reduce"):
+        _require(request.source, "source", problem)
+        return solver(platform, request.source, backend=backend,
+                      tree_limit=int(opts.get("tree_limit", 100_000)))
+    if problem == "multicast":
+        _require(request.source, "source", problem)
+        _require(request.targets, "targets", problem)
+        return solver(platform, request.source, list(request.targets),
+                      backend=backend,
+                      tree_limit=int(opts.get("tree_limit", 100_000)))
+    if problem == "dag":
+        _require(request.source, "source/master", problem)
+        if request.dag is None:
+            raise BrokerError("dag requests need a task graph")
+        return solver(platform, request.dag, request.source, backend=backend)
+    # a registry entry without an adapter: call the common shape
+    return solver(platform, request.source, backend=backend)
+
+
+def _require(value, what: str, problem: str) -> None:
+    if not value:
+        raise BrokerError(f"{problem} requests need {what}")
+
+
+# ----------------------------------------------------------------------
+class Broker:
+    """Cached, coalescing, batching front-end over the solver library.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`SolutionCache` (a default one is created when omitted);
+        pass ``None``-like ``max_size``/``ttl`` choices through it.
+    metrics:
+        A :class:`MetricsRegistry`; created when omitted.
+    workers:
+        Worker-pool width for :meth:`submit` / :meth:`solve_batch`.
+    executor:
+        ``"thread"`` (default) runs solves on a thread pool — fine for the
+        exact simplex, whose Fraction arithmetic releases the GIL rarely
+        but whose requests are short; ``"process"`` adds a process pool
+        for genuinely CPU-bound sweeps (requests must be picklable);
+        ``"sync"`` executes inline (no pool — deterministic, for tests).
+    incremental:
+        Use the warm re-solve path for master-slave requests whose
+        topology was seen before (default on; exact backend only).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[SolutionCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        workers: int = 4,
+        executor: str = "thread",
+        incremental: bool = True,
+    ) -> None:
+        if executor not in ("thread", "process", "sync"):
+            raise ValueError("executor must be 'thread', 'process' or 'sync'")
+        self.cache = cache if cache is not None else SolutionCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.workers = max(1, int(workers))
+        self.executor_kind = executor
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        if executor != "sync":
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-broker"
+            )
+        if executor == "process":
+            self._process_pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._incremental: Optional[IncrementalSolver] = (
+            IncrementalSolver() if incremental else None
+        )
+        self._inflight: Dict[str, Future] = {}
+        # RLock: a future that completes before add_done_callback returns
+        # runs its callback inline on the submitting thread, re-entering
+        # the lock held by submit()
+        self._inflight_lock = threading.RLock()
+        self.coalesced = 0  # submissions answered by an in-flight future
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the solve paths
+    # ------------------------------------------------------------------
+    def solve(self, request: SolveRequest) -> BrokerResult:
+        """Synchronous solve (cache -> warm -> cold), metered."""
+        return self._run(request, request.fingerprint())
+
+    def submit(self, request: SolveRequest) -> "Future[BrokerResult]":
+        """Asynchronous solve; duplicate in-flight requests share a future."""
+        fp = request.fingerprint()
+        if self._pool is None:  # sync broker: resolve immediately
+            fut: "Future[BrokerResult]" = Future()
+            try:
+                fut.set_result(self._run(request, fp))
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                fut.set_exception(exc)
+            return fut
+        with self._inflight_lock:
+            inflight = self._inflight.get(fp)
+            if inflight is None:
+                fut = self._pool.submit(self._run, request, fp)
+                self._inflight[fp] = fut
+                fut.add_done_callback(
+                    lambda _f, fp=fp: self._forget_inflight(fp)
+                )
+            else:
+                self.coalesced += 1
+        if inflight is None:
+            return fut
+        # outside the lock: chaining onto an already-completed future runs
+        # the relay (possibly a full schedule reconstruction) inline on this
+        # thread, which must not stall other submitters.  The in-flight
+        # request may not have asked for a schedule; honour this caller's
+        # include_schedule on top of its result.
+        return self._chain_schedule(inflight, request)
+
+    def _forget_inflight(self, fp: str) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(fp, None)
+
+    def _tailor_schedule(
+        self, request: SolveRequest, result: BrokerResult
+    ) -> BrokerResult:
+        """Shape a shared (coalesced/deduped) result to this caller's
+        ``include_schedule``: reconstruct lazily when asked, strip when not
+        (so the response shape never depends on which twin solved first)."""
+        if request.include_schedule:
+            if result.schedule is not None:
+                return result
+            # another waiter may have reconstructed and attached it already
+            entry = self.cache.peek(result.fingerprint)
+            schedule = entry.schedule if entry is not None else None
+            if schedule is None:
+                schedule = self._reconstruct(request, result.solution)
+                if schedule is None:
+                    return result
+                self.cache.attach_schedule(result.fingerprint, schedule)
+        else:
+            if result.schedule is None:
+                return result
+            schedule = None
+        return BrokerResult(
+            fingerprint=result.fingerprint,
+            solution=result.solution,
+            schedule=schedule,
+            cached=result.cached,
+            warm=result.warm,
+            latency_seconds=result.latency_seconds,
+        )
+
+    def _chain_schedule(
+        self, fut: "Future[BrokerResult]", request: SolveRequest
+    ) -> "Future[BrokerResult]":
+        out: "Future[BrokerResult]" = Future()
+
+        def _relay(done: "Future[BrokerResult]") -> None:
+            try:
+                out.set_result(self._tailor_schedule(request, done.result()))
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                out.set_exception(exc)
+
+        fut.add_done_callback(_relay)
+        return out
+
+    def solve_batch(self, requests: List[SolveRequest]) -> List[BrokerResult]:
+        """Solve a mixed batch: dedupe by fingerprint, fan out, keep order.
+
+        Duplicates share one solve; each caller's ``include_schedule`` is
+        still honoured individually (the schedule is reconstructed lazily
+        on top of the shared solution when needed).  A request that fails
+        propagates its exception from here — callers needing per-request
+        error isolation should :meth:`submit` individually (the JSON API's
+        batch op does).
+        """
+        with self.metrics.timer("solve.batch"):
+            fps = [r.fingerprint() for r in requests]
+            futures: Dict[str, Future] = {}
+            for request, fp in zip(requests, fps):
+                if fp not in futures:
+                    futures[fp] = self.submit(request)
+            return [
+                self._tailor_schedule(request, futures[fp].result())
+                for request, fp in zip(requests, fps)
+            ]
+
+    # ------------------------------------------------------------------
+    def _run(self, request: SolveRequest, fp: str) -> BrokerResult:
+        start = time.perf_counter()
+        try:
+            entry = self.cache.get(fp)
+            if entry is not None:
+                result = self._from_cache(request, fp, entry)
+                self.metrics.observe("solve.hit", time.perf_counter() - start)
+            else:
+                result = self._solve_cold(request, fp)
+                endpoint = "solve.warm" if result.warm else "solve.cold"
+                self.metrics.observe(endpoint, time.perf_counter() - start)
+            result.latency_seconds = time.perf_counter() - start
+            self.metrics.observe("solve", result.latency_seconds)
+            return result
+        except BaseException:
+            self.metrics.observe("solve", time.perf_counter() - start,
+                                 error=True)
+            raise
+
+    def _from_cache(
+        self, request: SolveRequest, fp: str, entry: CacheEntry
+    ) -> BrokerResult:
+        schedule = entry.schedule
+        if request.include_schedule and schedule is None:
+            schedule = self._reconstruct(request, entry.solution)
+            if schedule is not None:
+                self.cache.attach_schedule(fp, schedule)
+        return BrokerResult(
+            fingerprint=fp,
+            solution=entry.solution,
+            schedule=schedule if request.include_schedule else None,
+            cached=True,
+        )
+
+    def _solve_cold(self, request: SolveRequest, fp: str) -> BrokerResult:
+        warm = False
+        backend = request.option_dict().get("backend", "exact")
+        if (
+            self._incremental is not None
+            and self._process_pool is None
+            # a process executor was chosen for parallelism/isolation; the
+            # in-process warm path would silently defeat it, so it only
+            # applies to the thread/sync executors
+            and request.problem == "master-slave"
+            and backend == "exact"
+            and request.source is not None
+        ):
+            solution, warm = self._incremental.solve_master_slave_ex(
+                request.platform, request.source
+            )
+        elif self._process_pool is not None:
+            solution = self._process_pool.submit(
+                execute_request, request
+            ).result()
+        else:
+            solution = execute_request(request)
+        schedule = None
+        if request.include_schedule:
+            schedule = self._reconstruct(request, solution)
+        self.cache.put(fp, solution, request.platform, schedule=schedule)
+        return BrokerResult(
+            fingerprint=fp,
+            solution=solution,
+            schedule=schedule,
+            cached=False,
+            warm=warm,
+        )
+
+    @staticmethod
+    def _reconstruct(request: SolveRequest, solution: Any):
+        if (
+            request.problem not in RECONSTRUCTABLE
+            or not isinstance(solution, SteadyStateSolution)
+        ):
+            return None
+        from ..schedule.reconstruction import reconstruct_schedule
+
+        return reconstruct_schedule(solution)
+
+    # ------------------------------------------------------------------
+    # invalidation + introspection
+    # ------------------------------------------------------------------
+    def invalidate_platform(self, platform: Platform) -> int:
+        """Drop cached results and hot LP models for this platform shape."""
+        removed = self.cache.invalidate_platform(platform)
+        if self._incremental is not None:
+            self._incremental.forget(platform)
+        return removed
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe operational state (exposed by the API)."""
+        out: Dict[str, Any] = {
+            "executor": self.executor_kind,
+            "workers": self.workers,
+            "coalesced": self.coalesced,
+            "cache": self.cache.snapshot(),
+            "metrics": self.metrics.snapshot(),
+        }
+        if self._incremental is not None:
+            out["incremental"] = {
+                "hot_models": len(self._incremental),
+                **self._incremental.stats.as_dict(),
+            }
+        return out

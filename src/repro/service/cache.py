@@ -1,0 +1,229 @@
+"""LRU + TTL cache for steady-state solutions and reconstructed schedules.
+
+One entry per request fingerprint (see :mod:`repro.service.fingerprint`),
+holding the solver's result and — lazily, once somebody asks for it — the
+reconstructed :class:`~repro.schedule.periodic.PeriodicSchedule`.  The
+cache is thread-safe: the broker's worker pool and the API front-end hit
+it concurrently.
+
+Eviction happens on three paths, each with its own counter:
+
+* **LRU** — beyond ``max_size`` entries, the least recently *used* goes;
+* **TTL** — entries older than ``ttl`` (seconds) are dropped on access
+  ("expirations") — pass ``ttl=None`` to disable;
+* **invalidation** — :meth:`SolutionCache.invalidate_platform` removes
+  every entry computed against a platform with the given structural
+  signature; call it after mutating a platform the service solved for.
+
+The clock is injectable for deterministic TTL tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..platform.graph import Platform
+from .fingerprint import Signature, topology_signature
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters; ``hit_rate`` is derived."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """A cached solve: the solution, plus the schedule once reconstructed.
+
+    ``topology_sig`` (weights erased) is what :meth:`SolutionCache.
+    invalidate_platform` matches on; the full weighted signature is already
+    folded into ``key`` by the fingerprint, so it is not stored again.
+    """
+
+    key: str
+    topology_sig: Signature
+    solution: Any
+    schedule: Any = None
+    created_at: float = 0.0
+    hits: int = 0
+
+
+class SolutionCache:
+    """Thread-safe LRU + TTL mapping ``fingerprint -> CacheEntry``.
+
+    Parameters
+    ----------
+    max_size:
+        Entry budget; the least-recently-used entry is evicted beyond it.
+    ttl:
+        Seconds an entry stays valid, or ``None`` for no expiry.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_size: int = 256,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        self.max_size = max_size
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry)
+
+    def _expired(self, entry: CacheEntry) -> bool:
+        return self.ttl is not None and self._clock() - entry.created_at > self.ttl
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Look up a fingerprint; counts a hit or a miss either way."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                del self._entries[key]
+                self.stats.expirations += 1
+                entry = None
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry
+
+    def put(
+        self,
+        key: str,
+        solution: Any,
+        platform: Platform,
+        schedule: Any = None,
+    ) -> CacheEntry:
+        """Insert (or refresh) an entry, evicting LRU entries beyond budget."""
+        topo = topology_signature(platform)
+        with self._lock:
+            entry = CacheEntry(
+                key=key,
+                topology_sig=topo,
+                solution=solution,
+                schedule=schedule,
+                created_at=self._clock(),
+            )
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Look up without touching counters, recency or TTL eviction.
+
+        For internal short-circuits (e.g. checking whether a schedule was
+        already attached by another waiter) that must not distort the
+        hit-rate statistics.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                return None
+            return entry
+
+    def attach_schedule(self, key: str, schedule: Any) -> None:
+        """Record a lazily reconstructed schedule on an existing entry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.schedule = schedule
+
+    # ------------------------------------------------------------------
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry by fingerprint; True when something was removed."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return True
+            return False
+
+    def invalidate_platform(self, platform: Platform) -> int:
+        """Drop every entry whose platform shares this platform's *topology*.
+
+        The intended call site is a platform mutation: weights are frozen
+        in :class:`~repro.platform.graph.Platform`, so "mutating" means
+        deriving a re-weighted copy (e.g. :meth:`Platform.scale` or a
+        monitoring update).  Matching on the topology signature removes
+        all stale weight-variants of the platform in one call; returns the
+        number of entries removed.
+        """
+        topo = topology_signature(platform)
+        with self._lock:
+            doomed: List[str] = [
+                key for key, entry in self._entries.items()
+                if entry.topology_sig == topo
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of size, config and counters (for the API)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "ttl": self.ttl,
+                **self.stats.as_dict(),
+            }

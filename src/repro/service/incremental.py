@@ -1,0 +1,198 @@
+"""Warm re-solve of steady-state LPs when only platform weights change.
+
+The SSMS LP of section 3.1 has one variable per (compute node, edge) and
+one constraint per (port, conservation law): its *structure* is a pure
+function of the platform topology, the chosen master and which nodes can
+compute.  The node/edge weights enter only as the coefficients ``1/w_i``
+and ``1/c_ij``.  When a monitoring layer re-weights a platform (CPU load
+changed, a link slowed down) the LP therefore does not need to be
+re-assembled: this module keeps the built model per (topology, master)
+pair and, on a weight-only change, patches the moved coefficients through
+the :class:`~repro.lp.model.LinearProgram` rebuild hook and re-solves.
+
+A topology change (node/edge added or removed, or a node's compute
+ability toggled) changes the structure itself; the solver detects it via
+:func:`~repro.service.fingerprint.topology_signature` and transparently
+falls back to a full rebuild (counted in
+:attr:`WarmSolveStats.full_rebuilds`).
+
+Exactness is preserved: a warm re-solve goes through the same exact
+rational simplex as a cold solve of the mutated platform and produces the
+identical :class:`~fractions.Fraction` throughput — asserted by the test
+suite and the service benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from ..core.master_slave import build_ssms_lp, package_ssms_solution
+from ..core.activities import SteadyStateSolution
+from ..lp.model import LinearProgram
+from ..platform.graph import NodeId, Platform
+from .fingerprint import Signature, topology_signature
+
+
+@dataclass
+class WarmSolveStats:
+    """How often the warm path was taken vs a full rebuild."""
+
+    warm_solves: int = 0
+    full_rebuilds: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "warm_solves": self.warm_solves,
+            "full_rebuilds": self.full_rebuilds,
+        }
+
+
+class IncrementalSolver:
+    """Keeps assembled SSMS models hot across weight-only re-solves.
+
+    One instance may serve many platforms: models are keyed by
+    ``(topology signature, master)``.  Concurrency is per model: solves of
+    the *same* structure are serialised (the model is patched in place, so
+    a warm solve must not interleave with another), while solves of
+    distinct structures run in parallel on the broker's worker pool.
+
+    >>> from repro.platform import generators
+    >>> inc = IncrementalSolver()
+    >>> g = generators.star(3)
+    >>> cold = inc.solve_master_slave(g, "M")     # builds the LP
+    >>> g2 = g.scale(compute=2)                    # weight-only mutation
+    >>> warm = inc.solve_master_slave(g2, "M")     # patches + re-solves
+    >>> inc.stats.warm_solves
+    1
+    """
+
+    def __init__(self, backend: str = "exact", max_models: int = 64) -> None:
+        if max_models < 1:
+            raise ValueError("max_models must be >= 1")
+        self.backend = backend
+        self.max_models = max_models
+        self.stats = WarmSolveStats()
+        # registry lock: guards the two dicts and the stats, never held
+        # across an LP solve
+        self._lock = threading.Lock()
+        # (topology_sig, master) -> (lp, handles)
+        self._models: Dict[
+            Tuple[Signature, NodeId], Tuple[LinearProgram, Dict[str, object]]
+        ] = {}
+        # per-model locks: serialise patch+solve of one structure only.
+        # Entries are NEVER removed — eviction/forget only drops the model.
+        # Popping a lock while a thread still holds (or waits on) it would
+        # let a later arrival mint a second lock for the same key and
+        # patch an LP mid-solve; a lock object per distinct structure ever
+        # seen is a few dozen bytes and keeps the invariant airtight.
+        self._model_locks: Dict[Tuple[Signature, NodeId], threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    def solve_master_slave(
+        self, platform: Platform, master: NodeId
+    ) -> SteadyStateSolution:
+        """Solve SSMS(G), warm when a structurally identical model is hot."""
+        return self.solve_master_slave_ex(platform, master)[0]
+
+    def solve_master_slave_ex(
+        self, platform: Platform, master: NodeId
+    ) -> Tuple[SteadyStateSolution, bool]:
+        """Like :meth:`solve_master_slave`, also reporting whether the warm
+        path was taken (decided under the model lock, so it is exact —
+        unlike an outside :meth:`has_model` check, which can race with a
+        concurrent first build or an eviction)."""
+        key = (topology_signature(platform), master)
+        with self._lock:
+            model_lock = self._model_locks.setdefault(key, threading.Lock())
+        with model_lock:
+            with self._lock:
+                cached = self._models.get(key)
+            if cached is None:
+                lp, handles = build_ssms_lp(platform, master)
+                with self._lock:
+                    self.stats.full_rebuilds += 1
+                    while len(self._models) >= self.max_models:
+                        # drop the oldest-inserted model; a size backstop,
+                        # not an LRU — models are tiny.  A thread mid-solve
+                        # on an evicted model keeps its local reference;
+                        # the evicted key's lock stays (see __init__).
+                        self._models.pop(next(iter(self._models)))
+                    self._models[key] = (lp, handles)
+            else:
+                lp, handles = cached
+                self._patch_coefficients(lp, handles, platform, master)
+                with self._lock:
+                    self.stats.warm_solves += 1
+            sol = lp.solve(backend=self.backend)
+            out = package_ssms_solution(
+                platform, master, sol, handles, backend=self.backend
+            )
+            return out, cached is not None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _patch_coefficients(
+        lp: LinearProgram,
+        handles: Dict[str, object],
+        platform: Platform,
+        master: NodeId,
+    ) -> None:
+        """Rewrite every weight-derived coefficient of the SSMS model.
+
+        The conservation law of node ``i`` was assembled as
+        ``inflow - compute - outflow == 0`` with coefficients ``+1/c_ji``
+        (on ``s_ji``), ``-1/w_i`` (on ``alpha_i``) and ``-1/c_ij`` (on
+        ``s_ij``); the objective carries ``+1/w_i`` per compute node.
+        One-port constraints and variable bounds are weight-free.
+        """
+        one = Fraction(1)
+        for node in platform.nodes():
+            if node == master:
+                continue
+            name = f"conserve[{node}]"
+            for j in platform.predecessors(node):
+                lp.set_constraint_coefficient(
+                    name, handles[("s", j, node)], one / platform.c(j, node)
+                )
+            for j in platform.successors(node):
+                lp.set_constraint_coefficient(
+                    name, handles[("s", node, j)], -one / platform.c(node, j)
+                )
+            spec = platform.node(node)
+            if spec.can_compute:
+                lp.set_constraint_coefficient(
+                    name, handles[("alpha", node)], -one / spec.w
+                )
+        for node in platform.nodes():
+            spec = platform.node(node)
+            if spec.can_compute:
+                lp.set_objective_coefficient(
+                    handles[("alpha", node)], one / spec.w
+                )
+
+    # ------------------------------------------------------------------
+    def has_model(self, platform: Platform, master: NodeId) -> bool:
+        """True when a warm solve would reuse an already-built model."""
+        key = (topology_signature(platform), master)
+        with self._lock:
+            return key in self._models
+
+    def forget(self, platform: Platform, master: Optional[NodeId] = None) -> int:
+        """Drop hot models for this topology (all masters unless given)."""
+        topo = topology_signature(platform)
+        with self._lock:
+            doomed = [
+                key for key in self._models
+                if key[0] == topo and (master is None or key[1] == master)
+            ]
+            for key in doomed:
+                # the model goes, its lock stays (see __init__)
+                del self._models[key]
+            return len(doomed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)

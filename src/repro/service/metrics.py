@@ -1,0 +1,142 @@
+"""Per-endpoint latency / throughput counters for the scheduling service.
+
+Each endpoint (``solve``, ``batch``, ``invalidate``, ...) accumulates a
+request count, an error count, total busy time and a bounded reservoir of
+recent latencies from which p50/p99 are read.  Everything is thread-safe
+and snapshottable as JSON — the API exposes :meth:`MetricsRegistry.snapshot`
+verbatim.
+
+The reservoir keeps the most recent ``reservoir_size`` observations (a
+sliding window, not a random sample): the service cares about *current*
+tail latency, and a window is both exact over its span and cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+class EndpointMetrics:
+    """Counters for one endpoint; not thread-safe on its own (the registry
+    serialises access)."""
+
+    __slots__ = ("name", "count", "errors", "total_seconds", "min_seconds",
+                 "max_seconds", "_window")
+
+    def __init__(self, name: str, reservoir_size: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.min_seconds: Optional[float] = None
+        self.max_seconds: Optional[float] = None
+        self._window: "deque[float]" = deque(maxlen=reservoir_size)
+
+    def observe(self, seconds: float, error: bool = False) -> None:
+        self.count += 1
+        if error:
+            self.errors += 1
+        self.total_seconds += seconds
+        self.min_seconds = (seconds if self.min_seconds is None
+                            else min(self.min_seconds, seconds))
+        self.max_seconds = (seconds if self.max_seconds is None
+                            else max(self.max_seconds, seconds))
+        self._window.append(seconds)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the recent-latency window."""
+        if not self._window:
+            return None
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._window)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    @property
+    def mean_seconds(self) -> Optional[float]:
+        return self.total_seconds / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.percentile(50),
+            "p99_seconds": self.percentile(99),
+            "window": len(self._window),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe collection of :class:`EndpointMetrics` plus uptime.
+
+    ``clock`` is injectable for tests; it must be monotonic.
+    """
+
+    def __init__(
+        self,
+        reservoir_size: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+        self._reservoir_size = reservoir_size
+        self._clock = clock
+        self._started = clock()
+
+    def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            em = self._endpoints.get(endpoint)
+            if em is None:
+                em = EndpointMetrics(endpoint, self._reservoir_size)
+                self._endpoints[endpoint] = em
+            em.observe(seconds, error=error)
+
+    @contextmanager
+    def timer(self, endpoint: str) -> Iterator[None]:
+        """Time a block; records an error observation when it raises."""
+        start = self._clock()
+        try:
+            yield
+        except BaseException:
+            self.observe(endpoint, self._clock() - start, error=True)
+            raise
+        self.observe(endpoint, self._clock() - start)
+
+    def endpoint(self, name: str) -> Optional[EndpointMetrics]:
+        with self._lock:
+            return self._endpoints.get(name)
+
+    @property
+    def uptime_seconds(self) -> float:
+        return self._clock() - self._started
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: per-endpoint stats + derived requests/sec.
+
+        ``total_requests`` counts top-level endpoints only: a dotted name
+        ("solve.cold", "solve.hit") is a sub-timer of its prefix endpoint
+        and would double-count.
+        """
+        with self._lock:
+            uptime = self.uptime_seconds
+            endpoints = {
+                name: em.as_dict() for name, em in self._endpoints.items()
+            }
+        total = sum(
+            e["count"] for name, e in endpoints.items() if "." not in name
+        )
+        return {
+            "uptime_seconds": uptime,
+            "total_requests": total,
+            "requests_per_second": total / uptime if uptime > 0 else 0.0,
+            "endpoints": endpoints,
+        }

@@ -1,10 +1,11 @@
 """CLI tests (direct invocation of repro.cli.main)."""
 
 import json
+from fractions import Fraction
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _parse_generator_arg, main
 
 
 class TestSolve:
@@ -32,6 +33,34 @@ class TestSolve:
     def test_missing_platform_source(self):
         with pytest.raises(SystemExit):
             main(["solve", "--master", "M"])
+
+
+class TestGeneratorArgParsing:
+    """Regression: ``int(a) if a.isdigit()`` mis-parsed "-1", "1.5", "3/2"."""
+
+    def test_int_fraction_str_fallback(self):
+        assert _parse_generator_arg("3") == 3
+        assert isinstance(_parse_generator_arg("3"), int)
+        assert _parse_generator_arg("-1") == -1
+        assert isinstance(_parse_generator_arg("-1"), int)
+        assert _parse_generator_arg("1.5") == Fraction(3, 2)
+        assert _parse_generator_arg("3/2") == Fraction(3, 2)
+        assert _parse_generator_arg("-2/3") == Fraction(-2, 3)
+        assert _parse_generator_arg("M") == "M"
+        assert _parse_generator_arg("1/0") == "1/0"  # not a rational
+
+    def test_negative_count_reaches_generator_as_int(self):
+        # star(-1) must hit the generator's own guard, not a str/int
+        # comparison TypeError from an unparsed "-1"
+        with pytest.raises(ValueError, match="at least one worker"):
+            main(["export", "--generator", "star", "--args", "-1"])
+
+    def test_fractional_weight_arg(self, capsys):
+        rc = main(["export", "--generator", "star", "--args", "2", "3/2"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        master = next(n for n in data["nodes"] if n["name"] == "M")
+        assert master["w"] == "3/2"
 
 
 class TestCollectiveCommands:

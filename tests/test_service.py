@@ -1,0 +1,725 @@
+"""Service-layer tests: fingerprints, cache, broker, warm re-solve, API."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import INF
+from repro.core.dag import TaskGraph
+from repro.core.master_slave import solve_master_slave
+from repro.platform import generators
+from repro.platform.graph import Platform
+from repro.platform.serialization import platform_to_dict
+from repro.service import (
+    Broker,
+    IncrementalSolver,
+    MetricsRegistry,
+    ServiceServer,
+    SolutionCache,
+    SolveRequest,
+    handle_request,
+    platform_signature,
+    request_fingerprint,
+    request_to_dict,
+    topology_signature,
+)
+from repro.service.broker import BrokerError
+import repro.service.broker as broker_mod
+
+
+def _two_node(name="p", w_x=1, w_y=2, c=1) -> Platform:
+    g = Platform(name)
+    g.add_node("X", w_x)
+    g.add_node("Y", w_y)
+    g.add_edge("X", "Y", c)
+    return g
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_insertion_order_and_name_independent(self):
+        a = Platform("first")
+        a.add_node("P1", 1)
+        a.add_node("P2", 2)
+        a.add_edge("P1", "P2", 3)
+        a.add_edge("P2", "P1", 4)
+        b = Platform("second")
+        b.add_node("P2", 2)
+        b.add_node("P1", 1)
+        b.add_edge("P2", "P1", 4)
+        b.add_edge("P1", "P2", 3)
+        assert platform_signature(a) == platform_signature(b)
+        assert (request_fingerprint(a, "master-slave", source="P1")
+                == request_fingerprint(b, "master-slave", source="P1"))
+
+    def test_weight_change_changes_fingerprint(self):
+        a = _two_node(w_y=2)
+        b = _two_node(w_y=3)
+        assert (request_fingerprint(a, "master-slave", source="X")
+                != request_fingerprint(b, "master-slave", source="X"))
+        c = _two_node(c="1/2")
+        assert (request_fingerprint(a, "master-slave", source="X")
+                != request_fingerprint(c, "master-slave", source="X"))
+
+    def test_targets_are_a_set(self):
+        g = generators.paper_figure2_multicast()
+        assert (request_fingerprint(g, "scatter", source="P0",
+                                    targets=("P5", "P6"))
+                == request_fingerprint(g, "scatter", source="P0",
+                                       targets=("P6", "P5")))
+
+    def test_spec_fields_matter(self):
+        g = generators.star(3)
+        fps = {
+            request_fingerprint(g, "master-slave", source="M"),
+            request_fingerprint(g, "broadcast", source="M"),
+            request_fingerprint(g, "master-slave", source="W1"),
+            request_fingerprint(g, "master-slave", source="M",
+                                options={"backend": "scipy"}),
+        }
+        assert len(fps) == 4
+
+    def test_topology_signature_ignores_weights(self):
+        a = _two_node(w_y=2, c=1)
+        b = _two_node(w_y=7, c="1/3")
+        assert topology_signature(a) == topology_signature(b)
+        assert platform_signature(a) != platform_signature(b)
+
+    def test_topology_signature_sees_compute_ability(self):
+        a = _two_node()
+        b = Platform("p")
+        b.add_node("X", 1)
+        b.add_node("Y", INF)  # forwarder: different LP structure
+        b.add_edge("X", "Y", 1)
+        assert topology_signature(a) != topology_signature(b)
+
+    def test_defaulted_options_share_the_fingerprint(self, fig1):
+        # relying on a default and spelling it out must hit the same entry
+        implicit = SolveRequest(problem="master-slave", platform=fig1,
+                                master="P1")
+        explicit = SolveRequest(problem="master-slave", platform=fig1,
+                                master="P1", options={"backend": "exact"})
+        assert implicit.fingerprint() == explicit.fingerprint()
+        g = generators.paper_figure2_multicast()
+        implicit = SolveRequest(problem="scatter", platform=g, source="P0",
+                                targets=("P5",))
+        explicit = SolveRequest(problem="scatter", platform=g, source="P0",
+                                targets=("P5",),
+                                options={"port_model": "one-port",
+                                         "ports": 1})
+        assert implicit.fingerprint() == explicit.fingerprint()
+
+    def test_bare_string_targets_rejected(self, fig1):
+        # tuple("P5") would silently become ('P', '5')
+        with pytest.raises(BrokerError, match="bare"):
+            SolveRequest(problem="scatter", platform=fig1, source="P1",
+                         targets="P5")
+        # same guard on the wire path
+        with Broker(executor="sync") as broker:
+            resp = handle_request(broker, {"op": "solve", "request": {
+                "problem": "scatter",
+                "platform": platform_to_dict(fig1),
+                "source": "P1", "targets": "P5"}})
+            assert not resp["ok"] and "bare" in resp["error"]
+
+    def test_dag_folded_into_fingerprint(self):
+        g = generators.star(2)
+        r1 = SolveRequest(problem="dag", platform=g, master="M",
+                          dag=TaskGraph.chain([1, 2], [1]))
+        r2 = SolveRequest(problem="dag", platform=g, master="M",
+                          dag=TaskGraph.chain([1, 3], [1]))
+        assert r1.fingerprint() != r2.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+class TestSolutionCache:
+    def test_lru_eviction(self):
+        g = generators.star(2)
+        cache = SolutionCache(max_size=2)
+        cache.put("a", "A", g)
+        cache.put("b", "B", g)
+        assert cache.get("a").solution == "A"  # refresh a
+        cache.put("c", "C", g)                 # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_ttl_expiry_with_fake_clock(self):
+        g = generators.star(2)
+        now = [0.0]
+        cache = SolutionCache(max_size=4, ttl=10.0, clock=lambda: now[0])
+        cache.put("a", "A", g)
+        now[0] = 5.0
+        assert cache.get("a") is not None
+        now[0] = 10.5
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+        assert "a" not in cache
+
+    def test_counters(self):
+        g = generators.star(2)
+        cache = SolutionCache()
+        assert cache.get("x") is None
+        cache.put("x", 1, g)
+        assert cache.get("x") is not None
+        st_ = cache.stats
+        assert (st_.hits, st_.misses) == (1, 1)
+        assert st_.hit_rate == 0.5
+        snap = cache.snapshot()
+        assert snap["size"] == 1 and snap["hits"] == 1
+
+    def test_invalidate_platform_matches_weight_variants(self):
+        g = generators.star(3)
+        g2 = g.scale(compute=2)           # weight mutation, same topology
+        other = generators.chain(3)
+        cache = SolutionCache()
+        cache.put("a", 1, g)
+        cache.put("b", 2, g2)
+        cache.put("c", 3, other)
+        assert cache.invalidate_platform(g2) == 2
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.get("c") is not None
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_single_key(self):
+        g = generators.star(2)
+        cache = SolutionCache()
+        cache.put("a", 1, g)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+
+
+# ----------------------------------------------------------------------
+# broker
+# ----------------------------------------------------------------------
+class TestBroker:
+    def test_hit_is_exactly_the_cold_solution(self, fig1):
+        with Broker(executor="sync") as broker:
+            req = SolveRequest(problem="master-slave", platform=fig1,
+                               master="P1")
+            cold = broker.solve(req)
+            hot = broker.solve(req)
+            assert not cold.cached and hot.cached
+            assert hot.solution is cold.solution
+            assert hot.solution.throughput == cold.solution.throughput
+
+    def test_schedule_reconstructed_lazily_on_hit(self, fig1):
+        with Broker(executor="sync") as broker:
+            bare = SolveRequest(problem="master-slave", platform=fig1,
+                                master="P1")
+            broker.solve(bare)
+            with_sched = SolveRequest(problem="master-slave", platform=fig1,
+                                      master="P1", include_schedule=True)
+            res = broker.solve(with_sched)
+            assert res.cached and res.schedule is not None
+            assert res.schedule.throughput == res.solution.throughput
+
+    def test_every_problem_kind_routes(self, fig1):
+        fig2 = generators.paper_figure2_multicast()
+        star_bi = generators.star(3, bidirectional=True)
+        requests = [
+            SolveRequest(problem="master-slave", platform=fig1, master="P1"),
+            SolveRequest(problem="scatter", platform=fig2, source="P0",
+                         targets=("P5", "P6")),
+            SolveRequest(problem="gather", platform=star_bi, source="M",
+                         targets=("W1", "W2", "W3")),
+            SolveRequest(problem="all-to-all", platform=star_bi),
+            SolveRequest(problem="broadcast", platform=generators.chain(3),
+                         source="N0"),
+            SolveRequest(problem="multicast", platform=fig2, source="P0",
+                         targets=("P5", "P6")),
+            SolveRequest(problem="dag", platform=fig1, master="P1",
+                         dag=TaskGraph.chain([1, 2], [1])),
+            SolveRequest(problem="multiport", platform=fig1, master="P1",
+                         options={"ports": 2}),
+            SolveRequest(problem="send-or-receive", platform=fig1,
+                         master="P1"),
+        ]
+        with Broker(workers=4) as broker:
+            results = broker.solve_batch(requests)
+            assert len(results) == len(requests)
+            for res in results:
+                assert res.throughput >= 0
+
+    def test_batch_dedupes_by_fingerprint(self, fig1):
+        with Broker(executor="sync") as broker:
+            req = SolveRequest(problem="master-slave", platform=fig1,
+                               master="P1")
+            same = SolveRequest(problem="master-slave",
+                                platform=fig1.copy("renamed"), master="P1")
+            results = broker.solve_batch([req, same, req])
+            assert len({r.fingerprint for r in results}) == 1
+            assert broker.cache.stats.misses == 1
+
+    def test_inflight_coalescing(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+        real = broker_mod.execute_request
+
+        def slow(request):
+            started.set()
+            assert release.wait(10)
+            return real(request)
+
+        monkeypatch.setattr(broker_mod, "execute_request", slow)
+        with Broker(workers=2, incremental=False) as broker:
+            req = SolveRequest(problem="broadcast",
+                               platform=generators.chain(3), source="N0")
+            fut1 = broker.submit(req)
+            assert started.wait(10)
+            fut2 = broker.submit(req)      # same fingerprint, still in flight
+            assert broker.coalesced == 1
+            release.set()
+            r1, r2 = fut1.result(10), fut2.result(10)
+            assert r1.throughput == Fraction(1)
+            assert r2.solution is r1.solution  # one solve, shared result
+
+    def test_batch_dedup_honours_include_schedule(self, fig1):
+        # regression: a deduped request asking for a schedule must not
+        # silently inherit the bare result of its fingerprint twin
+        with Broker(executor="sync") as broker:
+            bare = SolveRequest(problem="master-slave", platform=fig1,
+                                master="P1")
+            with_sched = SolveRequest(problem="master-slave", platform=fig1,
+                                      master="P1", include_schedule=True)
+            out = broker.solve_batch([bare, with_sched])
+            assert out[1].schedule is not None
+            assert out[1].schedule.throughput == out[1].solution.throughput
+            assert broker.cache.stats.misses == 1
+
+    def test_coalesced_submit_honours_include_schedule(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+        real = broker_mod.execute_request
+
+        def slow(request):
+            started.set()
+            assert release.wait(10)
+            return real(request)
+
+        monkeypatch.setattr(broker_mod, "execute_request", slow)
+        fig1 = generators.paper_figure1()
+        with Broker(workers=2, incremental=False) as broker:
+            bare = SolveRequest(problem="master-slave", platform=fig1,
+                                master="P1")
+            with_sched = SolveRequest(problem="master-slave", platform=fig1,
+                                      master="P1", include_schedule=True)
+            fut1 = broker.submit(bare)
+            assert started.wait(10)
+            fut2 = broker.submit(with_sched)
+            assert broker.coalesced == 1
+            release.set()
+            assert fut1.result(10).schedule is None
+            assert fut2.result(10).schedule is not None
+
+    def test_batch_dedup_strips_unrequested_schedule(self, fig1):
+        # the mirror case: a bare request deduped onto a schedule-bearing
+        # twin must not receive the schedule it did not ask for
+        with Broker(executor="sync") as broker:
+            with_sched = SolveRequest(problem="master-slave", platform=fig1,
+                                      master="P1", include_schedule=True)
+            bare = SolveRequest(problem="master-slave", platform=fig1,
+                                master="P1")
+            out = broker.solve_batch([with_sched, bare])
+            assert out[0].schedule is not None
+            assert out[1].schedule is None
+
+    def test_total_requests_counts_solves_once(self, fig1):
+        with Broker(executor="sync") as broker:
+            req = SolveRequest(problem="master-slave", platform=fig1,
+                               master="P1")
+            broker.solve_batch([req, req])
+            snap = broker.metrics.snapshot()
+            # one deduped solve; batch and cold timers are dotted sub-timers
+            assert snap["total_requests"] == 1
+            assert "solve.batch" in snap["endpoints"]
+
+    def test_warm_resolve_equals_cold(self):
+        g = generators.star(4, master_w=2, worker_w=[1, 2, 3, 4],
+                            link_c=[1, 1, 2, 3])
+        mutated = g.scale(compute="3/2", comm="2/3")
+        with Broker(executor="sync") as broker:
+            first = broker.solve(SolveRequest(problem="master-slave",
+                                              platform=g, master="M"))
+            second = broker.solve(SolveRequest(problem="master-slave",
+                                               platform=mutated, master="M"))
+            assert not first.warm and second.warm and not second.cached
+            assert (second.solution.throughput
+                    == solve_master_slave(mutated, "M").throughput)
+
+    def test_invalidate_platform_drops_entries(self, fig1):
+        with Broker(executor="sync") as broker:
+            req = SolveRequest(problem="master-slave", platform=fig1,
+                               master="P1")
+            broker.solve(req)
+            assert broker.invalidate_platform(fig1) == 1
+            assert not broker.solve(req).cached
+
+    def test_unknown_problem_raises(self, fig1):
+        with Broker(executor="sync") as broker:
+            with pytest.raises(BrokerError, match="unknown problem"):
+                broker.solve(SolveRequest(problem="nope", platform=fig1,
+                                          master="P1"))
+
+    def test_include_schedule_rejected_for_non_reconstructable(self, fig1):
+        with pytest.raises(BrokerError, match="include_schedule"):
+            SolveRequest(problem="broadcast", platform=fig1, source="P1",
+                         include_schedule=True)
+
+    def test_missing_fields_raise(self, fig1):
+        with Broker(executor="sync") as broker:
+            with pytest.raises(BrokerError, match="need"):
+                broker.solve(SolveRequest(problem="scatter", platform=fig1,
+                                          source="P1"))
+
+    def test_snapshot_shape(self, fig1):
+        with Broker(executor="sync") as broker:
+            broker.solve(SolveRequest(problem="master-slave", platform=fig1,
+                                      master="P1"))
+            snap = broker.snapshot()
+            assert snap["cache"]["misses"] == 1
+            assert snap["metrics"]["endpoints"]["solve"]["count"] == 1
+            assert snap["incremental"]["full_rebuilds"] == 1
+
+
+# ----------------------------------------------------------------------
+# incremental warm re-solve
+# ----------------------------------------------------------------------
+class TestIncrementalSolver:
+    def test_weight_only_mutation_is_exact(self):
+        inc = IncrementalSolver()
+        g = generators.star(4, master_w=2, worker_w=[1, 2, 3, 4],
+                            link_c=[1, 1, 2, 3])
+        inc.solve_master_slave(g, "M")
+        for compute, comm in [("1/2", 1), (3, "1/3"), ("7/5", "5/7")]:
+            mutated = g.scale(compute=compute, comm=comm)
+            warm = inc.solve_master_slave(mutated, "M")
+            cold = solve_master_slave(mutated, "M")
+            assert warm.throughput == cold.throughput
+            warm.verify()  # activities satisfy the steady-state equations
+        assert inc.stats.warm_solves == 3
+        assert inc.stats.full_rebuilds == 1
+
+    def test_non_uniform_weight_mutation(self, fig1):
+        inc = IncrementalSolver()
+        inc.solve_master_slave(fig1, "P1")
+        mutated = Platform("fig1-mutated")
+        for name in fig1.nodes():
+            spec = fig1.node(name)
+            mutated.add_node(name,
+                            spec.w * 2 if name in ("P2", "P5") else spec.w)
+        for spec in fig1.edges():
+            c = spec.c * Fraction(1, 3) if spec.src == "P1" else spec.c
+            mutated.add_edge(spec.src, spec.dst, c)
+        warm = inc.solve_master_slave(mutated, "P1")
+        cold = solve_master_slave(mutated, "P1")
+        assert warm.throughput == cold.throughput
+        assert inc.stats.warm_solves == 1
+
+    def test_topology_change_falls_back(self):
+        inc = IncrementalSolver()
+        g = generators.star(3)
+        inc.solve_master_slave(g, "M")
+        bigger = generators.star(4)
+        warm = inc.solve_master_slave(bigger, "M")
+        assert warm.throughput == solve_master_slave(bigger, "M").throughput
+        assert inc.stats.full_rebuilds == 2
+        assert inc.stats.warm_solves == 0
+
+    def test_forget(self):
+        inc = IncrementalSolver()
+        g = generators.star(3)
+        inc.solve_master_slave(g, "M")
+        assert inc.has_model(g, "M")
+        assert inc.forget(g) == 1
+        assert not inc.has_model(g, "M")
+
+
+# ----------------------------------------------------------------------
+# property tests: cache correctness on random platforms (satellite)
+# ----------------------------------------------------------------------
+_weights = st.fractions(min_value=Fraction(1, 8), max_value=Fraction(8))
+
+
+class TestCacheCorrectnessProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=4),
+        master_w=_weights,
+        data=st.data(),
+    )
+    def test_star_hit_equals_cold_solve(self, n, master_w, data):
+        worker_w = [data.draw(_weights) for _ in range(n)]
+        link_c = [data.draw(_weights) for _ in range(n)]
+        g = generators.star(n, master_w=master_w, worker_w=worker_w,
+                            link_c=link_c)
+        with Broker(executor="sync") as broker:
+            req = SolveRequest(problem="master-slave", platform=g, master="M")
+            cold = broker.solve(req)
+            hit = broker.solve(req)
+            assert hit.cached
+            assert hit.solution.throughput == cold.solution.throughput
+            assert hit.solution.alpha == cold.solution.alpha
+            assert hit.solution.s == cold.solution.s
+            oracle = solve_master_slave(g, "M").throughput
+            assert hit.solution.throughput == oracle
+
+    @settings(max_examples=8, deadline=None)
+    @given(depth=st.integers(min_value=2, max_value=3),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_tree_hit_equals_cold_solve(self, depth, seed):
+        g = generators.binary_tree(depth, seed=seed)
+        with Broker(executor="sync") as broker:
+            req = SolveRequest(problem="master-slave", platform=g,
+                               master="T0")
+            cold = broker.solve(req)
+            hit = broker.solve(req)
+            assert hit.cached
+            assert hit.solution.throughput == cold.solution.throughput
+            assert hit.solution.alpha == cold.solution.alpha
+
+    @settings(max_examples=12, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=4), factor=_weights,
+           data=st.data())
+    def test_weight_mutation_invalidates_fingerprint(self, n, factor, data):
+        worker_w = [data.draw(_weights) for _ in range(n)]
+        g = generators.star(n, worker_w=worker_w)
+        mutated = g.scale(compute=factor)
+        fp = request_fingerprint(g, "master-slave", source="M")
+        fp_mut = request_fingerprint(mutated, "master-slave", source="M")
+        if factor == 1:
+            assert fp == fp_mut
+        else:
+            assert fp != fp_mut
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_observe_and_percentiles(self):
+        reg = MetricsRegistry()
+        for ms in [1, 2, 3, 4, 100]:
+            reg.observe("solve", ms / 1000.0)
+        ep = reg.endpoint("solve")
+        assert ep.count == 5
+        assert ep.percentile(50) == pytest.approx(0.003)
+        assert ep.percentile(99) == pytest.approx(0.1)
+        assert ep.min_seconds == pytest.approx(0.001)
+        snap = reg.snapshot()
+        assert snap["endpoints"]["solve"]["count"] == 5
+        assert snap["total_requests"] == 5
+
+    def test_timer_counts_errors(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("boom"):
+                raise RuntimeError("x")
+        assert reg.endpoint("boom").errors == 1
+
+
+# ----------------------------------------------------------------------
+# JSON API + HTTP transport
+# ----------------------------------------------------------------------
+def _fig1_envelope(**extra):
+    return {
+        "op": "solve",
+        "request": {
+            "problem": "master-slave",
+            "platform": platform_to_dict(generators.paper_figure1()),
+            "master": "P1",
+            **extra,
+        },
+    }
+
+
+class TestApi:
+    def test_solve_roundtrip(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, _fig1_envelope())
+            assert out["ok"] and not out["cached"]
+            assert Fraction(out["throughput"]) == Fraction(2)
+            again = handle_request(broker, _fig1_envelope())
+            assert again["cached"]
+            assert again["fingerprint"] == out["fingerprint"]
+
+    def test_solve_with_schedule(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker,
+                                 _fig1_envelope(include_schedule=True))
+            assert out["ok"] and "schedule" in out
+            assert Fraction(out["schedule"]["throughput"]) == Fraction(2)
+
+    def test_request_encode_decode_roundtrip(self):
+        req = SolveRequest(
+            problem="scatter",
+            platform=generators.paper_figure2_multicast(),
+            source="P0",
+            targets=("P5", "P6"),
+            options={"backend": "exact"},
+        )
+        from repro.service.api import request_from_dict
+
+        back = request_from_dict(request_to_dict(req))
+        assert back.fingerprint() == req.fingerprint()
+
+    def test_error_is_a_response_not_an_exception(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {"op": "solve", "request": {
+                "problem": "master-slave"}})
+            assert not out["ok"] and "platform" in out["error"]
+            out = handle_request(broker, {"op": "wat"})
+            assert not out["ok"] and "unknown op" in out["error"]
+
+    def test_ops(self):
+        with Broker(executor="sync") as broker:
+            assert handle_request(broker, {"op": "ping"})["pong"]
+            handle_request(broker, _fig1_envelope())
+            m = handle_request(broker, {"op": "metrics"})
+            assert m["ok"] and m["metrics"]["total_requests"] >= 1
+            c = handle_request(broker, {"op": "cache"})
+            assert c["cache"]["size"] == 1
+            inv = handle_request(broker, {
+                "op": "invalidate",
+                "platform": platform_to_dict(generators.paper_figure1()),
+            })
+            assert inv["invalidated"] == 1
+
+    def test_batch_op(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {
+                "op": "batch",
+                "requests": [_fig1_envelope()["request"],
+                             _fig1_envelope()["request"]],
+            })
+            assert out["ok"] and len(out["results"]) == 2
+            assert (out["results"][0]["fingerprint"]
+                    == out["results"][1]["fingerprint"])
+
+    def test_batch_op_isolates_bad_requests(self):
+        # one bad member must not discard the good members' results
+        bad = {"problem": "nope",
+               "platform": platform_to_dict(generators.star(2)),
+               "master": "M"}
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {
+                "op": "batch",
+                "requests": [_fig1_envelope()["request"], bad,
+                             {"problem": "missing-platform"}],
+            })
+            assert out["ok"] and len(out["results"]) == 3
+            assert out["results"][0]["ok"]
+            assert Fraction(out["results"][0]["throughput"]) == Fraction(2)
+            assert not out["results"][1]["ok"]
+            assert "unknown problem" in out["results"][1]["error"]
+            assert not out["results"][2]["ok"]
+
+    def test_multicast_and_broadcast_over_the_wire(self):
+        # regression: payload encoding of non-SteadyStateSolution results
+        # (multicast used to call a property and 422 on every request)
+        fig2 = platform_to_dict(generators.paper_figure2_multicast())
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {"op": "solve", "request": {
+                "problem": "multicast", "platform": fig2,
+                "source": "P0", "targets": ["P5", "P6"]}})
+            assert out["ok"], out
+            payload = out["solution"]
+            assert Fraction(payload["sum_lp"]) <= Fraction(payload["max_lp"])
+            assert payload["max_lp_achievable"] is False  # section 4.3
+            out = handle_request(broker, {"op": "solve", "request": {
+                "problem": "broadcast",
+                "platform": platform_to_dict(generators.chain(3)),
+                "source": "N0"}})
+            assert out["ok"], out
+            assert out["solution"]["optimal"] is True
+
+    def test_dag_request_over_the_wire(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {"op": "solve", "request": {
+                "problem": "dag",
+                "platform": platform_to_dict(generators.star(2)),
+                "master": "M",
+                "dag": {"types": {"a": "1", "b": "2"},
+                        "files": [{"producer": "a", "consumer": "b",
+                                   "size": "1"}]},
+            }})
+            assert out["ok"], out
+            assert Fraction(out["throughput"]) > 0
+
+
+class TestHttpServer:
+    def test_end_to_end(self):
+        broker = Broker(workers=2)
+        server = ServiceServer(("127.0.0.1", 0), broker=broker)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.port}"
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+                assert json.loads(resp.read())["ok"]
+            body = json.dumps(_fig1_envelope()).encode()
+            req = urllib.request.Request(
+                url + "/api", data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                out = json.loads(resp.read())
+            assert out["ok"] and Fraction(out["throughput"]) == Fraction(2)
+            with urllib.request.urlopen(url + "/metrics", timeout=10) as resp:
+                metrics = json.loads(resp.read())
+            assert metrics["metrics"]["total_requests"] >= 1
+        finally:
+            server.shutdown()
+            broker.close()
+
+
+class TestStdioServer:
+    def test_json_lines_loop(self):
+        import io
+
+        from repro.service.api import serve_stdio
+
+        lines = [
+            json.dumps({"op": "ping"}),
+            json.dumps(_fig1_envelope()),
+            json.dumps({"op": "shutdown"}),
+        ]
+        stdout = io.StringIO()
+        with Broker(executor="sync") as broker:
+            rc = serve_stdio(broker, io.StringIO("\n".join(lines) + "\n"),
+                             stdout)
+        assert rc == 0
+        replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert replies[0]["pong"]
+        assert replies[1]["ok"] and Fraction(replies[1]["throughput"]) == 2
+        assert replies[2]["bye"]
+
+
+class TestSubmitCli:
+    def test_local_submit(self, capsys):
+        from repro.cli import main
+
+        rc = main(["submit", "--problem", "master-slave", "--generator",
+                   "paper_figure1", "--master", "P1"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] and Fraction(out["throughput"]) == Fraction(2)
+
+    def test_submit_request_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "req.json"
+        path.write_text(json.dumps(_fig1_envelope()["request"]))
+        rc = main(["submit", "--request", str(path)])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["ok"]
