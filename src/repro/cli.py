@@ -8,6 +8,8 @@ Commands
 ``broadcast``  broadcast bound + achieving tree packing;
 ``multicast``  the sum/packing/max bracket for a target set;
 ``figures``    regenerate the paper's Figures 1-3 artefacts;
+``problems``   list the solver registry (specs, capabilities; --check
+               solves every registered problem end-to-end);
 ``export``     write a generator-built platform as JSON for editing;
 ``serve``      run the scheduling service (HTTP JSON API, or --stdio);
 ``submit``     send one solve request to a server (or solve locally).
@@ -70,13 +72,13 @@ def _load_platform(args) -> Platform:
 
 
 def cmd_solve(args) -> int:
-    from .core.master_slave import solve_master_slave
+    from .problems import MasterSlaveSpec, solve as solve_problem
     from .schedule.reconstruction import reconstruct_schedule
     from .simulator.periodic_runner import PeriodicRunner
 
     platform = _load_platform(args)
     print(platform.describe())
-    sol = solve_master_slave(platform, args.master)
+    sol = solve_problem(MasterSlaveSpec(platform=platform, master=args.master))
     print()
     print(sol.summary())
     sched = reconstruct_schedule(sol)
@@ -92,11 +94,12 @@ def cmd_solve(args) -> int:
 
 
 def cmd_scatter(args) -> int:
-    from .core.scatter import solve_scatter
+    from .problems import ScatterSpec, solve as solve_problem
     from .schedule.reconstruction import reconstruct_schedule
 
     platform = _load_platform(args)
-    sol = solve_scatter(platform, args.source, args.targets)
+    sol = solve_problem(ScatterSpec(platform=platform, source=args.source,
+                                    targets=tuple(args.targets)))
     print(f"scatter throughput TP = {sol.throughput}")
     sched = reconstruct_schedule(sol)
     print(sched.describe())
@@ -108,10 +111,10 @@ def cmd_scatter(args) -> int:
 
 
 def cmd_broadcast(args) -> int:
-    from .core.broadcast import solve_broadcast
+    from .problems import BroadcastSpec, solve as solve_problem
 
     platform = _load_platform(args)
-    sol = solve_broadcast(platform, args.source)
+    sol = solve_problem(BroadcastSpec(platform=platform, source=args.source))
     status = "optimal" if sol.optimal else "lower bound (greedy packing)"
     print(f"broadcast LP bound = {sol.lp_bound}")
     print(f"tree packing       = {sol.achieved}  [{status}]")
@@ -122,10 +125,12 @@ def cmd_broadcast(args) -> int:
 
 
 def cmd_multicast(args) -> int:
-    from .core.multicast import solve_multicast
+    from .problems import MulticastSpec, solve as solve_problem
 
     platform = _load_platform(args)
-    analysis = solve_multicast(platform, args.source, args.targets)
+    analysis = solve_problem(MulticastSpec(platform=platform,
+                                           source=args.source,
+                                           targets=tuple(args.targets)))
     rows = [
         ["sum-rule LP (pessimistic)", analysis.sum_lp],
         ["tree packing"
@@ -164,6 +169,75 @@ def cmd_figures(_args) -> int:
         print(f"  {u} -> {v}: occupation {occ} > 1")
     print(f"\nbracket: sum-LP {rep.sum_lp} <= achievable {rep.achievable} "
           f"< max-LP {rep.max_lp}")
+    return 0
+
+
+def cmd_problems(args) -> int:
+    """List registered problems; ``--check`` proves each servable."""
+    import json as _json
+
+    from .problems import describe
+
+    if args.check:
+        return _run_registry_check()
+    meta = describe()
+    if args.json:
+        print(_json.dumps(meta, indent=2))
+        return 0
+    rows = []
+    for name, info in meta.items():
+        fields = ", ".join(
+            f["name"] + ("" if f["required"] else f"={f['default']!r}")
+            for f in info["fields"]
+        )
+        caps = info["capabilities"]
+        flags = [f"lp={caps['lp_structure']}"]
+        if caps["warm_resolve"]:
+            flags.append("warm-resolve")
+        if caps["reconstructs_schedule"]:
+            flags.append("reconstructs-schedule")
+        rows.append([name, info["spec"], fields, ", ".join(flags)])
+    print(render_table(["problem", "spec", "fields", "capabilities"], rows))
+    print(f"\n{len(meta)} problems registered "
+          f"(python -m repro problems --check solves each end-to-end)")
+    return 0
+
+
+def _run_registry_check() -> int:
+    """Solve every registered problem end-to-end on a 2-worker star.
+
+    The CI consistency step: each registered entry's example spec is
+    routed through the broker's generic ``execute_request`` dispatch, so
+    registration drift (a spec/solver mismatch, a problem no longer
+    servable) fails loudly.
+    """
+    from .platform import generators
+    from .problems import registered_problems, resolve
+    from .service.broker import SolveRequest, execute_request, solution_throughput
+
+    platform = generators.star(2, bidirectional=True)
+    failures = []
+    for problem in registered_problems():
+        entry = resolve(problem)
+        if entry.example is None:
+            failures.append((problem, "no example factory registered"))
+            continue
+        try:
+            spec = entry.example(platform.copy(), "M", ("W1", "W2"))
+            solution = execute_request(SolveRequest.from_spec(spec))
+            throughput = solution_throughput(solution)
+            if throughput < 0:
+                raise ValueError(f"negative throughput {throughput}")
+            print(f"  {problem:16s} OK  throughput = {throughput}")
+        except Exception as exc:  # noqa: BLE001 — report all drift at once
+            failures.append((problem, f"{type(exc).__name__}: {exc}"))
+    if failures:
+        for problem, reason in failures:
+            print(f"  {problem:16s} FAIL  {reason}")
+        print(f"\nregistry check FAILED for {len(failures)} problem(s)")
+        return 1
+    print(f"\nregistry check OK: {len(registered_problems())} problems "
+          f"servable end-to-end")
     return 0
 
 
@@ -318,6 +392,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("problems",
+                       help="list registered problems and capabilities")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable registry metadata")
+    p.add_argument("--check", action="store_true",
+                   help="solve every registered problem end-to-end on a "
+                        "2-worker star (the CI consistency check)")
+    p.set_defaults(func=cmd_problems)
 
     p = sub.add_parser("export", help="write a platform as JSON")
     _add_platform_options(p)

@@ -93,6 +93,51 @@ def build_ssms_lp(
     return lp, handles
 
 
+def patch_ssms_coefficients(
+    lp: LinearProgram,
+    handles: Dict[str, object],
+    platform: Platform,
+    master: NodeId,
+) -> None:
+    """Rewrite every weight-derived coefficient of an assembled SSMS model.
+
+    The structure-vs-coefficient split behind the ``warm_resolve``
+    capability (:mod:`repro.problems.registry`): the conservation law of
+    node ``i`` was assembled as ``inflow - compute - outflow == 0`` with
+    coefficients ``+1/c_ji`` (on ``s_ji``), ``-1/w_i`` (on ``alpha_i``)
+    and ``-1/c_ij`` (on ``s_ij``); the objective carries ``+1/w_i`` per
+    compute node.  One-port constraints and variable bounds are
+    weight-free, so a weight-only platform mutation moves exactly these
+    coefficients — the model is patched through the
+    :class:`~repro.lp.model.LinearProgram` rebuild hook and re-solved
+    without re-assembly.
+    """
+    one = Fraction(1)
+    for node in platform.nodes():
+        if node == master:
+            continue
+        name = f"conserve[{node}]"
+        for j in platform.predecessors(node):
+            lp.set_constraint_coefficient(
+                name, handles[("s", j, node)], one / platform.c(j, node)
+            )
+        for j in platform.successors(node):
+            lp.set_constraint_coefficient(
+                name, handles[("s", node, j)], -one / platform.c(node, j)
+            )
+        spec = platform.node(node)
+        if spec.can_compute:
+            lp.set_constraint_coefficient(
+                name, handles[("alpha", node)], -one / spec.w
+            )
+    for node in platform.nodes():
+        spec = platform.node(node)
+        if spec.can_compute:
+            lp.set_objective_coefficient(
+                handles[("alpha", node)], one / spec.w
+            )
+
+
 def package_ssms_solution(
     platform: Platform,
     master: NodeId,

@@ -133,24 +133,47 @@ def build_ssps_lp(
     return lp, handles
 
 
-def solve_scatter(
+def patch_ssps_coefficients(
+    lp: LinearProgram,
+    handles: Dict[object, object],
+    platform: Platform,
+    targets: Sequence[NodeId],
+) -> None:
+    """Rewrite every weight-derived coefficient of an assembled SSPS model.
+
+    The structure-vs-coefficient split behind the ``warm_resolve``
+    capability (:mod:`repro.problems.registry`), mirroring
+    :func:`repro.core.master_slave.patch_ssms_coefficients`: only the
+    occupation constraints ``s_ij - sum_k c_ij * send(i,j,k) == 0`` carry
+    weights (SSPS has no compute terms, so node weights never appear);
+    port, conservation and delivery constraints — and the objective — are
+    weight-free.  A weight-only platform mutation therefore moves exactly
+    the ``c_ij`` coefficients patched here.
+    """
+    for spec in platform.edges():
+        i, j = spec.src, spec.dst
+        name = f"occupation[{i}->{j}]"
+        for k in targets:
+            lp.set_constraint_coefficient(
+                name, handles[("send", i, j, k)], -spec.c
+            )
+
+
+def package_ssps_solution(
     platform: Platform,
     source: NodeId,
     targets: Sequence[NodeId],
+    sol,
+    handles: Dict[object, object],
     backend: str = "exact",
     port_model: str = "one-port",
-    ports: int = 1,
 ) -> SteadyStateSolution:
-    """Solve SSPS(G); returns verified activities with per-commodity flows.
+    """Turn an SSPS LP solution into verified per-commodity activities.
 
-    ``port_model``/``ports`` select the section 5.1 variant (the returned
-    solution's one-port invariant check is only run for the default model).
+    Shared by :func:`solve_scatter` and the warm re-solve path (which
+    re-solves a coefficient-patched copy of the same LP, reusing the
+    handle dict across platforms with identical topology).
     """
-    lp, handles = build_ssps_lp(
-        platform, source, targets, port_model=port_model, ports=ports
-    )
-    sol = lp.solve(backend=backend)
-
     send: Dict[Tuple[NodeId, NodeId, str], Fraction] = {}
     per_commodity: Dict[str, Dict[Tuple[NodeId, NodeId], Fraction]] = {
         k: {} for k in targets
@@ -189,6 +212,64 @@ def solve_scatter(
     return out
 
 
+def solve_scatter(
+    platform: Platform,
+    source: NodeId,
+    targets: Sequence[NodeId],
+    backend: str = "exact",
+    port_model: str = "one-port",
+    ports: int = 1,
+) -> SteadyStateSolution:
+    """Solve SSPS(G); returns verified activities with per-commodity flows.
+
+    ``port_model``/``ports`` select the section 5.1 variant (the returned
+    solution's one-port invariant check is only run for the default model).
+    """
+    lp, handles = build_ssps_lp(
+        platform, source, targets, port_model=port_model, ports=ports
+    )
+    sol = lp.solve(backend=backend)
+    return package_ssps_solution(
+        platform, source, targets, sol, handles,
+        backend=backend, port_model=port_model,
+    )
+
+
+def reversed_platform(platform: Platform) -> Platform:
+    """Same nodes, every edge direction flipped (gather = reversed scatter)."""
+    out = Platform(f"{platform.name}-reversed")
+    for spec in platform._nodes.values():  # noqa: SLF001 — same package
+        out.add_node(spec.name, spec.w)
+    for spec in platform.edges():
+        out.add_edge(spec.dst, spec.src, spec.c)
+    return out
+
+
+def gather_from_scatter(
+    platform: Platform,
+    sink: NodeId,
+    sources: Sequence[NodeId],
+    rsol: SteadyStateSolution,
+) -> SteadyStateSolution:
+    """Re-express a reversed-platform scatter solution as a gather solution
+    on the *original* platform (edge directions restored; commodity ``k``
+    then flows from source node ``k`` towards the sink)."""
+    send = {
+        (j, i, k): rate for (i, j, k), rate in rsol.send.items()
+    }
+    s = {(j, i): v for (i, j), v in rsol.s.items()}
+    return SteadyStateSolution(
+        platform=platform,
+        problem="gather",
+        throughput=rsol.throughput,
+        s=s,
+        send=send,
+        source=sink,  # the distinguished node
+        targets=tuple(sources),
+        edge_occupation_mode="sum",
+    )
+
+
 def solve_gather(
     platform: Platform,
     sink: NodeId,
@@ -200,27 +281,9 @@ def solve_gather(
     Gather is scatter on the reversed platform; the returned solution is
     expressed on the *original* platform (edge directions restored).
     """
-    reversed_platform = Platform(f"{platform.name}-reversed")
-    for spec in platform._nodes.values():  # noqa: SLF001 — same package
-        reversed_platform.add_node(spec.name, spec.w)
-    for spec in platform.edges():
-        reversed_platform.add_edge(spec.dst, spec.src, spec.c)
-    rsol = solve_scatter(reversed_platform, sink, sources, backend=backend)
-    send = {
-        (j, i, k): rate for (i, j, k), rate in rsol.send.items()
-    }
-    s = {(j, i): v for (i, j), v in rsol.s.items()}
-    out = SteadyStateSolution(
-        platform=platform,
-        problem="gather",
-        throughput=rsol.throughput,
-        s=s,
-        send=send,
-        source=sink,  # the distinguished node
-        targets=tuple(sources),
-        edge_occupation_mode="sum",
-    )
-    return out
+    rsol = solve_scatter(reversed_platform(platform), sink, sources,
+                         backend=backend)
+    return gather_from_scatter(platform, sink, sources, rsol)
 
 
 def solve_all_to_all(

@@ -1,0 +1,273 @@
+"""The built-in problem catalog: every paper problem, registered once.
+
+Each block below is the *whole* integration surface for a problem: a
+typed spec (:mod:`repro.problems.specs`), a decorated uniform solver, a
+capability declaration, and — where the LP admits the
+structure-vs-coefficient split — a :class:`~repro.problems.registry.WarmModel`.
+The CLI, JSON API, broker and incremental solver all pick these up through
+the registry; nothing else needs editing to make a new problem servable.
+
+The ``example`` factories build a minimal spec on a caller-supplied star
+platform (root + workers with edges both ways); the registry consistency
+check (``python -m repro problems --check`` and the mirror test in
+``tests/test_problems.py``) runs every one of them end-to-end through
+:func:`repro.service.broker.execute_request` to catch registration drift.
+"""
+
+from __future__ import annotations
+
+from ..core.broadcast import solve_broadcast, solve_reduce
+from ..core.dag import TaskGraph, solve_dag_collection
+from ..core.master_slave import (
+    build_ssms_lp,
+    package_ssms_solution,
+    patch_ssms_coefficients,
+    solve_master_slave,
+)
+from ..core.multicast import solve_multicast
+from ..core.port_models import (
+    solve_master_slave_multiport,
+    solve_master_slave_send_or_receive,
+)
+from ..core.scatter import (
+    build_ssps_lp,
+    gather_from_scatter,
+    package_ssps_solution,
+    patch_ssps_coefficients,
+    reversed_platform,
+    solve_all_to_all_solution,
+    solve_gather,
+    solve_scatter,
+)
+from .registry import Capabilities, WarmModel, register
+from .specs import (
+    AllToAllSpec,
+    BroadcastSpec,
+    DagSpec,
+    GatherSpec,
+    MasterSlaveSpec,
+    MulticastSpec,
+    MultiportSpec,
+    ReduceSpec,
+    ScatterSpec,
+    SendOrReceiveSpec,
+)
+
+# ----------------------------------------------------------------------
+# master-slave (SSMS, section 3.1)
+# ----------------------------------------------------------------------
+_SSMS_WARM = WarmModel(
+    spec_key=lambda spec: ("master-slave", spec.master),
+    build=lambda spec: build_ssms_lp(spec.platform, spec.master),
+    patch=lambda lp, handles, spec: patch_ssms_coefficients(
+        lp, handles, spec.platform, spec.master
+    ),
+    package=lambda spec, sol, handles, backend: package_ssms_solution(
+        spec.platform, spec.master, sol, handles, backend=backend
+    ),
+)
+
+
+@register(
+    MasterSlaveSpec,
+    capabilities=Capabilities(warm_resolve=True, reconstructs_schedule=True,
+                              lp_structure="ssms"),
+    entry_point=solve_master_slave,
+    warm_model=_SSMS_WARM,
+    example=lambda platform, root, others: MasterSlaveSpec(
+        platform=platform, master=root
+    ),
+)
+def _solve_master_slave(spec: MasterSlaveSpec, backend: str = "exact"):
+    return solve_master_slave(spec.platform, spec.master, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# scatter (SSPS, section 3.2 — port models of section 5.1)
+# ----------------------------------------------------------------------
+_SSPS_WARM = WarmModel(
+    spec_key=lambda spec: ("scatter", spec.source,
+                           tuple(sorted(spec.targets)),
+                           spec.port_model, spec.ports),
+    build=lambda spec: build_ssps_lp(
+        spec.platform, spec.source, list(spec.targets),
+        port_model=spec.port_model, ports=spec.ports,
+    ),
+    patch=lambda lp, handles, spec: patch_ssps_coefficients(
+        lp, handles, spec.platform, spec.targets
+    ),
+    package=lambda spec, sol, handles, backend: package_ssps_solution(
+        spec.platform, spec.source, list(spec.targets), sol, handles,
+        backend=backend, port_model=spec.port_model,
+    ),
+)
+
+
+@register(
+    ScatterSpec,
+    capabilities=Capabilities(warm_resolve=True, reconstructs_schedule=True,
+                              lp_structure="ssps"),
+    entry_point=solve_scatter,
+    warm_model=_SSPS_WARM,
+    example=lambda platform, root, others: ScatterSpec(
+        platform=platform, source=root, targets=tuple(others)
+    ),
+)
+def _solve_scatter(spec: ScatterSpec, backend: str = "exact"):
+    return solve_scatter(
+        spec.platform, spec.source, list(spec.targets), backend=backend,
+        port_model=spec.port_model, ports=spec.ports,
+    )
+
+
+# ----------------------------------------------------------------------
+# gather — scatter on the reversed platform (section 4.2).  The warm
+# model works on the reversed platform throughout: the reversed topology
+# is a pure function of the original topology, so the original's topology
+# signature still keys the hot-model cache correctly.
+# ----------------------------------------------------------------------
+def _gather_build(spec: GatherSpec):
+    return build_ssps_lp(reversed_platform(spec.platform), spec.sink,
+                         list(spec.sources))
+
+
+def _gather_patch(lp, handles, spec: GatherSpec) -> None:
+    patch_ssps_coefficients(lp, handles, reversed_platform(spec.platform),
+                            spec.sources)
+
+
+def _gather_package(spec: GatherSpec, sol, handles, backend: str):
+    rsol = package_ssps_solution(
+        reversed_platform(spec.platform), spec.sink, list(spec.sources),
+        sol, handles, backend=backend,
+    )
+    return gather_from_scatter(spec.platform, spec.sink, spec.sources, rsol)
+
+
+_GATHER_WARM = WarmModel(
+    spec_key=lambda spec: ("gather", spec.sink, tuple(sorted(spec.sources))),
+    build=_gather_build,
+    patch=_gather_patch,
+    package=_gather_package,
+)
+
+
+@register(
+    GatherSpec,
+    capabilities=Capabilities(warm_resolve=True, reconstructs_schedule=True,
+                              lp_structure="ssps"),
+    entry_point=solve_gather,
+    warm_model=_GATHER_WARM,
+    example=lambda platform, root, others: GatherSpec(
+        platform=platform, sink=root, sources=tuple(others)
+    ),
+)
+def _solve_gather(spec: GatherSpec, backend: str = "exact"):
+    return solve_gather(spec.platform, spec.sink, list(spec.sources),
+                        backend=backend)
+
+
+# ----------------------------------------------------------------------
+# personalised all-to-all (end of section 4.2)
+# ----------------------------------------------------------------------
+@register(
+    AllToAllSpec,
+    capabilities=Capabilities(reconstructs_schedule=True,
+                              lp_structure="multicommodity"),
+    entry_point=solve_all_to_all_solution,
+    example=lambda platform, root, others: AllToAllSpec(platform=platform),
+)
+def _solve_all_to_all(spec: AllToAllSpec, backend: str = "exact"):
+    participants = list(spec.participants) or None
+    return solve_all_to_all_solution(spec.platform, participants,
+                                     backend=backend)
+
+
+# ----------------------------------------------------------------------
+# broadcast / reduce (sections 3.3 and 4.2)
+# ----------------------------------------------------------------------
+@register(
+    BroadcastSpec,
+    capabilities=Capabilities(lp_structure="tree-packing"),
+    entry_point=solve_broadcast,
+    example=lambda platform, root, others: BroadcastSpec(
+        platform=platform, source=root
+    ),
+)
+def _solve_broadcast(spec: BroadcastSpec, backend: str = "exact"):
+    return solve_broadcast(spec.platform, spec.source, backend=backend,
+                           tree_limit=spec.tree_limit)
+
+
+@register(
+    ReduceSpec,
+    capabilities=Capabilities(lp_structure="tree-packing"),
+    entry_point=solve_reduce,
+    example=lambda platform, root, others: ReduceSpec(
+        platform=platform, root=root
+    ),
+)
+def _solve_reduce(spec: ReduceSpec, backend: str = "exact"):
+    return solve_reduce(spec.platform, spec.root, backend=backend,
+                        tree_limit=spec.tree_limit)
+
+
+# ----------------------------------------------------------------------
+# multicast bracket (section 4.3)
+# ----------------------------------------------------------------------
+@register(
+    MulticastSpec,
+    capabilities=Capabilities(lp_structure="tree-packing"),
+    entry_point=solve_multicast,
+    example=lambda platform, root, others: MulticastSpec(
+        platform=platform, source=root, targets=tuple(others)
+    ),
+)
+def _solve_multicast(spec: MulticastSpec, backend: str = "exact"):
+    return solve_multicast(spec.platform, spec.source, list(spec.targets),
+                           backend=backend, tree_limit=spec.tree_limit)
+
+
+# ----------------------------------------------------------------------
+# DAG collections (section 4.4)
+# ----------------------------------------------------------------------
+@register(
+    DagSpec,
+    capabilities=Capabilities(lp_structure="dag-collection"),
+    entry_point=solve_dag_collection,
+    example=lambda platform, root, others: DagSpec(
+        platform=platform, master=root, dag=TaskGraph.chain([1, 2], [1])
+    ),
+)
+def _solve_dag(spec: DagSpec, backend: str = "exact"):
+    return solve_dag_collection(spec.platform, spec.dag, spec.master,
+                                backend=backend)
+
+
+# ----------------------------------------------------------------------
+# alternative port models for master-slave (section 5.1)
+# ----------------------------------------------------------------------
+@register(
+    MultiportSpec,
+    capabilities=Capabilities(lp_structure="ssms-multiport"),
+    entry_point=solve_master_slave_multiport,
+    example=lambda platform, root, others: MultiportSpec(
+        platform=platform, master=root, ports=2
+    ),
+)
+def _solve_multiport(spec: MultiportSpec, backend: str = "exact"):
+    return solve_master_slave_multiport(spec.platform, spec.master,
+                                        ports=spec.ports, backend=backend)
+
+
+@register(
+    SendOrReceiveSpec,
+    capabilities=Capabilities(lp_structure="ssms-send-or-receive"),
+    entry_point=solve_master_slave_send_or_receive,
+    example=lambda platform, root, others: SendOrReceiveSpec(
+        platform=platform, master=root
+    ),
+)
+def _solve_send_or_receive(spec: SendOrReceiveSpec, backend: str = "exact"):
+    return solve_master_slave_send_or_receive(spec.platform, spec.master,
+                                              backend=backend)

@@ -1,0 +1,453 @@
+"""Typed problem specifications — one dataclass per steady-state problem.
+
+The paper's "why" is that a single steady-state LP formulation covers
+master-slave tasking, scatter/gather, broadcast/reduce, multicast and DAG
+collections.  This module gives each of those problems a *typed spec*: a
+frozen dataclass naming exactly the fields the problem needs (its
+distinguished node, its commodity set, its structural options), with
+
+* validation at construction time — a malformed spec raises
+  :class:`SpecError`, never a downstream ``KeyError``/``TypeError``;
+* an exact JSON wire codec (:meth:`ProblemSpec.to_wire` /
+  :meth:`ProblemSpec.from_wire`) with explicit versioning;
+* a lossless mapping to and from the service's flat request fields
+  (``source``/``targets``/``dag``/``options``), so the legacy wire schema
+  keeps working.
+
+Specs are *data only*.  How a spec is solved — and which capabilities the
+solver declares — lives in :mod:`repro.problems.registry` and the built-in
+:mod:`repro.problems.catalog`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from fractions import Fraction
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+from ..core.dag import BEGIN, TaskGraph
+from ..platform.graph import NodeId, Platform
+
+#: wire-format version accepted by :meth:`ProblemSpec.from_wire`
+SPEC_VERSION = 1
+
+
+class SpecError(ValueError):
+    """A malformed problem spec (missing, unknown or ill-typed fields)."""
+
+
+# ----------------------------------------------------------------------
+# task-graph wire codec (shared by DagSpec and the legacy request schema)
+# ----------------------------------------------------------------------
+def dag_from_dict(data: Any) -> TaskGraph:
+    """Decode the wire form of a task graph; raise :class:`SpecError`."""
+    try:
+        dag = TaskGraph()
+        for name, work in data.get("types", {}).items():
+            dag.add_type(name, Fraction(str(work)))
+        for rec in data.get("files", []):
+            dag.add_file(rec["producer"], rec["consumer"],
+                         Fraction(str(rec["size"])))
+        if data.get("anchor", True):
+            dag.anchor_at_master(Fraction(str(data.get("input_size", 1))))
+        return dag
+    except (AttributeError, KeyError, TypeError, ValueError,
+            ZeroDivisionError) as exc:
+        raise SpecError(f"malformed task graph spec: {exc}") from exc
+
+
+def dag_to_dict(dag: TaskGraph) -> Dict[str, Any]:
+    """Encode a task graph (inverse of :func:`dag_from_dict`)."""
+    from ..platform.serialization import encode_weight
+
+    return {
+        "types": {
+            t: encode_weight(w) for t, w in dag.types.items() if t != BEGIN
+        },
+        "files": [
+            {"producer": a, "consumer": b, "size": encode_weight(sz)}
+            for (a, b), sz in dag.files.items() if a != BEGIN
+        ],
+        "anchor": BEGIN in dag.types,
+        "input_size": encode_weight(
+            next(
+                (sz for (a, _b), sz in dag.files.items() if a == BEGIN),
+                Fraction(1),
+            )
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# the spec hierarchy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Base class: a platform plus problem-specific fields.
+
+    Subclasses declare their fields as ordinary dataclass fields and steer
+    the generic validation / codec machinery with class attributes:
+
+    ``problem``
+        The wire-level problem name (the registry key).
+    ``_SOURCE_FIELD`` / ``_TARGETS_FIELD``
+        Which spec field the flat request-level ``source`` (resp.
+        ``targets``) maps onto — e.g. gather's sink arrives as ``source``.
+    ``_ROLES``
+        Human-readable field descriptions used in validation errors.
+    ``_INT_FIELDS``
+        Option fields coerced to ``int`` (wire JSON may carry strings).
+    """
+
+    platform: Platform
+
+    problem: ClassVar[str] = ""
+    _SOURCE_FIELD: ClassVar[Optional[str]] = None
+    _TARGETS_FIELD: ClassVar[Optional[str]] = None
+    _ROLES: ClassVar[Dict[str, str]] = {}
+    _INT_FIELDS: ClassVar[Tuple[str, ...]] = ()
+
+    # ------------------------------------------------------------------
+    # construction-time validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if not isinstance(self.platform, Platform):
+            raise SpecError(
+                f"{self.problem} spec needs a Platform, got "
+                f"{type(self.platform).__name__}"
+            )
+        for f in self._spec_fields():
+            value = getattr(self, f.name)
+            if f.name == self._SOURCE_FIELD:
+                if value is None or (isinstance(value, str) and not value):
+                    raise SpecError(
+                        f"{self.problem} requests need {self._role(f.name)}"
+                    )
+            elif f.name == self._TARGETS_FIELD:
+                if isinstance(value, (str, bytes)):
+                    # tuple("P5") would silently become ('P', '5')
+                    raise SpecError(
+                        f"{self._role(f.name)} must be a sequence of node "
+                        f"names, got the bare string {value!r}"
+                    )
+                try:
+                    value = tuple(value)
+                except TypeError:
+                    raise SpecError(
+                        f"{self._role(f.name)} must be a sequence of node "
+                        f"names, got {value!r}"
+                    ) from None
+                object.__setattr__(self, f.name, value)
+                if not value and self._field_required(f):
+                    raise SpecError(
+                        f"{self.problem} requests need {self._role(f.name)}"
+                    )
+            elif f.name in self._INT_FIELDS:
+                try:
+                    coerced = int(value)
+                    # int() on a string already rejects "2.9"; for numeric
+                    # input, refuse to truncate 2.9 -> 2 silently
+                    if not isinstance(value, str) and coerced != value:
+                        raise ValueError
+                except (TypeError, ValueError):
+                    raise SpecError(
+                        f"{self.problem} option {f.name!r} must be an "
+                        f"integer, got {value!r}"
+                    ) from None
+                object.__setattr__(self, f.name, coerced)
+        self._validate()
+
+    def _validate(self) -> None:
+        """Subclass hook for problem-specific invariants."""
+
+    # ------------------------------------------------------------------
+    # generic introspection helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def _spec_fields(cls):
+        return [f for f in fields(cls) if f.name != "platform"]
+
+    @staticmethod
+    def _field_required(f) -> bool:
+        return (f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING)
+
+    @classmethod
+    def _role(cls, name: str) -> str:
+        return cls._ROLES.get(name, name)
+
+    def source_node(self) -> Optional[NodeId]:
+        """The distinguished node (master / source / sink / root), if any."""
+        if self._SOURCE_FIELD is None:
+            return None
+        return getattr(self, self._SOURCE_FIELD)
+
+    def target_nodes(self) -> Tuple[NodeId, ...]:
+        """The commodity set (targets / sources / participants), if any."""
+        if self._TARGETS_FIELD is None:
+            return ()
+        return tuple(getattr(self, self._TARGETS_FIELD))
+
+    def dag_graph(self) -> Optional[TaskGraph]:
+        return getattr(self, "dag", None)
+
+    def option_fields(self) -> Dict[str, Any]:
+        """Spec fields that travel as request-level ``options``."""
+        skip = {"platform", "dag", self._SOURCE_FIELD, self._TARGETS_FIELD}
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self) if f.name not in skip
+        }
+
+    # ------------------------------------------------------------------
+    # flat request fields (the legacy wire schema / SolveRequest shape)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_request_fields(
+        cls,
+        platform: Platform,
+        source: Optional[NodeId] = None,
+        targets: Any = (),
+        dag: Optional[TaskGraph] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> "ProblemSpec":
+        """Build a typed spec from the flat request fields.
+
+        ``options["backend"]`` is an execution choice, not part of the
+        problem, and is ignored here (the service keeps it on the request);
+        any other unknown option is a typed error.
+        """
+        opts = dict(options or {})
+        opts.pop("backend", None)
+        kwargs: Dict[str, Any] = {}
+        names = {f.name for f in cls._spec_fields()}
+        if cls._SOURCE_FIELD is not None:
+            kwargs[cls._SOURCE_FIELD] = source
+        elif source is not None:
+            raise SpecError(f"{cls.problem} requests take no source")
+        if cls._TARGETS_FIELD is not None:
+            kwargs[cls._TARGETS_FIELD] = targets
+        elif targets:
+            raise SpecError(f"{cls.problem} requests take no targets")
+        if "dag" in names:
+            kwargs["dag"] = dag
+        elif dag is not None:
+            raise SpecError(f"{cls.problem} requests take no task graph")
+        for name in names - set(kwargs):
+            if name in opts:
+                kwargs[name] = opts.pop(name)
+        if opts:
+            raise SpecError(
+                f"unknown option(s) for {cls.problem}: {sorted(opts)}"
+            )
+        return cls(platform=platform, **kwargs)
+
+    # ------------------------------------------------------------------
+    # wire codec (the versioned "spec" envelope)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe encoding; exact inverse of :meth:`from_wire`."""
+        out: Dict[str, Any] = {"version": SPEC_VERSION, "problem": self.problem}
+        for f in self._spec_fields():
+            value = getattr(self, f.name)
+            if isinstance(value, TaskGraph):
+                value = dag_to_dict(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_wire(cls, platform: Platform, payload: Any) -> "ProblemSpec":
+        """Decode a spec envelope; raise :class:`SpecError` when malformed."""
+        if not isinstance(payload, dict):
+            raise SpecError(f"spec envelope must be an object, got "
+                            f"{type(payload).__name__}")
+        data = dict(payload)
+        version = data.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SpecError(
+                f"unsupported spec version {version!r} "
+                f"(this build speaks version {SPEC_VERSION})"
+            )
+        problem = data.pop("problem", cls.problem)
+        if problem != cls.problem:
+            raise SpecError(
+                f"spec envelope names problem {problem!r} but was decoded "
+                f"as {cls.problem!r}"
+            )
+        names = {f.name for f in cls._spec_fields()}
+        unknown = set(data) - names
+        if unknown:
+            raise SpecError(
+                f"unknown spec field(s) for {cls.problem}: {sorted(unknown)}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for f in cls._spec_fields():
+            if f.name not in data:
+                if cls._field_required(f):
+                    raise SpecError(
+                        f"{cls.problem} requests need {cls._role(f.name)}"
+                    )
+                continue
+            value = data[f.name]
+            if f.name == "dag" and not isinstance(value, TaskGraph):
+                value = dag_from_dict(value)
+            kwargs[f.name] = value
+        return cls(platform=platform, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the ten built-in problem kinds (sections 3-5 of the paper)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MasterSlaveSpec(ProblemSpec):
+    """SSMS — master-slave tasking (section 3.1)."""
+
+    master: NodeId
+
+    problem = "master-slave"
+    _SOURCE_FIELD = "master"
+    _ROLES = {"master": "source/master"}
+
+
+@dataclass(frozen=True)
+class ScatterSpec(ProblemSpec):
+    """SSPS — pipelined scatter (section 3.2), any port model (5.1)."""
+
+    source: NodeId
+    targets: Tuple[NodeId, ...]
+    port_model: str = "one-port"
+    ports: int = 1
+
+    problem = "scatter"
+    _SOURCE_FIELD = "source"
+    _TARGETS_FIELD = "targets"
+    _INT_FIELDS = ("ports",)
+
+    def _validate(self) -> None:
+        if self.port_model not in ("one-port", "send-or-receive", "multiport"):
+            raise SpecError(f"unknown port model {self.port_model!r}")
+        if self.ports < 1:
+            raise SpecError("ports must be >= 1")
+
+
+@dataclass(frozen=True)
+class GatherSpec(ProblemSpec):
+    """Pipelined gather — scatter on the reversed platform (section 4.2)."""
+
+    sink: NodeId
+    sources: Tuple[NodeId, ...]
+
+    problem = "gather"
+    _SOURCE_FIELD = "sink"
+    _TARGETS_FIELD = "sources"
+    _ROLES = {"sink": "source (the sink)", "sources": "targets (the sources)"}
+
+
+@dataclass(frozen=True)
+class AllToAllSpec(ProblemSpec):
+    """Personalised all-to-all (end of section 4.2).
+
+    An empty ``participants`` tuple means every platform node takes part.
+    """
+
+    participants: Tuple[NodeId, ...] = ()
+
+    problem = "all-to-all"
+    _TARGETS_FIELD = "participants"
+
+
+@dataclass(frozen=True)
+class BroadcastSpec(ProblemSpec):
+    """Series of broadcasts — LP bound + arborescence packing (3.3, 4.2)."""
+
+    source: NodeId
+    tree_limit: int = 100_000
+
+    problem = "broadcast"
+    _SOURCE_FIELD = "source"
+    _INT_FIELDS = ("tree_limit",)
+
+    def _validate(self) -> None:
+        if self.tree_limit < 1:
+            raise SpecError("tree_limit must be >= 1")
+
+
+@dataclass(frozen=True)
+class ReduceSpec(ProblemSpec):
+    """Series of reductions — reverse broadcast with combining (4.2)."""
+
+    root: NodeId
+    tree_limit: int = 100_000
+
+    problem = "reduce"
+    _SOURCE_FIELD = "root"
+    _INT_FIELDS = ("tree_limit",)
+
+    def _validate(self) -> None:
+        if self.tree_limit < 1:
+            raise SpecError("tree_limit must be >= 1")
+
+
+@dataclass(frozen=True)
+class MulticastSpec(ProblemSpec):
+    """Multicast sum/packing/max bracket (section 4.3)."""
+
+    source: NodeId
+    targets: Tuple[NodeId, ...]
+    tree_limit: int = 100_000
+
+    problem = "multicast"
+    _SOURCE_FIELD = "source"
+    _TARGETS_FIELD = "targets"
+    _INT_FIELDS = ("tree_limit",)
+
+    def _validate(self) -> None:
+        if self.tree_limit < 1:
+            raise SpecError("tree_limit must be >= 1")
+
+
+@dataclass(frozen=True)
+class DagSpec(ProblemSpec):
+    """Collections of identical task graphs (section 4.4)."""
+
+    master: NodeId
+    dag: TaskGraph
+
+    problem = "dag"
+    _SOURCE_FIELD = "master"
+    _ROLES = {"master": "source/master"}
+
+    def _validate(self) -> None:
+        if not isinstance(self.dag, TaskGraph):
+            raise SpecError("dag requests need a task graph")
+
+
+@dataclass(frozen=True)
+class MultiportSpec(ProblemSpec):
+    """SSMS under the multiport model of section 5.1.2."""
+
+    master: NodeId
+    ports: int = 2
+
+    problem = "multiport"
+    _SOURCE_FIELD = "master"
+    _ROLES = {"master": "source/master"}
+    _INT_FIELDS = ("ports",)
+
+    def _validate(self) -> None:
+        if self.ports < 1:
+            raise SpecError("ports must be >= 1")
+
+
+@dataclass(frozen=True)
+class SendOrReceiveSpec(ProblemSpec):
+    """SSMS under the send-OR-receive model of section 5.1.1."""
+
+    master: NodeId
+
+    problem = "send-or-receive"
+    _SOURCE_FIELD = "master"
+    _ROLES = {"master": "source/master"}

@@ -92,30 +92,32 @@ def reconstruct_schedule(
         routes["task"] = decompose_flow(
             solution.platform, flow, solution.source, demands
         )
-    elif solution.problem == "all-to-all":
-        # commodities are named "a->b": each has its own source and sink
-        commodities = sorted({k for (_, _, k) in solution.send})
-        for k in commodities:
-            a, b = k.split("->")
+    elif solution.send and (
+        solution.problem == "all-to-all" or solution.source is not None
+    ):
+        # every other commodity flow differs only in where a commodity
+        # originates and where it is consumed:
+        #   all-to-all — commodities are named "a->b", each with its own
+        #     source and sink;
+        #   gather — commodity k points AT the sink: sourced at node k,
+        #     consumed at solution.source (the reverse orientation of
+        #     scatter's source-outward flows);
+        #   scatter and friends — sourced at solution.source, consumed
+        #     at target k.
+        for k in sorted({key for (_, _, key) in solution.send}):
+            if solution.problem == "all-to-all":
+                origin, consumer = k.split("->")
+            elif solution.problem == "gather":
+                origin, consumer = k, solution.source
+            else:
+                origin, consumer = solution.source, k
             flow = {
                 (i, j): rate * T
                 for (i, j, kk), rate in solution.send.items()
                 if kk == k and rate > 0
             }
-            demands = {b: solution.throughput * T}
-            routes[k] = decompose_flow(solution.platform, flow, a, demands)
-    elif solution.send and solution.source is not None:
-        commodities = sorted({k for (_, _, k) in solution.send})
-        for k in commodities:
-            flow = {
-                (i, j): rate * T
-                for (i, j, kk), rate in solution.send.items()
-                if kk == k and rate > 0
-            }
-            demands = {k: solution.throughput * T}
-            routes[k] = decompose_flow(
-                solution.platform, flow, solution.source, demands
-            )
+            demands = {consumer: solution.throughput * T}
+            routes[k] = decompose_flow(solution.platform, flow, origin, demands)
 
     schedule = PeriodicSchedule(
         platform=solution.platform,

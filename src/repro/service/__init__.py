@@ -12,10 +12,12 @@ long-running scheduling service that amortises solves across requests:
   miss / eviction counters and explicit invalidation on platform mutation;
 * :mod:`~repro.service.broker` — a request broker that coalesces duplicate
   in-flight requests, batches distinct ones and fans them out to a worker
-  pool over the existing LP backends;
+  pool, dispatching every problem through the typed solver registry of
+  :mod:`repro.problems` (one generic path, no per-problem adapters);
 * :mod:`~repro.service.incremental` — warm re-solve when only edge/node
-  weights change (the LP structure is reused, only coefficients are
-  rebuilt; topology changes fall back to a full rebuild);
+  weights change, for every solver declaring the ``warm_resolve``
+  capability (the LP structure is reused, only coefficients are rebuilt;
+  topology changes fall back to a full rebuild);
 * :mod:`~repro.service.api` — a JSON request/response layer and the
   ``python -m repro serve`` / ``python -m repro submit`` CLI entry points;
 * :mod:`~repro.service.metrics` — per-endpoint latency / throughput

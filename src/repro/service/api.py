@@ -7,21 +7,32 @@ strings, ``"inf"`` for forwarders).  One envelope per message::
     {"op": "solve",  "request":  {<solve request>}}
     {"op": "batch",  "requests": [<solve request>, ...]}
     {"op": "invalidate", "platform": {<platform>}}
-    {"op": "metrics"} | {"op": "cache"} | {"op": "ping"}
+    {"op": "metrics"} | {"op": "cache"} | {"op": "ping"} | {"op": "problems"}
 
-A solve request::
+A solve request carries a versioned, typed **spec envelope** (the
+canonical form — field names come straight from the registered
+:class:`~repro.problems.specs.ProblemSpec` classes)::
 
-    {"problem": "master-slave",          # key of SOLVER_ENTRY_POINTS
+    {"spec": {"version": 1,
+              "problem": "gather",       # any registered problem
+              "sink": "P1",              # spec-typed fields
+              "sources": ["P5", "P6"]},
      "platform": {...},                  # platform_to_dict format
-     "source": "P1",                     # or "master" — synonyms
-     "targets": ["P5", "P6"],            # scatter/gather/multicast/a2a
-     "dag": {"types": {...}, "files": [...]},   # dag problems only
-     "options": {"backend": "exact"},
+     "options": {"backend": "exact"},    # execution options
      "include_schedule": false}
+
+The flat legacy fields of PR 1 are still accepted (``"problem"`` +
+``"source"``/``"master"``/``"targets"``/``"dag"``/``"options"`` at the
+top level of the request); both forms decode into the same typed spec::
+
+    {"problem": "master-slave", "platform": {...}, "source": "P1",
+     "options": {"backend": "exact"}, "include_schedule": false}
 
 Responses always carry ``"ok"``; solve responses add the fingerprint,
 cache/warm flags, latency, the throughput and a problem-shaped
-``"solution"`` payload (plus ``"schedule"`` when requested).
+``"solution"`` payload (plus ``"schedule"`` when requested).  The
+``{"op": "problems"}`` envelope (and ``GET /problems``) lists every
+registered problem with its spec fields and declared capabilities.
 
 Transport is pluggable: :func:`handle_request` is a pure
 dict-in/dict-out function; :class:`ServiceServer` wraps it in a
@@ -34,13 +45,11 @@ pipelines.
 from __future__ import annotations
 
 import json
-from fractions import Fraction
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from ..core.activities import SteadyStateSolution
 from ..core.broadcast import BroadcastSolution
-from ..core.dag import TaskGraph
 from ..core.multicast import MulticastAnalysis
 from ..platform.serialization import (
     encode_weight as _encode_fraction,
@@ -49,56 +58,61 @@ from ..platform.serialization import (
     schedule_to_dict,
     solution_to_dict,
 )
+from ..problems import dag_from_dict, describe as registry_describe, spec_from_wire
 from .broker import Broker, BrokerError, BrokerResult, SolveRequest
 
 
 # ----------------------------------------------------------------------
 # request decoding
 # ----------------------------------------------------------------------
-def _dag_from_dict(data: Dict[str, Any]) -> TaskGraph:
-    dag = TaskGraph()
-    for name, work in data.get("types", {}).items():
-        dag.add_type(name, Fraction(str(work)))
-    for rec in data.get("files", []):
-        dag.add_file(rec["producer"], rec["consumer"], Fraction(str(rec["size"])))
-    if data.get("anchor", True):
-        dag.anchor_at_master(Fraction(str(data.get("input_size", 1))))
-    return dag
-
-
-def _dag_to_dict(dag: TaskGraph) -> Dict[str, Any]:
-    from ..core.dag import BEGIN
-
-    return {
-        "types": {
-            t: _encode_fraction(w) for t, w in dag.types.items() if t != BEGIN
-        },
-        "files": [
-            {"producer": a, "consumer": b, "size": _encode_fraction(sz)}
-            for (a, b), sz in dag.files.items() if a != BEGIN
-        ],
-        "anchor": BEGIN in dag.types,
-        "input_size": _encode_fraction(
-            next(
-                (sz for (a, _b), sz in dag.files.items() if a == BEGIN),
-                Fraction(1),
-            )
-        ),
-    }
-
-
 def request_from_dict(data: Dict[str, Any]) -> SolveRequest:
-    """Decode a solve request envelope into a :class:`SolveRequest`."""
-    if "problem" not in data:
-        raise BrokerError("solve request needs a 'problem'")
+    """Decode a solve request envelope into a :class:`SolveRequest`.
+
+    Accepts both wire forms: the versioned typed ``"spec"`` envelope (the
+    canonical encoding, also what :func:`request_to_dict` emits) and the
+    flat legacy fields of PR 1.
+    """
     if "platform" not in data:
         raise BrokerError("solve request needs a 'platform'")
+    platform = platform_from_dict(data["platform"])
+    if "spec" in data:
+        payload = data["spec"]
+        if isinstance(payload, dict) and "problem" in data \
+                and data["problem"] != payload.get("problem"):
+            raise BrokerError(
+                f"request names problem {data['problem']!r} but its spec "
+                f"envelope says {payload.get('problem')!r}"
+            )
+        # problem fields live INSIDE the spec envelope; silently ignoring
+        # flat legacy fields (or solver options) alongside it would let a
+        # half-migrated client solve a different problem than it asked for
+        stray = {"source", "master", "targets", "dag"} & set(data)
+        if stray:
+            raise BrokerError(
+                f"request mixes a 'spec' envelope with legacy field(s) "
+                f"{sorted(stray)}; put them in the spec"
+            )
+        options = dict(data.get("options", {}))
+        backend = str(options.pop("backend", "exact"))
+        if options:
+            raise BrokerError(
+                f"with a 'spec' envelope, 'options' may only carry "
+                f"'backend'; move {sorted(options)} into the spec"
+            )
+        spec = spec_from_wire(platform, payload)
+        return SolveRequest.from_spec(
+            spec,
+            include_schedule=bool(data.get("include_schedule", False)),
+            backend=backend,
+        )
+    if "problem" not in data:
+        raise BrokerError("solve request needs a 'problem' or a 'spec'")
     dag = None
     if data.get("dag") is not None:
-        dag = _dag_from_dict(data["dag"])
+        dag = dag_from_dict(data["dag"])
     return SolveRequest(
         problem=str(data["problem"]),
-        platform=platform_from_dict(data["platform"]),
+        platform=platform,
         source=data.get("source"),
         master=data.get("master"),
         targets=data.get("targets", ()),  # SolveRequest rejects bare strings
@@ -109,18 +123,20 @@ def request_from_dict(data: Dict[str, Any]) -> SolveRequest:
 
 
 def request_to_dict(request: SolveRequest) -> Dict[str, Any]:
-    """Encode a :class:`SolveRequest` (inverse of :func:`request_from_dict`)."""
-    out: Dict[str, Any] = {
-        "problem": request.problem,
+    """Encode a :class:`SolveRequest` (inverse of :func:`request_from_dict`).
+
+    Emits the canonical versioned spec envelope; the platform travels as
+    a sibling key so platform-level ops (``invalidate``) and the two
+    request forms share one platform encoding.
+    """
+    return {
+        "spec": request.spec.to_wire(),
         "platform": platform_to_dict(request.platform),
-        "source": request.source,
-        "targets": list(request.targets),
-        "options": request.option_dict(),
+        "options": {
+            "backend": request.option_dict().get("backend", "exact")
+        },
         "include_schedule": request.include_schedule,
     }
-    if request.dag is not None:
-        out["dag"] = _dag_to_dict(request.dag)
-    return out
 
 
 # ----------------------------------------------------------------------
@@ -202,6 +218,9 @@ def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
         if op == "cache":
             with broker.metrics.timer("cache"):
                 return {"ok": True, "cache": broker.cache.snapshot()}
+        if op == "problems":
+            with broker.metrics.timer("problems"):
+                return {"ok": True, "problems": registry_describe()}
         if op == "invalidate":
             with broker.metrics.timer("invalidate"):
                 if "platform" not in data:
@@ -267,6 +286,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(handle_request(broker, {"op": "metrics"}))
         elif self.path == "/cache":
             self._send_json(handle_request(broker, {"op": "cache"}))
+        elif self.path == "/problems":
+            self._send_json(handle_request(broker, {"op": "problems"}))
         else:
             self._send_json({"ok": False, "error": "not found"}, status=404)
 

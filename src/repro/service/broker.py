@@ -10,11 +10,12 @@ solvers.  For every :class:`SolveRequest` it:
 3. **coalesces** duplicate in-flight requests — two concurrent submissions
    with the same fingerprint share one solve (one LP, two futures
    resolved);
-4. otherwise routes the request through the solver routing table
-   (:data:`repro.core.SOLVER_ENTRY_POINTS`) on a worker pool — threads by
+4. otherwise dispatches the request through the problem registry
+   (:mod:`repro.problems.registry`) on a worker pool — threads by
    default, an optional process pool for CPU-bound sweeps — taking the
-   warm re-solve shortcut of :mod:`repro.service.incremental` when a
-   master-slave model with the same topology is already hot.
+   warm re-solve shortcut of :mod:`repro.service.incremental` whenever
+   the registered solver declares the ``warm_resolve`` capability and a
+   model with the same topology is already hot.
 
 :meth:`Broker.solve_batch` accepts a mixed list of requests, dedupes them
 by fingerprint and fans the distinct ones out concurrently — the service
@@ -24,63 +25,64 @@ enough to recompute freely.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core import SOLVER_ENTRY_POINTS
 from ..core.activities import SteadyStateSolution
 from ..core.dag import TaskGraph
 from ..platform.graph import NodeId, Platform
+from ..problems import (
+    ProblemSpec,
+    SpecError,
+    reconstructable_problems,
+    resolve,
+)
 from .cache import CacheEntry, SolutionCache
 from .fingerprint import request_fingerprint
 from .incremental import IncrementalSolver
 from .metrics import MetricsRegistry
 
-#: problems whose result the reconstruction pipeline can turn into a
-#: periodic schedule (gather solutions flow towards the sink, which the
-#: route decomposition does not model yet)
-RECONSTRUCTABLE = frozenset({"master-slave", "scatter", "all-to-all"})
+#: Malformed request (unknown problem kind, missing fields, ...).  The
+#: historical broker-level error type is the spec-validation error of the
+#: problem registry: a request is malformed exactly when its typed spec
+#: cannot be built, so both layers raise the same class.
+BrokerError = SpecError
 
 
-class BrokerError(ValueError):
-    """Malformed request (unknown problem kind, missing fields, ...)."""
-
-
-#: solver keyword defaults, folded into every request's options so that a
-#: request relying on a default and one spelling it out explicitly hash to
-#: the same fingerprint (and therefore share cache entries and coalesce)
-_COMMON_OPTION_DEFAULTS = {"backend": "exact"}
-_PROBLEM_OPTION_DEFAULTS = {
-    "scatter": {"port_model": "one-port", "ports": 1},
-    "multiport": {"ports": 2},
-    "broadcast": {"tree_limit": 100_000},
-    "reduce": {"tree_limit": 100_000},
-    "multicast": {"tree_limit": 100_000},
-}
-
-
-def _normalized_options(problem: str, options: Any) -> Tuple[Tuple[str, Any], ...]:
-    opts = dict(_COMMON_OPTION_DEFAULTS)
-    opts.update(_PROBLEM_OPTION_DEFAULTS.get(problem, {}))
-    opts.update(dict(options))
-    return tuple(sorted(opts.items()))
+def solution_throughput(solution: Any):
+    """The throughput of any registered problem's solution object."""
+    for attr in ("throughput", "achieved", "tree_optimal"):
+        if hasattr(solution, attr):
+            return getattr(solution, attr)
+    raise AttributeError(f"no throughput on {type(solution).__name__}")
 
 
 @dataclass(frozen=True)
 class SolveRequest:
     """One steady-state solve, in solver-neutral form.
 
-    ``problem`` is a key of :data:`repro.core.SOLVER_ENTRY_POINTS`;
-    ``source`` is the distinguished node (master / scatter source /
-    broadcast source / gather sink / DAG master — absent for all-to-all);
-    ``targets`` is the commodity set (scatter targets, gather sources,
-    multicast targets, all-to-all participants).  ``options`` carries
-    solver keywords (``backend``, ``ports``, ``port_model``,
-    ``tree_limit``); ``include_schedule`` asks for the reconstructed
-    periodic schedule alongside the solution.
+    ``problem`` names a registered problem (see
+    :func:`repro.problems.registered_problems`); ``source`` is the
+    distinguished node (master / scatter source / broadcast source /
+    gather sink / DAG master — absent for all-to-all); ``targets`` is the
+    commodity set (scatter targets, gather sources, multicast targets,
+    all-to-all participants).  ``options`` carries solver keywords
+    (``backend``, ``ports``, ``port_model``, ``tree_limit``);
+    ``include_schedule`` asks for the reconstructed periodic schedule
+    alongside the solution.
+
+    Construction builds the problem's typed
+    :class:`~repro.problems.specs.ProblemSpec` (available as
+    :attr:`spec`), so a malformed request fails here with a
+    :class:`BrokerError` — never with a ``KeyError`` inside a solver.
+    The flat fields are re-derived from the validated spec, which also
+    folds every option default in: a request relying on a default and one
+    spelling it out explicitly hash to the same fingerprint (and
+    therefore share cache entries and coalesce).
     """
 
     problem: str
@@ -104,31 +106,73 @@ class SolveRequest:
     ) -> None:
         if master is not None and source is not None and master != source:
             raise BrokerError("pass either source or master, not both")
-        if isinstance(targets, (str, bytes)):
-            # tuple("P5") would silently become ('P', '5')
-            raise BrokerError(
-                f"targets must be a sequence of node names, got the bare "
-                f"string {targets!r}"
-            )
-        if include_schedule and problem not in RECONSTRUCTABLE:
-            # fail loudly up front rather than returning a response whose
-            # missing "schedule" the client cannot tell from a server bug
-            raise BrokerError(
-                f"include_schedule is not supported for {problem!r}; "
-                f"schedules are reconstructable for: "
-                f"{sorted(RECONSTRUCTABLE)}"
-            )
-        object.__setattr__(self, "problem", problem)
+        entry = resolve(problem)
+        opts = dict(options)
         # snapshot: Platform is mutable (add_node/add_edge), and both the
         # memoized fingerprint and any cached solution must describe the
         # platform as it was when the request was made — not whatever the
         # caller mutates it into afterwards
-        object.__setattr__(self, "platform", platform.copy())
-        object.__setattr__(self, "source", source if source is not None else master)
-        object.__setattr__(self, "targets", tuple(targets))
-        object.__setattr__(self, "dag", dag)
-        object.__setattr__(self, "options", _normalized_options(problem, options))
+        spec = entry.spec_type.from_request_fields(
+            platform.copy(),
+            source=source if source is not None else master,
+            targets=targets,
+            dag=dag,
+            options=opts,
+        )
+        self._init_from_spec(
+            entry, spec,
+            backend=str(opts.get("backend", "exact")),
+            include_schedule=include_schedule,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ProblemSpec,
+        include_schedule: bool = False,
+        backend: str = "exact",
+    ) -> "SolveRequest":
+        """Build a request straight from a typed spec.
+
+        The already-validated spec is kept as-is (with the platform
+        snapshotted) rather than being round-tripped through the flat
+        legacy fields, so spec types stay the single source of truth for
+        what a request can express.
+        """
+        snapshot = dataclasses.replace(spec, platform=spec.platform.copy())
+        self = object.__new__(cls)
+        self._init_from_spec(
+            resolve(spec.problem), snapshot,
+            backend=backend, include_schedule=include_schedule,
+        )
+        return self
+
+    def _init_from_spec(
+        self, entry, spec: ProblemSpec, backend: str, include_schedule: bool
+    ) -> None:
+        if include_schedule and not entry.capabilities.reconstructs_schedule:
+            # fail loudly up front rather than returning a response whose
+            # missing "schedule" the client cannot tell from a server bug
+            raise BrokerError(
+                f"include_schedule is not supported for {spec.problem!r}; "
+                f"schedules are reconstructable for: "
+                f"{sorted(reconstructable_problems())}"
+            )
+        object.__setattr__(self, "problem", entry.problem)
+        object.__setattr__(self, "platform", spec.platform)
+        object.__setattr__(self, "source", spec.source_node())
+        object.__setattr__(self, "targets", spec.target_nodes())
+        object.__setattr__(self, "dag", spec.dag_graph())
+        normalized = {"backend": backend}
+        normalized.update(spec.option_fields())
+        object.__setattr__(self, "options", tuple(sorted(normalized.items())))
         object.__setattr__(self, "include_schedule", bool(include_schedule))
+        object.__setattr__(self, "_spec", spec)
+
+    @property
+    def spec(self) -> ProblemSpec:
+        """The validated typed spec this request was built from."""
+        return self.__dict__["_spec"]
 
     @property
     def master(self) -> Optional[NodeId]:
@@ -175,72 +219,21 @@ class BrokerResult:
 
     @property
     def throughput(self):
-        sol = self.solution
-        for attr in ("throughput", "achieved", "tree_optimal"):
-            if hasattr(sol, attr):
-                return getattr(sol, attr)
-        raise AttributeError(f"no throughput on {type(sol).__name__}")
+        return solution_throughput(self.solution)
 
 
 # ----------------------------------------------------------------------
 # cold execution — module-level so a process pool can pickle it
 # ----------------------------------------------------------------------
 def execute_request(request: SolveRequest) -> Any:
-    """Route one request through the solver table and return the raw result."""
-    solver = SOLVER_ENTRY_POINTS.get(request.problem)
-    if solver is None:
-        raise BrokerError(
-            f"unknown problem {request.problem!r}; known: "
-            f"{sorted(SOLVER_ENTRY_POINTS)}"
-        )
-    opts = request.option_dict()
-    backend = opts.get("backend", "exact")
-    platform = request.platform
-    problem = request.problem
-    if problem in ("master-slave", "send-or-receive"):
-        _require(request.source, "source/master", problem)
-        return solver(platform, request.source, backend=backend)
-    if problem == "multiport":
-        _require(request.source, "source/master", problem)
-        return solver(platform, request.source,
-                      ports=int(opts.get("ports", 2)), backend=backend)
-    if problem == "scatter":
-        _require(request.source, "source", problem)
-        _require(request.targets, "targets", problem)
-        return solver(platform, request.source, list(request.targets),
-                      backend=backend,
-                      port_model=opts.get("port_model", "one-port"),
-                      ports=int(opts.get("ports", 1)))
-    if problem == "gather":
-        _require(request.source, "source (the sink)", problem)
-        _require(request.targets, "targets (the sources)", problem)
-        return solver(platform, request.source, list(request.targets),
-                      backend=backend)
-    if problem == "all-to-all":
-        participants = list(request.targets) or None
-        return solver(platform, participants, backend=backend)
-    if problem in ("broadcast", "reduce"):
-        _require(request.source, "source", problem)
-        return solver(platform, request.source, backend=backend,
-                      tree_limit=int(opts.get("tree_limit", 100_000)))
-    if problem == "multicast":
-        _require(request.source, "source", problem)
-        _require(request.targets, "targets", problem)
-        return solver(platform, request.source, list(request.targets),
-                      backend=backend,
-                      tree_limit=int(opts.get("tree_limit", 100_000)))
-    if problem == "dag":
-        _require(request.source, "source/master", problem)
-        if request.dag is None:
-            raise BrokerError("dag requests need a task graph")
-        return solver(platform, request.dag, request.source, backend=backend)
-    # a registry entry without an adapter: call the common shape
-    return solver(platform, request.source, backend=backend)
+    """Dispatch one request through the problem registry.
 
-
-def _require(value, what: str, problem: str) -> None:
-    if not value:
-        raise BrokerError(f"{problem} requests need {what}")
+    One generic path for every registered problem: the request's typed
+    spec (validated at construction) goes straight to the registered
+    solver — no per-problem branches, no argument adapters.
+    """
+    backend = str(request.option_dict().get("backend", "exact"))
+    return resolve(request.problem).solve(request.spec, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -263,8 +256,10 @@ class Broker:
         for genuinely CPU-bound sweeps (requests must be picklable);
         ``"sync"`` executes inline (no pool — deterministic, for tests).
     incremental:
-        Use the warm re-solve path for master-slave requests whose
-        topology was seen before (default on; exact backend only).
+        Use the warm re-solve path for requests whose registered solver
+        declares the ``warm_resolve`` capability (master-slave, scatter,
+        gather) and whose topology was seen before (default on; exact
+        backend only).
     """
 
     def __init__(
@@ -463,13 +458,10 @@ class Broker:
             # a process executor was chosen for parallelism/isolation; the
             # in-process warm path would silently defeat it, so it only
             # applies to the thread/sync executors
-            and request.problem == "master-slave"
+            and resolve(request.problem).capabilities.warm_resolve
             and backend == "exact"
-            and request.source is not None
         ):
-            solution, warm = self._incremental.solve_master_slave_ex(
-                request.platform, request.source
-            )
+            solution, warm = self._incremental.solve_spec_ex(request.spec)
         elif self._process_pool is not None:
             solution = self._process_pool.submit(
                 execute_request, request
@@ -491,7 +483,7 @@ class Broker:
     @staticmethod
     def _reconstruct(request: SolveRequest, solution: Any):
         if (
-            request.problem not in RECONSTRUCTABLE
+            not resolve(request.problem).capabilities.reconstructs_schedule
             or not isinstance(solution, SteadyStateSolution)
         ):
             return None

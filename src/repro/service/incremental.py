@@ -1,14 +1,22 @@
 """Warm re-solve of steady-state LPs when only platform weights change.
 
-The SSMS LP of section 3.1 has one variable per (compute node, edge) and
-one constraint per (port, conservation law): its *structure* is a pure
-function of the platform topology, the chosen master and which nodes can
-compute.  The node/edge weights enter only as the coefficients ``1/w_i``
-and ``1/c_ij``.  When a monitoring layer re-weights a platform (CPU load
-changed, a link slowed down) the LP therefore does not need to be
-re-assembled: this module keeps the built model per (topology, master)
-pair and, on a weight-only change, patches the moved coefficients through
-the :class:`~repro.lp.model.LinearProgram` rebuild hook and re-solves.
+The steady-state LPs have a *structure* (variables, constraint membership)
+that is a pure function of the platform topology and the problem spec's
+distinguished nodes, and *coefficients* (``1/w_i``, ``1/c_ij``) that are
+pure functions of the weights.  When a monitoring layer re-weights a
+platform (CPU load changed, a link slowed down) the LP therefore does not
+need to be re-assembled: the built model is kept hot, the moved
+coefficients are patched through the :class:`~repro.lp.model.LinearProgram`
+rebuild hook, and the model is re-solved exactly.
+
+Which problems support this — and *how* — is declared in the solver
+registry (:mod:`repro.problems.registry`): an entry with the
+``warm_resolve`` capability carries a
+:class:`~repro.problems.registry.WarmModel` spelling out its
+structure-vs-coefficient split (build / patch / package).  Master-slave
+(SSMS), scatter and gather (SSPS, the latter on the reversed platform)
+all declare it; :class:`IncrementalSolver` is the generic executor and
+contains no per-problem code.
 
 A topology change (node/edge added or removed, or a node's compute
 ability toggled) changes the structure itself; the solver detects it via
@@ -26,14 +34,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from ..core.master_slave import build_ssms_lp, package_ssms_solution
-from ..core.activities import SteadyStateSolution
 from ..lp.model import LinearProgram
 from ..platform.graph import NodeId, Platform
-from .fingerprint import Signature, topology_signature
+from ..problems import MasterSlaveSpec, ProblemSpec, SpecError, resolve
+from .fingerprint import topology_signature
 
 
 @dataclass
@@ -51,13 +57,14 @@ class WarmSolveStats:
 
 
 class IncrementalSolver:
-    """Keeps assembled SSMS models hot across weight-only re-solves.
+    """Keeps assembled LP models hot across weight-only re-solves.
 
-    One instance may serve many platforms: models are keyed by
-    ``(topology signature, master)``.  Concurrency is per model: solves of
-    the *same* structure are serialised (the model is patched in place, so
-    a warm solve must not interleave with another), while solves of
-    distinct structures run in parallel on the broker's worker pool.
+    One instance may serve many platforms and problem kinds: models are
+    keyed by ``(topology signature, warm-model spec key)``.  Concurrency
+    is per model: solves of the *same* structure are serialised (the model
+    is patched in place, so a warm solve must not interleave with
+    another), while solves of distinct structures run in parallel on the
+    broker's worker pool.
 
     >>> from repro.platform import generators
     >>> inc = IncrementalSolver()
@@ -78,9 +85,9 @@ class IncrementalSolver:
         # registry lock: guards the two dicts and the stats, never held
         # across an LP solve
         self._lock = threading.Lock()
-        # (topology_sig, master) -> (lp, handles)
+        # key -> (lp, handles, root node of the spec that built it)
         self._models: Dict[
-            Tuple[Signature, NodeId], Tuple[LinearProgram, Dict[str, object]]
+            Tuple, Tuple[LinearProgram, Dict[str, object], Optional[NodeId]]
         ] = {}
         # per-model locks: serialise patch+solve of one structure only.
         # Entries are NEVER removed — eviction/forget only drops the model.
@@ -88,30 +95,39 @@ class IncrementalSolver:
         # let a later arrival mint a second lock for the same key and
         # patch an LP mid-solve; a lock object per distinct structure ever
         # seen is a few dozen bytes and keeps the invariant airtight.
-        self._model_locks: Dict[Tuple[Signature, NodeId], threading.Lock] = {}
+        self._model_locks: Dict[Tuple, threading.Lock] = {}
 
     # ------------------------------------------------------------------
-    def solve_master_slave(
-        self, platform: Platform, master: NodeId
-    ) -> SteadyStateSolution:
-        """Solve SSMS(G), warm when a structurally identical model is hot."""
-        return self.solve_master_slave_ex(platform, master)[0]
+    @staticmethod
+    def _key(spec: ProblemSpec) -> Tuple:
+        entry = resolve(spec.problem)
+        if entry.warm_model is None:
+            raise SpecError(
+                f"{spec.problem} declares no warm_resolve capability"
+            )
+        return (
+            topology_signature(spec.platform),
+            *tuple(entry.warm_model.spec_key(spec)),
+        )
 
-    def solve_master_slave_ex(
-        self, platform: Platform, master: NodeId
-    ) -> Tuple[SteadyStateSolution, bool]:
-        """Like :meth:`solve_master_slave`, also reporting whether the warm
-        path was taken (decided under the model lock, so it is exact —
-        unlike an outside :meth:`has_model` check, which can race with a
+    def solve_spec(self, spec: ProblemSpec) -> Any:
+        """Solve a warm-capable spec, reusing a hot model when possible."""
+        return self.solve_spec_ex(spec)[0]
+
+    def solve_spec_ex(self, spec: ProblemSpec) -> Tuple[Any, bool]:
+        """Like :meth:`solve_spec`, also reporting whether the warm path
+        was taken (decided under the model lock, so it is exact — unlike
+        an outside :meth:`has_model` check, which can race with a
         concurrent first build or an eviction)."""
-        key = (topology_signature(platform), master)
+        model = resolve(spec.problem).warm_model
+        key = self._key(spec)
         with self._lock:
             model_lock = self._model_locks.setdefault(key, threading.Lock())
         with model_lock:
             with self._lock:
                 cached = self._models.get(key)
             if cached is None:
-                lp, handles = build_ssms_lp(platform, master)
+                lp, handles = model.build(spec)
                 with self._lock:
                     self.stats.full_rebuilds += 1
                     while len(self._models) >= self.max_models:
@@ -120,73 +136,52 @@ class IncrementalSolver:
                         # on an evicted model keeps its local reference;
                         # the evicted key's lock stays (see __init__).
                         self._models.pop(next(iter(self._models)))
-                    self._models[key] = (lp, handles)
+                    self._models[key] = (lp, handles, spec.source_node())
             else:
-                lp, handles = cached
-                self._patch_coefficients(lp, handles, platform, master)
+                lp, handles, _root = cached
+                model.patch(lp, handles, spec)
                 with self._lock:
                     self.stats.warm_solves += 1
             sol = lp.solve(backend=self.backend)
-            out = package_ssms_solution(
-                platform, master, sol, handles, backend=self.backend
-            )
+            out = model.package(spec, sol, handles, self.backend)
             return out, cached is not None
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _patch_coefficients(
-        lp: LinearProgram,
-        handles: Dict[str, object],
-        platform: Platform,
-        master: NodeId,
-    ) -> None:
-        """Rewrite every weight-derived coefficient of the SSMS model.
+    # master-slave convenience wrappers (the original PR 1 surface)
+    # ------------------------------------------------------------------
+    def solve_master_slave(
+        self, platform: Platform, master: NodeId
+    ) -> Any:
+        """Solve SSMS(G), warm when a structurally identical model is hot."""
+        return self.solve_spec(MasterSlaveSpec(platform=platform,
+                                               master=master))
 
-        The conservation law of node ``i`` was assembled as
-        ``inflow - compute - outflow == 0`` with coefficients ``+1/c_ji``
-        (on ``s_ji``), ``-1/w_i`` (on ``alpha_i``) and ``-1/c_ij`` (on
-        ``s_ij``); the objective carries ``+1/w_i`` per compute node.
-        One-port constraints and variable bounds are weight-free.
-        """
-        one = Fraction(1)
-        for node in platform.nodes():
-            if node == master:
-                continue
-            name = f"conserve[{node}]"
-            for j in platform.predecessors(node):
-                lp.set_constraint_coefficient(
-                    name, handles[("s", j, node)], one / platform.c(j, node)
-                )
-            for j in platform.successors(node):
-                lp.set_constraint_coefficient(
-                    name, handles[("s", node, j)], -one / platform.c(node, j)
-                )
-            spec = platform.node(node)
-            if spec.can_compute:
-                lp.set_constraint_coefficient(
-                    name, handles[("alpha", node)], -one / spec.w
-                )
-        for node in platform.nodes():
-            spec = platform.node(node)
-            if spec.can_compute:
-                lp.set_objective_coefficient(
-                    handles[("alpha", node)], one / spec.w
-                )
+    def solve_master_slave_ex(
+        self, platform: Platform, master: NodeId
+    ) -> Tuple[Any, bool]:
+        return self.solve_spec_ex(MasterSlaveSpec(platform=platform,
+                                                  master=master))
 
     # ------------------------------------------------------------------
     def has_model(self, platform: Platform, master: NodeId) -> bool:
-        """True when a warm solve would reuse an already-built model."""
-        key = (topology_signature(platform), master)
+        """True when a warm master-slave solve would reuse a built model."""
+        key = self._key(MasterSlaveSpec(platform=platform, master=master))
+        with self._lock:
+            return key in self._models
+
+    def has_model_for(self, spec: ProblemSpec) -> bool:
+        """True when a warm solve of ``spec`` would reuse a built model."""
+        key = self._key(spec)
         with self._lock:
             return key in self._models
 
     def forget(self, platform: Platform, master: Optional[NodeId] = None) -> int:
-        """Drop hot models for this topology (all masters unless given)."""
+        """Drop hot models for this topology (all roots unless given)."""
         topo = topology_signature(platform)
         with self._lock:
             doomed = [
-                key for key in self._models
-                if key[0] == topo and (master is None or key[1] == master)
+                key for key, (_lp, _handles, root) in self._models.items()
+                if key[0] == topo and (master is None or root == master)
             ]
             for key in doomed:
                 # the model goes, its lock stays (see __init__)

@@ -89,6 +89,38 @@ class TestCollectiveCommands:
         assert "NOT achievable" in out
 
 
+class TestProblemsCommand:
+    def test_list_shows_registry_metadata(self, capsys):
+        rc = main(["problems"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for problem in ("master-slave", "scatter", "gather", "dag",
+                        "send-or-receive"):
+            assert problem in out
+        assert "warm-resolve" in out
+        assert "reconstructs-schedule" in out
+        assert "10 problems registered" in out
+
+    def test_json_output_matches_registry(self, capsys):
+        from repro.problems import registered_problems
+
+        rc = main(["problems", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == set(registered_problems())
+        assert data["gather"]["capabilities"]["reconstructs_schedule"] is True
+        assert data["scatter"]["capabilities"]["warm_resolve"] is True
+        assert any(f["name"] == "sink" and f["required"]
+                   for f in data["gather"]["fields"])
+
+    def test_check_solves_every_problem(self, capsys):
+        rc = main(["problems", "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "registry check OK" in out
+        assert out.count(" OK ") == 10
+
+
 class TestFiguresAndExport:
     def test_figures(self, capsys):
         rc = main(["figures"])
