@@ -1,0 +1,212 @@
+"""S2 — sharded broker: cache-capacity scaling across 1/2/4/8 shards.
+
+The scenario is the ROADMAP's "platform corpus too large for one host":
+a Zipf-distributed request stream (the bench_s1 mix as the hot head,
+weight-scaled platform variants as the long tail) whose working set
+exceeds one shard's ``SolutionCache`` budget.  Per-shard resources are
+held fixed — every shard brings its own cache, incremental solver and
+(in process mode) its own CPU — and the shard count scales:
+
+* **1 shard** (the unsharded baseline): the corpus thrashes the cache,
+  a large fraction of requests re-solve cold;
+* **N shards**: consistent-hash routing splits the corpus, aggregate
+  capacity grows to ``N x cache_size``, misses collapse.
+
+Measured per (shard count, shard mode): sustained req/s over the
+steady-state stream (after an untimed priming pass), the stream hit
+rate, and exactness — every result is asserted ``Fraction``-identical
+to an unsharded reference broker, in thread *and* process mode (the
+process mode round-trips each request through the PR 2 wire codec).
+
+Thread shards share the GIL, so on a single core both modes scale
+through capacity alone; process shards additionally parallelise the
+CPU-bound LP solves across cores when the host has them, at the price
+of one IPC round-trip per request (visible in the hit-dominated tail).
+
+Asserted shape: >= 2x mixed-workload req/s at 4 shards vs the 1-shard
+baseline, in both shard modes.  Emits ``BENCH_sharding.json`` at the
+repo root.  Run standalone::
+
+    python benchmarks/bench_s2_sharding.py [--smoke] [--out FILE]
+
+or through pytest (``pytest benchmarks/bench_s2_sharding.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro.service import Broker, ShardedBroker, SolveRequest
+
+from bench_s1_service import _zipf_request_pool
+
+ZIPF_EXPONENT = 0.75  # flat enough that the tail matters
+
+
+def _variant(request: SolveRequest, index: int) -> SolveRequest:
+    """A weight-scaled (topology-preserving) variant with a fresh
+    fingerprint; ``index`` makes each variant's scaling distinct."""
+    compute = Fraction(index + 2, index + 3)
+    comm = Fraction(index + 3, index + 4)
+    return SolveRequest(
+        problem=request.problem,
+        platform=request.platform.scale(compute=compute, comm=comm),
+        source=request.source,
+        targets=request.targets,
+        dag=request.dag,
+        options=request.option_dict(),
+    )
+
+
+def build_corpus(size: int) -> list:
+    """The bench_s1 Zipf pool as the hot head + weight variants as the
+    long tail (cheap LP families only, so cold cost stays comparable)."""
+    corpus = list(_zipf_request_pool())
+    bases = [r for r in corpus
+             if r.problem == "master-slave" and len(r.platform.nodes()) <= 8]
+    index = 0
+    while len(corpus) < size:
+        corpus.append(_variant(bases[index % len(bases)], index))
+        index += 1
+    return corpus[:size]
+
+
+def zipf_sequence(corpus: list, n_requests: int, seed: int = 1) -> list:
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT
+               for rank in range(len(corpus))]
+    return rng.choices(corpus, weights=weights, k=n_requests)
+
+
+def reference_throughputs(corpus: list) -> dict:
+    """fingerprint -> exact throughput from one big unsharded broker."""
+    from repro.service import SolutionCache
+
+    with Broker(executor="sync",
+                cache=SolutionCache(max_size=2 * len(corpus))) as broker:
+        return {req.fingerprint(): broker.solve(req).throughput
+                for req in corpus}
+
+
+def run_config(
+    mode: str,
+    shards: int,
+    corpus: list,
+    sequence: list,
+    cache_size: int,
+    reference: dict,
+) -> dict:
+    with ShardedBroker(shards=shards, shard_mode=mode,
+                       cache_size=cache_size, workers=1) as sharded:
+        for request in corpus:  # untimed priming pass
+            sharded.solve(request)
+        before = sharded.snapshot()["cache"]
+        start = time.perf_counter()
+        results = [sharded.solve(request) for request in sequence]
+        elapsed = time.perf_counter() - start
+        after = sharded.snapshot()["cache"]
+    for result in results:  # bit-identical to the unsharded broker
+        expected = reference[result.fingerprint]
+        assert result.throughput == expected, (
+            f"{mode}x{shards}: {result.fingerprint[:12]} returned "
+            f"{result.throughput}, reference {expected}"
+        )
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    return {
+        "mode": mode,
+        "shards": shards,
+        "aggregate_cache_entries": shards * cache_size,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": len(sequence) / elapsed,
+        "stream_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "stream_misses": misses,
+    }
+
+
+# ----------------------------------------------------------------------
+def run(smoke: bool = False) -> dict:
+    # the corpus fits the aggregate cache at 4 shards (4 x 32 = 128) but
+    # thrashes a single shard's 32 entries — the "corpus too large for
+    # one host" scenario the sharding exists for
+    corpus_size = 40 if smoke else 128
+    n_requests = 120 if smoke else 600
+    cache_size = 12 if smoke else 32
+    shard_counts = [1, 2] if smoke else [1, 2, 4, 8]
+
+    corpus = build_corpus(corpus_size)
+    sequence = zipf_sequence(corpus, n_requests)
+    reference = reference_throughputs(corpus)
+
+    configs = []
+    for mode in ("thread", "process"):
+        for shards in shard_counts:
+            configs.append(run_config(mode, shards, corpus, sequence,
+                                      cache_size, reference))
+
+    baseline = next(c for c in configs
+                    if c["mode"] == "thread" and c["shards"] == 1)
+    for config in configs:
+        config["speedup_vs_1shard"] = (
+            config["requests_per_second"] / baseline["requests_per_second"]
+        )
+
+    report = {
+        "benchmark": "S2 sharding",
+        "quick": smoke,
+        "corpus_size": corpus_size,
+        "requests": n_requests,
+        "per_shard_cache_entries": cache_size,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "baseline_rps": baseline["requests_per_second"],
+        "configs": configs,
+        "exactness": "all results Fraction-identical to unsharded broker",
+    }
+    if not smoke:
+        speedups = {
+            c["mode"]: c["speedup_vs_1shard"]
+            for c in configs if c["shards"] == 4
+        }
+        report["speedup_at_4_shards"] = speedups
+        for mode, speedup in speedups.items():
+            assert speedup >= 2.0, (
+                f"{mode} shards: only {speedup:.2f}x at 4 shards vs the "
+                f"1-shard baseline (need >= 2x)"
+            )
+    return report
+
+
+def test_s2_sharding(capsys):
+    """Pytest entry point (smoke mode; run the script for full numbers)."""
+    report = run(smoke=True)
+    with capsys.disabled():
+        print("\n==== S2: sharded broker ====")
+        print(json.dumps(report, indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus, 1/2 shards, no scaling "
+                             "assertion (CI smoke run)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_sharding.json)")
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_sharding.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

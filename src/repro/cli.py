@@ -257,11 +257,28 @@ def _build_broker(args):
     from .service.broker import Broker
     from .service.cache import SolutionCache
 
-    cache = SolutionCache(
-        max_size=args.cache_size,
-        ttl=args.ttl if args.ttl and args.ttl > 0 else None,
-    )
-    return Broker(cache=cache, workers=args.workers, executor=args.executor)
+    ttl = args.ttl if args.ttl and args.ttl > 0 else None
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        if getattr(args, "executor", None):
+            # fail loudly: the flag would be silently dropped, and
+            # "--shards 4 --executor process" reads like process shards
+            raise SystemExit(
+                "--executor applies to the unsharded broker only; with "
+                "--shards use --shard-mode thread|process instead"
+            )
+        from .service.sharding import ShardedBroker
+
+        return ShardedBroker(
+            shards=shards,
+            shard_mode=args.shard_mode,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            ttl=ttl,
+        )
+    cache = SolutionCache(max_size=args.cache_size, ttl=ttl)
+    return Broker(cache=cache, workers=args.workers,
+                  executor=getattr(args, "executor", None) or "thread")
 
 
 def cmd_serve(args) -> int:
@@ -275,8 +292,15 @@ def cmd_serve(args) -> int:
             broker.close()
     server = ServiceServer((args.host, args.port), broker=broker,
                            verbose=args.verbose)
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        layout = f"{shards} {args.shard_mode} shards x {args.cache_size} entries"
+        if args.shard_mode == "thread":  # --workers is per-shard, thread only
+            layout += f", {args.workers} workers/shard"
+    else:
+        layout = f"cache {args.cache_size} entries, {args.workers} workers"
     print(f"repro service listening on http://{args.host}:{server.port} "
-          f"(cache {args.cache_size} entries, {args.workers} workers)")
+          f"({layout})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -418,7 +442,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache TTL in seconds (0 = no expiry)")
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--executor", choices=["thread", "process", "sync"],
-                   default="thread")
+                   default=None,
+                   help="worker-pool kind (default thread; unsharded "
+                        "broker only — rejected alongside --shards)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="independent broker shards routed by consistent "
+                        "hash of the request fingerprint (1 = unsharded; "
+                        "--cache-size is per shard)")
+    p.add_argument("--shard-mode", choices=["thread", "process"],
+                   default="thread",
+                   help="shard placement: in-process brokers (thread) or "
+                        "long-lived worker processes dispatched over the "
+                        "wire codec (process)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_serve)
 

@@ -42,8 +42,8 @@ from .fingerprint import (
     topology_signature,
 )
 from .cache import CacheEntry, CacheStats, SolutionCache
-from .metrics import EndpointMetrics, MetricsRegistry
-from .broker import Broker, BrokerResult, SolveRequest
+from .metrics import EndpointMetrics, MetricsRegistry, merge_snapshots
+from .broker import Broker, BrokerResult, SolveEngine, SolveRequest
 from .incremental import IncrementalSolver, WarmSolveStats
 from .api import (
     ServiceServer,
@@ -52,6 +52,7 @@ from .api import (
     request_to_dict,
     response_to_dict,
 )
+from .sharding import HashRing, ShardedBroker, ShardError
 
 __all__ = [
     "platform_signature",
@@ -63,9 +64,14 @@ __all__ = [
     "SolutionCache",
     "EndpointMetrics",
     "MetricsRegistry",
+    "merge_snapshots",
     "Broker",
     "BrokerResult",
+    "SolveEngine",
     "SolveRequest",
+    "HashRing",
+    "ShardedBroker",
+    "ShardError",
     "IncrementalSolver",
     "WarmSolveStats",
     "ServiceServer",

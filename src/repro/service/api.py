@@ -44,6 +44,7 @@ pipelines.
 
 from __future__ import annotations
 
+import copy
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
@@ -58,7 +59,12 @@ from ..platform.serialization import (
     schedule_to_dict,
     solution_to_dict,
 )
-from ..problems import dag_from_dict, describe as registry_describe, spec_from_wire
+from ..problems import (
+    SpecError,
+    dag_from_dict,
+    describe as registry_describe,
+    spec_from_wire,
+)
 from .broker import Broker, BrokerError, BrokerResult, SolveRequest
 
 
@@ -122,21 +128,40 @@ def request_from_dict(data: Dict[str, Any]) -> SolveRequest:
     )
 
 
+def _request_wire(request: SolveRequest) -> Dict[str, Any]:
+    """The memoized wire encoding of a request — INTERNAL and read-only.
+
+    Memoized on the (frozen) request so re-dispatching the same request
+    object never re-encodes the platform; this is what keeps the
+    process-shard dispatch of :mod:`repro.service.sharding` cheap (its
+    only per-call cost is the pipe's pickle of this dict).  Callers must
+    never mutate the returned structure — hand external callers
+    :func:`request_to_dict` instead.
+    """
+    cached = request.__dict__.get("_wire_dict")
+    if cached is None:
+        cached = {
+            "spec": request.spec.to_wire(),
+            "platform": platform_to_dict(request.platform),
+            "options": {
+                "backend": request.option_dict().get("backend", "exact")
+            },
+            "include_schedule": request.include_schedule,
+        }
+        object.__setattr__(request, "_wire_dict", cached)
+    return cached
+
+
 def request_to_dict(request: SolveRequest) -> Dict[str, Any]:
     """Encode a :class:`SolveRequest` (inverse of :func:`request_from_dict`).
 
     Emits the canonical versioned spec envelope; the platform travels as
     a sibling key so platform-level ops (``invalidate``) and the two
-    request forms share one platform encoding.
+    request forms share one platform encoding.  The returned dict is
+    fully private to the caller — mutate anything, nested values
+    included, without affecting later encodings of the same request.
     """
-    return {
-        "spec": request.spec.to_wire(),
-        "platform": platform_to_dict(request.platform),
-        "options": {
-            "backend": request.option_dict().get("backend", "exact")
-        },
-        "include_schedule": request.include_schedule,
-    }
+    return copy.deepcopy(_request_wire(request))
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +211,7 @@ def response_to_dict(result: BrokerResult) -> Dict[str, Any]:
         "fingerprint": result.fingerprint,
         "cached": result.cached,
         "warm": result.warm,
+        "coalesced": result.coalesced,
         "latency_seconds": result.latency_seconds,
         "throughput": _encode_fraction(result.throughput),
         "solution": _solution_payload(result.solution),
@@ -195,15 +221,58 @@ def response_to_dict(result: BrokerResult) -> Dict[str, Any]:
     return out
 
 
-def _error_response(exc: BaseException) -> Dict[str, Any]:
-    return {"ok": False, "error": str(exc), "type": type(exc).__name__}
+def _error_response(
+    exc: BaseException, status: Optional[int] = None
+) -> Dict[str, Any]:
+    """Error payload; ``status`` is the HTTP status the transport should
+    use (and a transport-independent client/server distinction: 4xx means
+    "fix your request", 5xx means "server bug").  ``type`` always carries
+    the original exception class so clients can tell a validation failure
+    from a solver crash."""
+    out = {"ok": False, "error": str(exc), "type": type(exc).__name__}
+    if status is not None:
+        out["status"] = status
+    return out
+
+
+class _BadRequest(Exception):
+    """Wraps a non-``SpecError`` decode failure so the dispatcher can map
+    it to 400 while letting it propagate through metric timers (which
+    record the error) without being mistaken for a server bug."""
+
+    def __init__(self, original: BaseException) -> None:
+        super().__init__(str(original))
+        self.original = original
+
+
+def _decode_or_error(data: Dict[str, Any]):
+    """Decode a solve request; on failure return the error *response*.
+
+    Everything raised while decoding is a client error by construction —
+    the request never reached a solver — so a malformed spec maps to 422
+    (well-formed JSON, invalid semantics) and any other decode failure
+    (broken platform dict, wrong types) to 400.
+    """
+    try:
+        return request_from_dict(data)
+    except SpecError as exc:
+        return _error_response(exc, status=422)
+    except Exception as exc:  # noqa: BLE001 — wire boundary
+        return _error_response(exc, status=400)
 
 
 # ----------------------------------------------------------------------
 # the dispatcher
 # ----------------------------------------------------------------------
 def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
-    """Dispatch one decoded envelope; never raises for request errors."""
+    """Dispatch one decoded envelope; never raises.
+
+    Error responses carry ``"type"`` (the exception class) and
+    ``"status"`` — 400 for undecodable requests, 422 for well-formed but
+    invalid ones (:class:`SpecError`), 500 for unexpected solver/server
+    failures — so clients can tell "fix your request" from "server bug"
+    on any transport.
+    """
     try:
         op = data.get("op", "solve")
         # solve/batch are metered inside the broker ("solve", "solve.batch");
@@ -225,24 +294,28 @@ def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
             with broker.metrics.timer("invalidate"):
                 if "platform" not in data:
                     raise BrokerError("invalidate needs a 'platform'")
-                removed = broker.invalidate_platform(
-                    platform_from_dict(data["platform"])
-                )
-                return {"ok": True, "invalidated": removed}
+                try:
+                    platform = platform_from_dict(data["platform"])
+                except SpecError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — wire boundary
+                    # raise (not return): the timer must record the error
+                    raise _BadRequest(exc) from exc
+                return {"ok": True,
+                        "invalidated": broker.invalidate_platform(platform)}
         if op == "solve":
-            request = request_from_dict(data.get("request", data))
+            request = _decode_or_error(data.get("request", data))
+            if not isinstance(request, SolveRequest):
+                return request  # the decode-error response
             # submit() rather than solve(): concurrent identical requests
             # arriving on different transport threads coalesce into one LP
             return response_to_dict(broker.submit(request).result())
         if op == "batch":
             # per-request error isolation: one malformed/failing request
             # must not discard the other members' completed solves
-            decoded = []
-            for raw in data.get("requests", []):
-                try:
-                    decoded.append(request_from_dict(raw))
-                except Exception as exc:  # noqa: BLE001 — wire boundary
-                    decoded.append(_error_response(exc))
+            decoded = [
+                _decode_or_error(raw) for raw in data.get("requests", [])
+            ]
             with broker.metrics.timer("solve.batch"):
                 futures = [
                     broker.submit(item) if isinstance(item, SolveRequest)
@@ -256,12 +329,18 @@ def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
                         continue
                     try:
                         results.append(response_to_dict(fut.result()))
+                    except SpecError as exc:
+                        results.append(_error_response(exc, status=422))
                     except Exception as exc:  # noqa: BLE001 — wire boundary
-                        results.append(_error_response(exc))
+                        results.append(_error_response(exc, status=500))
             return {"ok": True, "results": results}
         raise BrokerError(f"unknown op {op!r}")
-    except Exception as exc:  # noqa: BLE001 — wire boundary
-        return _error_response(exc)
+    except _BadRequest as exc:  # undecodable request (past the timer)
+        return _error_response(exc.original, status=400)
+    except SpecError as exc:  # malformed request / unknown op
+        return _error_response(exc, status=422)
+    except Exception as exc:  # noqa: BLE001 — unexpected: a server bug
+        return _error_response(exc, status=500)
 
 
 # ----------------------------------------------------------------------
@@ -301,10 +380,14 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length", "0"))
             data = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(_error_response(exc), status=400)
+            self._send_json(_error_response(exc, status=400), status=400)
             return
         response = handle_request(self.server.broker, data)
-        self._send_json(response, status=200 if response.get("ok") else 422)
+        # the dispatcher stamps every error with its status (400 bad
+        # request / 422 invalid spec / 500 server bug); default defensively
+        # for responses predating the field
+        status = response.get("status", 200 if response.get("ok") else 422)
+        self._send_json(response, status=status)
 
     def log_message(self, fmt: str, *args) -> None:  # quiet by default
         if self.server.verbose:
@@ -345,7 +428,7 @@ def serve_stdio(broker: Broker, stdin, stdout) -> int:
         try:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
-            response = _error_response(exc)
+            response = _error_response(exc, status=400)
         else:
             if data.get("op") == "shutdown":
                 print(json.dumps({"ok": True, "bye": True}), file=stdout,

@@ -208,13 +208,22 @@ class SolveRequest:
 
 @dataclass
 class BrokerResult:
-    """What a solve request resolves to."""
+    """What a solve request resolves to.
+
+    ``cached`` / ``warm`` describe how *this request's own* solve went;
+    ``coalesced`` marks a request that never solved at all because it
+    piggybacked on an identical in-flight solve (the cache-hit
+    equivalent for requests that arrive while the answer is still being
+    computed).  A coalesced result carries its *own* latency — the time
+    this caller waited — not the leader's.
+    """
 
     fingerprint: str
     solution: Any
     schedule: Any = None
     cached: bool = False
     warm: bool = False
+    coalesced: bool = False
     latency_seconds: float = 0.0
 
     @property
@@ -234,6 +243,162 @@ def execute_request(request: SolveRequest) -> Any:
     """
     backend = str(request.option_dict().get("backend", "exact"))
     return resolve(request.problem).solve(request.spec, backend=backend)
+
+
+# ----------------------------------------------------------------------
+class SolveEngine:
+    """The cache → warm → cold solve core of *one* shard.
+
+    Owns exactly the state that must never be shared across shards — a
+    :class:`SolutionCache`, a :class:`MetricsRegistry` and (optionally) an
+    :class:`~repro.service.incremental.IncrementalSolver` with its hot LP
+    models — and nothing else: no pools, no futures, no coalescing.
+    :class:`Broker` wraps one engine with a worker pool and in-flight
+    coalescing; :class:`~repro.service.sharding.ShardedBroker` runs N of
+    them side by side, and its process-shard workers host a bare engine
+    behind a pipe.
+
+    ``cold_executor``, when given, is called for every cold solve instead
+    of the in-process :func:`execute_request` (the process-pool broker
+    bounces CPU-bound requests through it); the warm path is skipped in
+    that case, since patching a hot in-process model would silently defeat
+    the isolation the caller asked for.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[SolutionCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        incremental: Optional[IncrementalSolver] = None,
+        cold_executor=None,
+    ) -> None:
+        self.cache = cache if cache is not None else SolutionCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.incremental = incremental
+        self.cold_executor = cold_executor
+
+    # ------------------------------------------------------------------
+    def run(self, request: SolveRequest, fp: str) -> BrokerResult:
+        """Solve one request (cache -> warm -> cold), metered."""
+        start = time.perf_counter()
+        try:
+            # captured before the lookup: a solution computed from here on
+            # is only storable if no invalidation arrives in the meantime
+            generation = self.cache.generation
+            entry = self.cache.get(fp)
+            if entry is not None:
+                result = self._from_cache(request, fp, entry)
+                self.metrics.observe("solve.hit", time.perf_counter() - start)
+            else:
+                result = self._solve_cold(request, fp, generation)
+                endpoint = "solve.warm" if result.warm else "solve.cold"
+                self.metrics.observe(endpoint, time.perf_counter() - start)
+            result.latency_seconds = time.perf_counter() - start
+            self.metrics.observe("solve", result.latency_seconds)
+            return result
+        except BaseException:
+            self.metrics.observe("solve", time.perf_counter() - start,
+                                 error=True)
+            raise
+
+    def _from_cache(
+        self, request: SolveRequest, fp: str, entry: CacheEntry
+    ) -> BrokerResult:
+        schedule = entry.schedule
+        if request.include_schedule and schedule is None:
+            schedule = self._reconstruct(request, entry.solution)
+            if schedule is not None:
+                self.cache.attach_schedule(fp, schedule)
+        return BrokerResult(
+            fingerprint=fp,
+            solution=entry.solution,
+            schedule=schedule if request.include_schedule else None,
+            cached=True,
+        )
+
+    def _solve_cold(
+        self, request: SolveRequest, fp: str, generation: int
+    ) -> BrokerResult:
+        warm = False
+        backend = request.option_dict().get("backend", "exact")
+        if (
+            self.incremental is not None
+            and self.cold_executor is None
+            and resolve(request.problem).capabilities.warm_resolve
+            and backend == "exact"
+        ):
+            solution, warm = self.incremental.solve_spec_ex(request.spec)
+        elif self.cold_executor is not None:
+            solution = self.cold_executor(request)
+        else:
+            solution = execute_request(request)
+        schedule = None
+        if request.include_schedule:
+            schedule = self._reconstruct(request, solution)
+        self.cache.put(fp, solution, request.platform, schedule=schedule,
+                       generation=generation)
+        return BrokerResult(
+            fingerprint=fp,
+            solution=solution,
+            schedule=schedule,
+            cached=False,
+            warm=warm,
+        )
+
+    def tailor_schedule(
+        self, request: SolveRequest, result: BrokerResult
+    ) -> BrokerResult:
+        """Shape a shared (coalesced/deduped) result to this caller's
+        ``include_schedule``: reconstruct lazily when asked, strip when not
+        (so the response shape never depends on which twin solved first)."""
+        if request.include_schedule:
+            if result.schedule is not None:
+                return result
+            # another waiter may have reconstructed and attached it already
+            entry = self.cache.peek(result.fingerprint)
+            schedule = entry.schedule if entry is not None else None
+            if schedule is None:
+                schedule = self._reconstruct(request, result.solution)
+                if schedule is None:
+                    return result
+                self.cache.attach_schedule(result.fingerprint, schedule)
+        else:
+            if result.schedule is None:
+                return result
+            schedule = None
+        return dataclasses.replace(result, schedule=schedule)
+
+    @staticmethod
+    def _reconstruct(request: SolveRequest, solution: Any):
+        if (
+            not resolve(request.problem).capabilities.reconstructs_schedule
+            or not isinstance(solution, SteadyStateSolution)
+        ):
+            return None
+        from ..schedule.reconstruction import reconstruct_schedule
+
+        return reconstruct_schedule(solution)
+
+    # ------------------------------------------------------------------
+    def invalidate_platform(self, platform: Platform) -> int:
+        """Drop cached results and hot LP models for this platform shape."""
+        removed = self.cache.invalidate_platform(platform)
+        if self.incremental is not None:
+            self.incremental.forget(platform)
+        return removed
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe operational state of this shard."""
+        out: Dict[str, Any] = {
+            "cache": self.cache.snapshot(),
+            "metrics": self.metrics.snapshot(),
+        }
+        if self.incremental is not None:
+            out["incremental"] = {
+                "hot_models": len(self.incremental),
+                **self.incremental.stats.as_dict(),
+            }
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -272,8 +437,6 @@ class Broker:
     ) -> None:
         if executor not in ("thread", "process", "sync"):
             raise ValueError("executor must be 'thread', 'process' or 'sync'")
-        self.cache = cache if cache is not None else SolutionCache()
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.workers = max(1, int(workers))
         self.executor_kind = executor
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -284,8 +447,14 @@ class Broker:
             )
         if executor == "process":
             self._process_pool = ProcessPoolExecutor(max_workers=self.workers)
-        self._incremental: Optional[IncrementalSolver] = (
-            IncrementalSolver() if incremental else None
+        self.engine = SolveEngine(
+            cache=cache,
+            metrics=metrics,
+            incremental=IncrementalSolver() if incremental else None,
+            cold_executor=(
+                self._dispatch_to_process_pool
+                if self._process_pool is not None else None
+            ),
         )
         self._inflight: Dict[str, Future] = {}
         # RLock: a future that completes before add_done_callback returns
@@ -293,6 +462,20 @@ class Broker:
         # the lock held by submit()
         self._inflight_lock = threading.RLock()
         self.coalesced = 0  # submissions answered by an in-flight future
+
+    # the per-shard state lives on the engine; expose it under the
+    # historical names so `broker.cache.stats` / `broker.metrics` keep
+    # working for library users
+    @property
+    def cache(self) -> SolutionCache:
+        return self.engine.cache
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.engine.metrics
+
+    def _dispatch_to_process_pool(self, request: SolveRequest) -> Any:
+        return self._process_pool.submit(execute_request, request).result()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -314,22 +497,23 @@ class Broker:
     # ------------------------------------------------------------------
     def solve(self, request: SolveRequest) -> BrokerResult:
         """Synchronous solve (cache -> warm -> cold), metered."""
-        return self._run(request, request.fingerprint())
+        return self.engine.run(request, request.fingerprint())
 
     def submit(self, request: SolveRequest) -> "Future[BrokerResult]":
         """Asynchronous solve; duplicate in-flight requests share a future."""
         fp = request.fingerprint()
+        start = time.perf_counter()
         if self._pool is None:  # sync broker: resolve immediately
             fut: "Future[BrokerResult]" = Future()
             try:
-                fut.set_result(self._run(request, fp))
+                fut.set_result(self.engine.run(request, fp))
             except BaseException as exc:  # noqa: BLE001 — future carries it
                 fut.set_exception(exc)
             return fut
         with self._inflight_lock:
             inflight = self._inflight.get(fp)
             if inflight is None:
-                fut = self._pool.submit(self._run, request, fp)
+                fut = self._pool.submit(self.engine.run, request, fp)
                 self._inflight[fp] = fut
                 fut.add_done_callback(
                     lambda _f, fp=fp: self._forget_inflight(fp)
@@ -343,55 +527,56 @@ class Broker:
         # thread, which must not stall other submitters.  The in-flight
         # request may not have asked for a schedule; honour this caller's
         # include_schedule on top of its result.
-        return self._chain_schedule(inflight, request)
+        return self._chain_schedule(inflight, request, start)
 
     def _forget_inflight(self, fp: str) -> None:
         with self._inflight_lock:
             self._inflight.pop(fp, None)
 
-    def _tailor_schedule(
-        self, request: SolveRequest, result: BrokerResult
-    ) -> BrokerResult:
-        """Shape a shared (coalesced/deduped) result to this caller's
-        ``include_schedule``: reconstruct lazily when asked, strip when not
-        (so the response shape never depends on which twin solved first)."""
-        if request.include_schedule:
-            if result.schedule is not None:
-                return result
-            # another waiter may have reconstructed and attached it already
-            entry = self.cache.peek(result.fingerprint)
-            schedule = entry.schedule if entry is not None else None
-            if schedule is None:
-                schedule = self._reconstruct(request, result.solution)
-                if schedule is None:
-                    return result
-                self.cache.attach_schedule(result.fingerprint, schedule)
-        else:
-            if result.schedule is None:
-                return result
-            schedule = None
-        return BrokerResult(
-            fingerprint=result.fingerprint,
-            solution=result.solution,
-            schedule=schedule,
-            cached=result.cached,
-            warm=result.warm,
-            latency_seconds=result.latency_seconds,
-        )
-
     def _chain_schedule(
-        self, fut: "Future[BrokerResult]", request: SolveRequest
+        self,
+        fut: "Future[BrokerResult]",
+        request: SolveRequest,
+        start: float,
     ) -> "Future[BrokerResult]":
+        """Resolve a coalesced follower on top of the leader's future.
+
+        The follower is a first-class request: it gets its own ``solve``
+        observation (plus the ``solve.coalesced`` sub-timer) and its own
+        latency — the time *this* caller waited — and is flagged
+        ``coalesced=True`` rather than echoing the leader's ``cached`` /
+        ``warm`` flags, which describe how the *leader's* solve went.
+        """
         out: "Future[BrokerResult]" = Future()
 
         def _relay(done: "Future[BrokerResult]") -> None:
             try:
-                out.set_result(self._tailor_schedule(request, done.result()))
+                tailored = self.engine.tailor_schedule(request, done.result())
+                out.set_result(self._mark_coalesced(tailored, start))
             except BaseException as exc:  # noqa: BLE001 — future carries it
+                self.metrics.observe("solve", time.perf_counter() - start,
+                                     error=True)
                 out.set_exception(exc)
 
         fut.add_done_callback(_relay)
         return out
+
+    def _mark_coalesced(
+        self, result: BrokerResult, start: float
+    ) -> BrokerResult:
+        """Stamp a follower result: own latency, own ``solve`` /
+        ``solve.coalesced`` observations, ``coalesced=True`` instead of
+        the leader's ``cached``/``warm`` flags."""
+        latency = time.perf_counter() - start
+        self.metrics.observe("solve", latency)
+        self.metrics.observe("solve.coalesced", latency)
+        return dataclasses.replace(
+            result,
+            cached=False,
+            warm=False,
+            coalesced=True,
+            latency_seconds=latency,
+        )
 
     def solve_batch(self, requests: List[SolveRequest]) -> List[BrokerResult]:
         """Solve a mixed batch: dedupe by fingerprint, fan out, keep order.
@@ -404,115 +589,42 @@ class Broker:
         batch op does).
         """
         with self.metrics.timer("solve.batch"):
+            start = time.perf_counter()
             fps = [r.fingerprint() for r in requests]
             futures: Dict[str, Future] = {}
-            for request, fp in zip(requests, fps):
+            leaders: Dict[str, int] = {}
+            for index, (request, fp) in enumerate(zip(requests, fps)):
                 if fp not in futures:
                     futures[fp] = self.submit(request)
-            return [
-                self._tailor_schedule(request, futures[fp].result())
-                for request, fp in zip(requests, fps)
-            ]
-
-    # ------------------------------------------------------------------
-    def _run(self, request: SolveRequest, fp: str) -> BrokerResult:
-        start = time.perf_counter()
-        try:
-            entry = self.cache.get(fp)
-            if entry is not None:
-                result = self._from_cache(request, fp, entry)
-                self.metrics.observe("solve.hit", time.perf_counter() - start)
-            else:
-                result = self._solve_cold(request, fp)
-                endpoint = "solve.warm" if result.warm else "solve.cold"
-                self.metrics.observe(endpoint, time.perf_counter() - start)
-            result.latency_seconds = time.perf_counter() - start
-            self.metrics.observe("solve", result.latency_seconds)
-            return result
-        except BaseException:
-            self.metrics.observe("solve", time.perf_counter() - start,
-                                 error=True)
-            raise
-
-    def _from_cache(
-        self, request: SolveRequest, fp: str, entry: CacheEntry
-    ) -> BrokerResult:
-        schedule = entry.schedule
-        if request.include_schedule and schedule is None:
-            schedule = self._reconstruct(request, entry.solution)
-            if schedule is not None:
-                self.cache.attach_schedule(fp, schedule)
-        return BrokerResult(
-            fingerprint=fp,
-            solution=entry.solution,
-            schedule=schedule if request.include_schedule else None,
-            cached=True,
-        )
-
-    def _solve_cold(self, request: SolveRequest, fp: str) -> BrokerResult:
-        warm = False
-        backend = request.option_dict().get("backend", "exact")
-        if (
-            self._incremental is not None
-            and self._process_pool is None
-            # a process executor was chosen for parallelism/isolation; the
-            # in-process warm path would silently defeat it, so it only
-            # applies to the thread/sync executors
-            and resolve(request.problem).capabilities.warm_resolve
-            and backend == "exact"
-        ):
-            solution, warm = self._incremental.solve_spec_ex(request.spec)
-        elif self._process_pool is not None:
-            solution = self._process_pool.submit(
-                execute_request, request
-            ).result()
-        else:
-            solution = execute_request(request)
-        schedule = None
-        if request.include_schedule:
-            schedule = self._reconstruct(request, solution)
-        self.cache.put(fp, solution, request.platform, schedule=schedule)
-        return BrokerResult(
-            fingerprint=fp,
-            solution=solution,
-            schedule=schedule,
-            cached=False,
-            warm=warm,
-        )
-
-    @staticmethod
-    def _reconstruct(request: SolveRequest, solution: Any):
-        if (
-            not resolve(request.problem).capabilities.reconstructs_schedule
-            or not isinstance(solution, SteadyStateSolution)
-        ):
-            return None
-        from ..schedule.reconstruction import reconstruct_schedule
-
-        return reconstruct_schedule(solution)
+                    leaders[fp] = index
+                else:
+                    with self._inflight_lock:
+                        self.coalesced += 1
+            results = []
+            for index, (request, fp) in enumerate(zip(requests, fps)):
+                shared = self.engine.tailor_schedule(
+                    request, futures[fp].result()
+                )
+                if leaders[fp] != index:
+                    # an intra-batch duplicate is a coalesced follower like
+                    # any other: first-class in metrics, own latency, and
+                    # flagged coalesced instead of echoing the leader
+                    shared = self._mark_coalesced(shared, start)
+                results.append(shared)
+            return results
 
     # ------------------------------------------------------------------
     # invalidation + introspection
     # ------------------------------------------------------------------
     def invalidate_platform(self, platform: Platform) -> int:
         """Drop cached results and hot LP models for this platform shape."""
-        removed = self.cache.invalidate_platform(platform)
-        if self._incremental is not None:
-            self._incremental.forget(platform)
-        return removed
+        return self.engine.invalidate_platform(platform)
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe operational state (exposed by the API)."""
-        out: Dict[str, Any] = {
+        return {
             "executor": self.executor_kind,
             "workers": self.workers,
             "coalesced": self.coalesced,
-            "cache": self.cache.snapshot(),
-            "metrics": self.metrics.snapshot(),
+            **self.engine.snapshot(),
         }
-        if self._incremental is not None:
-            out["incremental"] = {
-                "hot_models": len(self._incremental),
-                **self._incremental.stats.as_dict(),
-            }
-        return out

@@ -15,6 +15,15 @@ Eviction happens on three paths, each with its own counter:
   every entry computed against a platform with the given structural
   signature; call it after mutating a platform the service solved for.
 
+Invalidation also bumps a monotonically increasing **generation**
+counter.  A solve that was already in flight when ``invalidate_platform``
+(or ``clear``) ran computed its solution against the *pre-invalidation*
+platform; if its ``put`` landed afterwards it would silently reinstate
+the stale solution.  Callers therefore capture
+:attr:`SolutionCache.generation` when the solve *starts* and pass it back
+to :meth:`SolutionCache.put`, which rejects the write (counted in
+``stale_puts``) when an invalidation happened in between.
+
 The clock is injectable for deterministic TTL tests.
 """
 
@@ -39,6 +48,7 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    stale_puts: int = 0
 
     @property
     def lookups(self) -> int:
@@ -55,6 +65,7 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "invalidations": self.invalidations,
+            "stale_puts": self.stale_puts,
             "hit_rate": self.hit_rate,
         }
 
@@ -104,7 +115,14 @@ class SolutionCache:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._generation = 0
         self.stats = CacheStats()
+
+    @property
+    def generation(self) -> int:
+        """Invalidation epoch; capture at solve start, pass to :meth:`put`."""
+        with self._lock:
+            return self._generation
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -142,10 +160,23 @@ class SolutionCache:
         solution: Any,
         platform: Platform,
         schedule: Any = None,
-    ) -> CacheEntry:
-        """Insert (or refresh) an entry, evicting LRU entries beyond budget."""
+        generation: Optional[int] = None,
+    ) -> Optional[CacheEntry]:
+        """Insert (or refresh) an entry, evicting LRU entries beyond budget.
+
+        ``generation`` is the value of :attr:`generation` captured when the
+        solve producing ``solution`` started.  When an invalidation has
+        happened since (the counter moved), the write is refused and
+        ``None`` is returned: the solution was computed against a platform
+        state the caller has since declared stale, and storing it would
+        undo the invalidation.  Pass ``None`` to skip the check (the
+        solution is known current, e.g. a manual warm-up).
+        """
         topo = topology_signature(platform)
         with self._lock:
+            if generation is not None and generation != self._generation:
+                self.stats.stale_puts += 1
+                return None
             entry = CacheEntry(
                 key=key,
                 topology_sig=topo,
@@ -202,6 +233,10 @@ class SolutionCache:
         """
         topo = topology_signature(platform)
         with self._lock:
+            # bump even when nothing matched: an in-flight solve for this
+            # platform has no entry yet, and its late put must still be
+            # refused (the whole point of the generation check)
+            self._generation += 1
             doomed: List[str] = [
                 key for key, entry in self._entries.items()
                 if entry.topology_sig == topo
@@ -213,6 +248,7 @@ class SolutionCache:
 
     def clear(self) -> int:
         with self._lock:
+            self._generation += 1
             n = len(self._entries)
             self._entries.clear()
             return n
@@ -225,5 +261,6 @@ class SolutionCache:
                 "size": len(self._entries),
                 "max_size": self.max_size,
                 "ttl": self.ttl,
+                "generation": self._generation,
                 **self.stats.as_dict(),
             }

@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional
 from contextlib import contextmanager
 
 
@@ -140,3 +140,70 @@ class MetricsRegistry:
             "requests_per_second": total / uptime if uptime > 0 else 0.0,
             "endpoints": endpoints,
         }
+
+
+# ----------------------------------------------------------------------
+def _merge_endpoint_dicts(dicts: list) -> Dict[str, Any]:
+    count = sum(d["count"] for d in dicts)
+    errors = sum(d["errors"] for d in dicts)
+    total = sum(d["total_seconds"] for d in dicts)
+    mins = [d["min_seconds"] for d in dicts if d["min_seconds"] is not None]
+    maxs = [d["max_seconds"] for d in dicts if d["max_seconds"] is not None]
+
+    def weighted(key: str) -> Optional[float]:
+        pairs = [(d[key], d["count"]) for d in dicts
+                 if d.get(key) is not None and d["count"]]
+        weight = sum(n for _v, n in pairs)
+        if not weight:
+            return None
+        return sum(v * n for v, n in pairs) / weight
+
+    return {
+        "count": count,
+        "errors": errors,
+        "total_seconds": total,
+        "mean_seconds": total / count if count else None,
+        "min_seconds": min(mins) if mins else None,
+        "max_seconds": max(maxs) if maxs else None,
+        "p50_seconds": weighted("p50_seconds"),
+        "p99_seconds": weighted("p99_seconds"),
+        "window": sum(d["window"] for d in dicts),
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counts, errors and busy time are exact sums; min/max are exact;
+    the mean is re-derived from the summed totals.  Percentiles cannot be
+    reconstructed from per-shard percentiles, so the merged p50/p99 are
+    *count-weighted averages* of the shard values — a documented
+    approximation (exact when shards see similar latency distributions,
+    which hash routing makes the common case).  Uptime is the maximum
+    across shards (they started together); requests/sec is re-derived
+    from the merged totals, so it reports aggregate service throughput.
+
+    Input dicts are JSON snapshots, which is what makes this work
+    uniformly for in-process shards and process shards reporting over a
+    pipe.
+    """
+    snapshots = list(snapshots)
+    uptime = max((s.get("uptime_seconds", 0.0) for s in snapshots),
+                 default=0.0)
+    names: Dict[str, list] = {}
+    for snap in snapshots:
+        for name, ep in snap.get("endpoints", {}).items():
+            names.setdefault(name, []).append(ep)
+    endpoints = {
+        name: _merge_endpoint_dicts(dicts)
+        for name, dicts in sorted(names.items())
+    }
+    total = sum(
+        e["count"] for name, e in endpoints.items() if "." not in name
+    )
+    return {
+        "uptime_seconds": uptime,
+        "total_requests": total,
+        "requests_per_second": total / uptime if uptime > 0 else 0.0,
+        "endpoints": endpoints,
+    }

@@ -1,0 +1,528 @@
+"""Sharded broker: consistent-hash routing over N independent solve shards.
+
+One :class:`~repro.service.broker.SolveEngine` owns one
+:class:`~repro.service.cache.SolutionCache` and one
+:class:`~repro.service.incremental.IncrementalSolver`.  That is exactly
+the state that should *not* be shared once the platform corpus outgrows a
+single cache or the solve load outgrows a single process:
+
+* every lookup contends on one cache lock and one in-flight table;
+* every hot LP model lives in one process, bounded by one
+  ``max_models`` budget and one GIL.
+
+:class:`ShardedBroker` routes each request by **consistent hash of its
+fingerprint** to one of N shards, each owning its own engine, so cache
+entries and hot models never contend across shards and the aggregate
+cache/model capacity scales linearly with the shard count.  Identical
+requests always land on the same shard (hash routing is deterministic),
+so sharding never duplicates cache entries and per-request results are
+exactly the single-broker results — ``Fraction``-exact.
+
+Two shard modes:
+
+``thread`` (default)
+    Each shard is a full in-process :class:`~repro.service.broker.Broker`
+    (worker pool + in-flight coalescing).  Zero serialization cost; all
+    shards share the GIL, so this mode scales cache/model *capacity*, not
+    CPU.
+
+``process``
+    Each shard is a long-lived worker **process** hosting a bare
+    :class:`~repro.service.broker.SolveEngine` behind a pipe.  Requests
+    travel as the PR 2 wire codec (``spec.to_wire()`` inside
+    :func:`~repro.service.api.request_to_dict`, with the platform as
+    ``platform_to_dict``) — JSON-safe dicts, not pickled ``Platform``
+    objects — and the worker keeps its cache and warm LP models hot
+    across calls, so only the *request description* crosses the process
+    boundary, never the solver state.  Results return as pickled
+    :class:`~repro.service.broker.BrokerResult` objects (``Fraction``
+    arithmetic pickles exactly).  This mode adds one IPC round-trip per
+    request but scales CPU-bound solve load across cores and isolates
+    solver state per shard.
+
+:meth:`ShardedBroker.invalidate_platform` fans out to every shard (a
+platform's requests spread across shards as their fingerprints differ),
+and each shard's generation counter (see
+:class:`~repro.service.cache.SolutionCache`) guarantees a solve that was
+in flight when the invalidation arrived cannot re-populate the shard
+cache with a stale solution.
+
+The consistent-hash ring (many points per shard, like the routing rings
+in Dask ``distributed``-style schedulers) keeps the fingerprint → shard
+map stable and balanced; remapping when the shard count changes moves
+only ~1/N of the keyspace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import multiprocessing
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from ..platform.graph import Platform
+from ..platform.serialization import platform_from_dict, platform_to_dict
+from .broker import Broker, BrokerError, BrokerResult, SolveEngine, SolveRequest
+from .cache import SolutionCache
+from .incremental import IncrementalSolver
+from .metrics import MetricsRegistry, merge_snapshots
+
+
+class ShardError(RuntimeError):
+    """A shard worker process failed or died mid-request."""
+
+
+#: dynamically minted ShardError subclasses named after the worker-side
+#: exception class, so ``type(exc).__name__`` — the JSON API's ``"type"``
+#: field — reports the ORIGINAL class (RuntimeError, ZeroDivisionError,
+#: ...) identically to the unsharded broker, while remaining catchable
+#: as ShardError.
+_REMOTE_ERROR_TYPES: Dict[str, type] = {}
+
+
+def _remote_error(type_name: str, message: str) -> ShardError:
+    cls = _REMOTE_ERROR_TYPES.get(type_name)
+    if cls is None:
+        cls = type(type_name, (ShardError,), {
+            "__doc__": f"worker-side {type_name}, relayed over the pipe",
+        })
+        _REMOTE_ERROR_TYPES[type_name] = cls
+    return cls(message)
+
+
+# ----------------------------------------------------------------------
+# consistent-hash ring
+# ----------------------------------------------------------------------
+def _hash_point(label: str) -> int:
+    """A stable 64-bit point on the ring for a text label."""
+    return int(hashlib.sha256(label.encode("utf-8")).hexdigest()[:16], 16)
+
+
+class HashRing:
+    """Consistent-hash ring mapping request fingerprints to shard ids.
+
+    ``replicas`` virtual points per shard smooth the key distribution;
+    routing is a binary search, and the map depends only on (shard count,
+    replicas) — every :class:`ShardedBroker` with the same configuration
+    routes identically, across processes and across restarts.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shards = shards
+        self.replicas = replicas
+        points = sorted(
+            (_hash_point(f"shard:{shard}:replica:{rep}"), shard)
+            for shard in range(shards)
+            for rep in range(replicas)
+        )
+        self._keys = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route(self, fingerprint: str) -> int:
+        """Shard id owning this fingerprint (a hex SHA-256 digest)."""
+        point = int(fingerprint[:16], 16)
+        idx = bisect.bisect_right(self._keys, point)
+        if idx == len(self._keys):  # wrap around the ring
+            idx = 0
+        return self._owners[idx]
+
+
+# ----------------------------------------------------------------------
+# process-shard worker
+# ----------------------------------------------------------------------
+def _shard_worker_main(
+    conn, cache_size: int, ttl: Optional[float], incremental: bool
+) -> None:
+    """Long-lived shard worker: one engine, one pipe, wire-codec requests.
+
+    The engine (cache + metrics + warm models) lives for the worker's
+    whole life — that persistence is the point: re-spawning per request
+    would throw the hot state away.  One message in, one reply out;
+    failures are reported as ``{"ok": False, ...}`` replies, never by
+    killing the worker.
+    """
+    from .api import request_from_dict  # deferred: avoid import cycle
+
+    engine = SolveEngine(
+        cache=SolutionCache(max_size=cache_size, ttl=ttl),
+        incremental=IncrementalSolver() if incremental else None,
+    )
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        op = msg.get("op")
+        try:
+            if op == "stop":
+                conn.send({"ok": True})
+                return
+            if op == "solve":
+                request = request_from_dict(msg["request"])
+                result = engine.run(request, msg["fp"])
+                conn.send({"ok": True, "result": result})
+            elif op == "invalidate":
+                platform = platform_from_dict(msg["platform"])
+                removed = engine.invalidate_platform(platform)
+                conn.send({"ok": True, "removed": removed})
+            elif op == "snapshot":
+                conn.send({"ok": True, "snapshot": engine.snapshot()})
+            elif op == "clear":
+                conn.send({"ok": True, "cleared": engine.cache.clear()})
+            else:
+                conn.send({"ok": False, "error": f"unknown shard op {op!r}",
+                           "type": "SpecError"})
+        except Exception as exc:  # noqa: BLE001 — reply carries it
+            conn.send({"ok": False, "error": str(exc),
+                       "type": type(exc).__name__})
+
+
+class _ProcessShard:
+    """Parent-side handle: a worker process, its pipe, a call lock and a
+    single-thread dispatch queue.
+
+    The lock serialises pipe use (one request in flight per shard —
+    cross-shard parallelism is the scaling axis, and it also gives each
+    shard a strict solve → invalidate ordering, which keeps fan-out
+    invalidation race-free from the parent's point of view).  The
+    per-shard **own** executor is what prevents head-of-line blocking: a
+    burst of requests hashing to one busy shard queues on *that shard's*
+    thread and can never starve dispatch to idle shards or the
+    introspection fan-outs, which a shared pool would allow.
+    """
+
+    def __init__(self, index: int, ctx, cache_size: int,
+                 ttl: Optional[float], incremental: bool) -> None:
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child, cache_size, ttl, incremental),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        self.lock = threading.Lock()
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        )
+
+    def call(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        with self.lock:
+            try:
+                self.conn.send(msg)
+                reply = self.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise ShardError(
+                    f"shard worker pid={self.process.pid} died "
+                    f"(exitcode={self.process.exitcode}): {exc}"
+                ) from exc
+        if not reply.get("ok"):
+            if reply.get("type") == "SpecError":
+                raise BrokerError(reply.get("error", "shard error"))
+            raise _remote_error(reply.get("type", "ShardError"),
+                                reply.get("error", ""))
+        return reply
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self.executor.shutdown(wait=True)  # drain queued dispatches first
+        try:
+            with self.lock:
+                self.conn.send({"op": "stop"})
+                self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        self.conn.close()
+
+
+# ----------------------------------------------------------------------
+def _merge_cache_snapshots(snaps: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate per-shard cache snapshots: counters sum, rate re-derives."""
+    summed = {
+        key: sum(s.get(key, 0) for s in snaps)
+        for key in ("size", "max_size", "hits", "misses", "evictions",
+                    "expirations", "invalidations", "stale_puts",
+                    "generation")
+    }
+    lookups = summed["hits"] + summed["misses"]
+    return {
+        **summed,
+        "ttl": snaps[0].get("ttl") if snaps else None,
+        "hit_rate": summed["hits"] / lookups if lookups else 0.0,
+        "shards": len(snaps),
+    }
+
+
+class _AggregateCacheView:
+    """Read-only stand-in for ``broker.cache`` over all shards.
+
+    The JSON API (and any library caller poking ``broker.cache``) only
+    needs the aggregate snapshot; per-shard caches stay private to their
+    shards on purpose.
+    """
+
+    def __init__(self, owner: "ShardedBroker") -> None:
+        self._owner = owner
+
+    def snapshot(self) -> Dict[str, Any]:
+        return _merge_cache_snapshots(
+            [s["cache"] for s in self._owner.shard_snapshots()]
+        )
+
+
+# ----------------------------------------------------------------------
+class ShardedBroker:
+    """Consistent-hash front-end over N independent solve shards.
+
+    Drop-in for :class:`~repro.service.broker.Broker` where the JSON API
+    is concerned (``solve`` / ``submit`` / ``solve_batch`` /
+    ``invalidate_platform`` / ``snapshot`` / ``metrics`` / ``cache``).
+
+    Parameters
+    ----------
+    shards:
+        Number of independent shards (>= 1; 1 is the unsharded baseline
+        with the same code path, useful for benchmarking).
+    shard_mode:
+        ``"thread"`` — in-process :class:`Broker` per shard (coalescing
+        kept, zero serialization, shared GIL); ``"process"`` — long-lived
+        worker process per shard, wire-codec dispatch (see module docs).
+    workers:
+        Thread-pool width *per shard* (thread mode only).
+    cache_size / ttl:
+        Per-shard :class:`SolutionCache` budget; the aggregate capacity
+        is ``shards * cache_size``.
+    incremental:
+        Enable the per-shard warm re-solve path.
+    replicas:
+        Virtual ring points per shard (routing smoothness).
+    mp_start_method:
+        Override the multiprocessing start method for process shards
+        (``"fork"``/``"spawn"``/``"forkserver"``; default: platform
+        default).
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        shard_mode: str = "thread",
+        workers: int = 2,
+        cache_size: int = 256,
+        ttl: Optional[float] = None,
+        incremental: bool = True,
+        replicas: int = 64,
+        mp_start_method: Optional[str] = None,
+    ) -> None:
+        if shard_mode not in ("thread", "process"):
+            raise ValueError("shard_mode must be 'thread' or 'process'")
+        self.shard_mode = shard_mode
+        self.workers = max(1, int(workers))
+        self.ring = HashRing(int(shards), replicas=replicas)
+        self.metrics = MetricsRegistry()  # front-door ops (ping/metrics/...)
+        self.cache = _AggregateCacheView(self)
+        self._closed = False
+        self._thread_shards: List[Broker] = []
+        self._process_shards: List[_ProcessShard] = []
+        if shard_mode == "thread":
+            self._thread_shards = [
+                Broker(
+                    cache=SolutionCache(max_size=cache_size, ttl=ttl),
+                    workers=self.workers,
+                    executor="thread",
+                    incremental=incremental,
+                )
+                for _ in range(self.ring.shards)
+            ]
+        else:
+            ctx = (multiprocessing.get_context(mp_start_method)
+                   if mp_start_method else multiprocessing.get_context())
+            self._process_shards = [
+                _ProcessShard(index, ctx, cache_size, ttl, incremental)
+                for index in range(self.ring.shards)
+            ]
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return self.ring.shards
+
+    def shard_for(self, fingerprint: str) -> int:
+        """The shard id a fingerprint routes to (stable, deterministic)."""
+        return self.ring.route(fingerprint)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for broker in self._thread_shards:
+            broker.close()
+        for shard in self._process_shards:
+            shard.stop()
+
+    def __enter__(self) -> "ShardedBroker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the solve paths
+    # ------------------------------------------------------------------
+    def solve(self, request: SolveRequest) -> BrokerResult:
+        """Route one request to its shard and solve synchronously."""
+        fp = request.fingerprint()
+        shard = self.shard_for(fp)
+        if self._thread_shards:
+            return self._thread_shards[shard].solve(request)
+        return self._process_solve(shard, request, fp)
+
+    def submit(self, request: SolveRequest) -> "Future[BrokerResult]":
+        """Asynchronous solve on the owning shard.
+
+        Thread mode keeps the shard broker's in-flight coalescing:
+        identical concurrent requests always route to the same shard, so
+        they still share one LP.  Process mode serialises per shard (the
+        pipe), so a duplicate behind an in-flight twin resolves as a
+        cache hit instead.
+        """
+        fp = request.fingerprint()
+        shard = self.shard_for(fp)
+        if self._thread_shards:
+            return self._thread_shards[shard].submit(request)
+        return self._process_shards[shard].executor.submit(
+            self._process_solve, shard, request, fp
+        )
+
+    def solve_batch(self, requests: List[SolveRequest]) -> List[BrokerResult]:
+        """Fan a mixed batch out across shards; order preserved."""
+        with self.metrics.timer("solve.batch"):
+            futures = [self.submit(request) for request in requests]
+            return [fut.result() for fut in futures]
+
+    def _process_solve(
+        self, shard: int, request: SolveRequest, fp: str
+    ) -> BrokerResult:
+        from .api import _request_wire  # deferred: avoid import cycle
+
+        # the memoized read-only encoding: the pipe pickles it immediately,
+        # so no copy is needed and re-sends never re-encode the platform
+        reply = self._process_shards[shard].call({
+            "op": "solve",
+            "fp": fp,
+            "request": _request_wire(request),
+        })
+        return reply["result"]
+
+    # ------------------------------------------------------------------
+    # invalidation + introspection
+    # ------------------------------------------------------------------
+    def invalidate_platform(self, platform: Platform) -> int:
+        """Drop this platform's entries and hot models on *every* shard.
+
+        A platform's requests spread across shards (each problem/option
+        combination fingerprints differently), so invalidation must fan
+        out.  Each shard's generation counter makes the fan-out sound
+        under racing in-flight solves: a solve that started before the
+        invalidation reached its shard cannot re-insert a stale entry.
+        """
+        if self._thread_shards:
+            return sum(broker.invalidate_platform(platform)
+                       for broker in self._thread_shards)
+        encoded = platform_to_dict(platform)
+        return sum(
+            reply["removed"]
+            for reply in self._fanout({"op": "invalidate",
+                                       "platform": encoded})
+        )
+
+    def clear(self) -> int:
+        """Drop every cached entry on every shard; returns entries removed.
+
+        (The per-shard generation counters advance, so in-flight solves
+        cannot re-populate the caches with pre-clear solutions.)
+        """
+        if self._thread_shards:
+            return sum(broker.cache.clear()
+                       for broker in self._thread_shards)
+        return sum(reply["cleared"]
+                   for reply in self._fanout({"op": "clear"}))
+
+    def _fanout(self, msg: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Send one op to every process shard *concurrently*, ahead of
+        each shard's queued solves.
+
+        Transient threads contend on the pipe locks directly rather than
+        joining the per-shard dispatch queues, so a metrics scrape or an
+        invalidation waits for (roughly) one in-flight call per shard —
+        not for a deep solve backlog to drain — and the shards are
+        visited in parallel, so the total wait is the slowest shard's,
+        not the sum.  Replies come back in shard-id order.
+        """
+        with ThreadPoolExecutor(
+            max_workers=len(self._process_shards),
+            thread_name_prefix="repro-shard-fanout",
+        ) as pool:
+            futures = [pool.submit(shard.call, dict(msg))
+                       for shard in self._process_shards]
+            return [fut.result() for fut in futures]
+
+    def shard_snapshots(self) -> List[Dict[str, Any]]:
+        """Per-shard engine snapshots (``cache`` / ``metrics`` /
+        ``incremental``), in shard-id order (process shards queried
+        concurrently — see :meth:`_fanout`)."""
+        if self._thread_shards:
+            return [broker.engine.snapshot()
+                    for broker in self._thread_shards]
+        return [reply["snapshot"]
+                for reply in self._fanout({"op": "snapshot"})]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe aggregate state: merged cache counters, merged
+        metrics (see :func:`~repro.service.metrics.merge_snapshots` for
+        the aggregation semantics) and a compact per-shard breakdown."""
+        shard_snaps = self.shard_snapshots()
+        coalesced = sum(b.coalesced for b in self._thread_shards)
+        merged_metrics = merge_snapshots(
+            [self.metrics.snapshot()] + [s["metrics"] for s in shard_snaps]
+        )
+        out: Dict[str, Any] = {
+            "executor": f"sharded-{self.shard_mode}",
+            "shards": self.shards,
+            "shard_mode": self.shard_mode,
+            "workers": self.workers,
+            "coalesced": coalesced,
+            "cache": _merge_cache_snapshots(
+                [s["cache"] for s in shard_snaps]
+            ),
+            "metrics": merged_metrics,
+            "per_shard": [
+                {
+                    "shard": idx,
+                    "requests": s["metrics"]["total_requests"],
+                    "cache_size": s["cache"]["size"],
+                    "hits": s["cache"]["hits"],
+                    "misses": s["cache"]["misses"],
+                }
+                for idx, s in enumerate(shard_snaps)
+            ],
+        }
+        incremental = [s["incremental"] for s in shard_snaps
+                       if "incremental" in s]
+        if incremental:
+            out["incremental"] = {
+                key: sum(s[key] for s in incremental)
+                for key in ("hot_models", "warm_solves", "full_rebuilds")
+            }
+        return out

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.error
 import urllib.request
 from fractions import Fraction
 
@@ -335,15 +336,21 @@ class TestBroker:
             assert out[0].schedule is not None
             assert out[1].schedule is None
 
-    def test_total_requests_counts_solves_once(self, fig1):
+    def test_batch_dedup_solves_once_but_counts_both_requests(self, fig1):
         with Broker(executor="sync") as broker:
             req = SolveRequest(problem="master-slave", platform=fig1,
                                master="P1")
-            broker.solve_batch([req, req])
+            out = broker.solve_batch([req, req])
             snap = broker.metrics.snapshot()
-            # one deduped solve; batch and cold timers are dotted sub-timers
-            assert snap["total_requests"] == 1
+            # ONE cold solve, but TWO first-class requests in the metrics:
+            # the intra-batch duplicate is a coalesced follower
+            assert snap["endpoints"]["solve.cold"]["count"] == 1
+            assert snap["endpoints"]["solve.coalesced"]["count"] == 1
+            assert snap["total_requests"] == 2
             assert "solve.batch" in snap["endpoints"]
+            assert not out[0].coalesced and out[1].coalesced
+            assert broker.coalesced == 1
+            assert broker.cache.stats.misses == 1
 
     def test_warm_resolve_equals_cold(self):
         g = generators.star(4, master_w=2, worker_w=[1, 2, 3, 4],
@@ -391,6 +398,150 @@ class TestBroker:
             assert snap["cache"]["misses"] == 1
             assert snap["metrics"]["endpoints"]["solve"]["count"] == 1
             assert snap["incremental"]["full_rebuilds"] == 1
+
+
+# ----------------------------------------------------------------------
+# coalesced followers: first-class in metrics, flagged on the result
+# ----------------------------------------------------------------------
+class TestCoalescedFollowers:
+    def _blocking_solver(self, monkeypatch):
+        release = threading.Event()
+        started = threading.Event()
+        real = broker_mod.execute_request
+
+        def slow(request):
+            started.set()
+            assert release.wait(10)
+            return real(request)
+
+        monkeypatch.setattr(broker_mod, "execute_request", slow)
+        return started, release
+
+    def test_follower_gets_own_metrics_and_coalesced_flag(self, monkeypatch):
+        # regression: followers used to be invisible to /metrics and
+        # echoed the leader's cached/warm flags and latency verbatim
+        started, release = self._blocking_solver(monkeypatch)
+        with Broker(workers=2, incremental=False) as broker:
+            req = SolveRequest(problem="broadcast",
+                               platform=generators.chain(3), source="N0")
+            leader_fut = broker.submit(req)
+            assert started.wait(10)
+            follower_fut = broker.submit(req)
+            assert broker.coalesced == 1
+            release.set()
+            leader = leader_fut.result(10)
+            follower = follower_fut.result(10)
+            assert not leader.coalesced and not leader.cached
+            assert follower.coalesced
+            assert not follower.cached and not follower.warm
+            assert follower.solution is leader.solution  # still one solve
+            assert follower.latency_seconds > 0
+            # the follower is a first-class request in the metrics:
+            assert broker.metrics.endpoint("solve").count == 2
+            assert broker.metrics.endpoint("solve.coalesced").count == 1
+            assert broker.metrics.snapshot()["total_requests"] == 2
+            # ... but only ONE cold solve happened
+            assert broker.metrics.endpoint("solve.cold").count == 1
+
+    def test_follower_error_still_observed(self, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def boom(request):
+            started.set()
+            assert release.wait(10)
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(broker_mod, "execute_request", boom)
+        with Broker(workers=2, incremental=False) as broker:
+            req = SolveRequest(problem="broadcast",
+                               platform=generators.chain(3), source="N0")
+            leader_fut = broker.submit(req)
+            assert started.wait(10)
+            follower_fut = broker.submit(req)
+            release.set()
+            with pytest.raises(RuntimeError):
+                leader_fut.result(10)
+            with pytest.raises(RuntimeError):
+                follower_fut.result(10)
+            ep = broker.metrics.endpoint("solve")
+            assert ep.count == 2 and ep.errors == 2
+
+    def test_coalesced_flag_on_the_wire(self, monkeypatch):
+        started, release = self._blocking_solver(monkeypatch)
+        with Broker(workers=2, incremental=False) as broker:
+            req = SolveRequest(problem="broadcast",
+                               platform=generators.chain(3), source="N0")
+            leader = broker.submit(req)
+            assert started.wait(10)
+            follower = broker.submit(req)
+            release.set()
+            from repro.service import response_to_dict
+
+            assert response_to_dict(leader.result(10))["coalesced"] is False
+            assert response_to_dict(follower.result(10))["coalesced"] is True
+
+
+# ----------------------------------------------------------------------
+# invalidation generation: in-flight solves cannot reinstate stale entries
+# ----------------------------------------------------------------------
+class TestInvalidationGeneration:
+    def test_inflight_put_refused_after_invalidation(self, monkeypatch):
+        # regression: invalidate_platform racing an in-flight solve let
+        # the solve's late cache.put reinstate the invalidated solution
+        release = threading.Event()
+        started = threading.Event()
+        real = broker_mod.execute_request
+
+        def slow(request):
+            started.set()
+            assert release.wait(10)
+            return real(request)
+
+        monkeypatch.setattr(broker_mod, "execute_request", slow)
+        platform = generators.chain(3)
+        with Broker(workers=2, incremental=False) as broker:
+            req = SolveRequest(problem="broadcast", platform=platform,
+                               source="N0")
+            fut = broker.submit(req)
+            assert started.wait(10)  # solve captured its generation
+            assert broker.invalidate_platform(platform) == 0  # no entry yet
+            release.set()
+            result = fut.result(10)  # the caller still gets its answer
+            assert result.throughput == Fraction(1)
+            # ... but the pre-invalidation solution must not be cached
+            assert broker.cache.peek(req.fingerprint()) is None
+            assert broker.cache.stats.stale_puts == 1
+            assert not broker.solve(req).cached
+
+    def test_clear_bumps_generation_too(self):
+        g = generators.star(2)
+        cache = SolutionCache()
+        gen = cache.generation
+        cache.clear()
+        assert cache.generation == gen + 1
+        assert cache.put("k", "stale", g, generation=gen) is None
+        assert cache.stats.stale_puts == 1
+        assert cache.get("k") is None
+
+    def test_unrelated_invalidation_is_conservative(self):
+        # the generation is cache-global: invalidating platform A also
+        # refuses platform B's in-flight put (a miss + re-solve later, never
+        # a stale entry) — document the conservative choice
+        a, b = generators.star(2), generators.chain(3)
+        cache = SolutionCache()
+        gen = cache.generation
+        cache.invalidate_platform(a)
+        assert cache.put("b-key", "fresh-but-refused", b,
+                         generation=gen) is None
+        assert cache.stats.stale_puts == 1
+
+    def test_put_without_generation_is_unchecked(self):
+        g = generators.star(2)
+        cache = SolutionCache()
+        cache.invalidate_platform(g)
+        assert cache.put("k", "manual-warmup", g) is not None
+        assert cache.get("k") is not None
 
 
 # ----------------------------------------------------------------------
@@ -656,6 +807,98 @@ class TestApi:
             }})
             assert out["ok"], out
             assert Fraction(out["throughput"]) > 0
+
+
+class TestErrorStatusMapping:
+    """Client errors (400/422) vs server bugs (500), with "type" preserved."""
+
+    def test_invalid_spec_is_422(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {"op": "solve", "request": {
+                "problem": "nope",
+                "platform": platform_to_dict(generators.star(2)),
+                "master": "M"}})
+            assert not out["ok"]
+            assert out["status"] == 422 and out["type"] == "SpecError"
+
+    def test_undecodable_platform_is_400(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {"op": "solve", "request": {
+                "problem": "master-slave", "platform": {"nodes": 12},
+                "master": "M"}})
+            assert not out["ok"] and out["status"] == 400
+            assert out["type"] == "PlatformError"
+            out = handle_request(broker, {
+                "op": "invalidate", "platform": {"nodes": 12}})
+            assert not out["ok"] and out["status"] == 400
+            # the failure is recorded as an ERROR observation, not a
+            # clean request, so operators see the endpoint failing
+            assert broker.metrics.endpoint("invalidate").errors == 1
+
+    def test_unknown_op_is_422(self):
+        with Broker(executor="sync") as broker:
+            out = handle_request(broker, {"op": "wat"})
+            assert out["status"] == 422 and out["type"] == "SpecError"
+
+    def test_solver_crash_is_500_with_type(self, monkeypatch):
+        # regression: every failure used to surface as 422, so clients
+        # could not tell "fix your request" from "server bug"
+        def boom(request):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(broker_mod, "execute_request", boom)
+        with Broker(executor="sync", incremental=False) as broker:
+            out = handle_request(broker, _fig1_envelope())
+            assert not out["ok"]
+            assert out["status"] == 500
+            assert out["type"] == "RuntimeError"
+            assert "solver exploded" in out["error"]
+
+    def test_batch_isolates_statuses(self, monkeypatch):
+        bad_spec = {"problem": "nope",
+                    "platform": platform_to_dict(generators.star(2)),
+                    "master": "M"}
+        with Broker(executor="sync", incremental=False) as broker:
+            out = handle_request(broker, {"op": "batch", "requests": [
+                _fig1_envelope()["request"], bad_spec]})
+            assert out["ok"]  # the envelope succeeded; members differ
+            assert out["results"][0]["ok"]
+            assert out["results"][1]["status"] == 422
+
+    def test_http_transport_maps_statuses(self, monkeypatch):
+        def boom(request):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(broker_mod, "execute_request", boom)
+        broker = Broker(workers=2, incremental=False)
+        server = ServiceServer(("127.0.0.1", 0), broker=broker)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.port}/api"
+
+        def post(payload: bytes) -> int:
+            req = urllib.request.Request(
+                url, data=payload,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    return resp.status
+            except urllib.error.HTTPError as exc:
+                body = json.loads(exc.read())
+                assert body["status"] == exc.code  # body mirrors transport
+                return exc.code
+
+        try:
+            assert post(b"{not json") == 400
+            bad_spec = {"op": "solve", "request": {
+                "problem": "nope",
+                "platform": platform_to_dict(generators.star(2)),
+                "master": "M"}}
+            assert post(json.dumps(bad_spec).encode()) == 422
+            assert post(json.dumps(_fig1_envelope()).encode()) == 500
+        finally:
+            server.shutdown()
+            broker.close()
 
 
 class TestHttpServer:

@@ -1,0 +1,376 @@
+"""Sharded-broker tests: routing, aggregation, invalidation, process mode."""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import TaskGraph
+from repro.platform import generators
+from repro.platform.serialization import platform_to_dict
+from repro.service import (
+    Broker,
+    BrokerResult,
+    HashRing,
+    ShardedBroker,
+    SolveRequest,
+    handle_request,
+    merge_snapshots,
+)
+from repro.service.broker import BrokerError
+
+
+def _mixed_requests():
+    """Requests across problem kinds whose throughputs are rich Fractions."""
+    fig1 = generators.paper_figure1()
+    fig2 = generators.paper_figure2_multicast()
+    star_bi = generators.star(3, bidirectional=True)
+    return [
+        SolveRequest(problem="master-slave", platform=fig1, master="P1"),
+        SolveRequest(problem="scatter", platform=fig2, source="P0",
+                     targets=("P5", "P6")),
+        SolveRequest(problem="gather", platform=star_bi, source="M",
+                     targets=("W1", "W2", "W3")),
+        SolveRequest(problem="broadcast", platform=generators.chain(4),
+                     source="N0"),
+        SolveRequest(problem="multicast", platform=fig2, source="P0",
+                     targets=("P5", "P6")),
+        SolveRequest(problem="dag", platform=fig1, master="P1",
+                     dag=TaskGraph.chain([1, 2], [1])),
+        SolveRequest(problem="master-slave",
+                     platform=generators.star(4, master_w=2,
+                                              worker_w=[1, 2, 3, 4],
+                                              link_c=[1, 1, 2, 3]),
+                     master="M"),
+    ]
+
+
+def _reference_results(requests):
+    with Broker(executor="sync") as broker:
+        return [broker.solve(r) for r in requests]
+
+
+# ----------------------------------------------------------------------
+# the consistent-hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_routing_is_stable_across_instances(self):
+        fps = [r.fingerprint() for r in _mixed_requests()]
+        a, b = HashRing(4), HashRing(4)
+        assert [a.route(fp) for fp in fps] == [b.route(fp) for fp in fps]
+
+    def test_all_shards_reachable(self):
+        import hashlib
+
+        fps = [hashlib.sha256(str(i).encode()).hexdigest()
+               for i in range(512)]
+        ring = HashRing(4)
+        owners = {ring.route(fp) for fp in fps}
+        assert owners == {0, 1, 2, 3}
+        # and no shard is grossly overloaded (consistent hashing with
+        # replicas keeps the spread within a small factor of fair share)
+        counts = [sum(1 for fp in fps if ring.route(fp) == s)
+                  for s in range(4)]
+        assert min(counts) >= 512 / 4 / 4
+
+    def test_growing_the_ring_moves_a_minority_of_keys(self):
+        import hashlib
+
+        fps = [hashlib.sha256(str(i).encode()).hexdigest()
+               for i in range(512)]
+        before, after = HashRing(4), HashRing(5)
+        moved = sum(1 for fp in fps if before.route(fp) != after.route(fp))
+        # ideal is 1/5 of the keyspace; modulo hashing would move ~4/5
+        assert moved / len(fps) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            ShardedBroker(shards=2, shard_mode="quantum")
+
+
+# ----------------------------------------------------------------------
+# thread shards
+# ----------------------------------------------------------------------
+class TestShardedBrokerThread:
+    def test_results_exactly_match_single_broker(self):
+        requests = _mixed_requests()
+        reference = _reference_results(requests)
+        with ShardedBroker(shards=4, shard_mode="thread") as sharded:
+            out = sharded.solve_batch(requests)
+            for ref, got in zip(reference, out):
+                assert got.fingerprint == ref.fingerprint
+                assert got.throughput == ref.throughput  # Fraction-exact
+
+    def test_identical_requests_route_to_one_shard(self):
+        with ShardedBroker(shards=4, shard_mode="thread") as sharded:
+            req = SolveRequest(problem="master-slave",
+                               platform=generators.paper_figure1(),
+                               master="P1")
+            twin = SolveRequest(problem="master-slave",
+                                platform=generators.paper_figure1(),
+                                master="P1")
+            assert (sharded.shard_for(req.fingerprint())
+                    == sharded.shard_for(twin.fingerprint()))
+            sharded.solve(req)
+            hit = sharded.solve(twin)
+            assert hit.cached  # same shard, same cache entry
+            snap = sharded.snapshot()
+            assert snap["cache"]["misses"] == 1
+            assert snap["cache"]["hits"] == 1
+
+    def test_snapshot_aggregates_across_shards(self):
+        requests = _mixed_requests()
+        with ShardedBroker(shards=4, shard_mode="thread") as sharded:
+            sharded.solve_batch(requests)
+            sharded.solve_batch(requests)  # second pass: all hits
+            snap = sharded.snapshot()
+            assert snap["shards"] == 4 and snap["shard_mode"] == "thread"
+            assert snap["cache"]["misses"] == len(requests)
+            assert snap["cache"]["hits"] == len(requests)
+            assert (snap["metrics"]["total_requests"]
+                    >= 2 * len(requests))
+            assert len(snap["per_shard"]) == 4
+            # the per-shard breakdown sums to the aggregate
+            assert (sum(s["misses"] for s in snap["per_shard"])
+                    == snap["cache"]["misses"])
+            occupied = [s for s in snap["per_shard"] if s["requests"]]
+            assert len(occupied) >= 2  # the mix spreads across shards
+            json.dumps(snap)  # JSON-safe end to end
+
+    def test_invalidate_fans_out_to_every_shard(self):
+        fig1 = generators.paper_figure1()
+        variants = [
+            SolveRequest(problem="master-slave", platform=fig1, master="P1"),
+            SolveRequest(problem="master-slave", platform=fig1, master="P2"),
+            SolveRequest(problem="send-or-receive", platform=fig1,
+                         master="P1"),
+            SolveRequest(problem="multiport", platform=fig1, master="P1",
+                         options={"ports": 2}),
+        ]
+        with ShardedBroker(shards=4, shard_mode="thread") as sharded:
+            sharded.solve_batch(variants)
+            shards_used = {sharded.shard_for(r.fingerprint())
+                           for r in variants}
+            assert len(shards_used) >= 2  # the fan-out is actually needed
+            assert sharded.invalidate_platform(fig1) == len(variants)
+            for req in variants:
+                assert not sharded.solve(req).cached
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_clear_drops_every_shard(self, mode):
+        requests = _mixed_requests()[:4]
+        with ShardedBroker(shards=2, shard_mode=mode) as sharded:
+            sharded.solve_batch(requests)
+            assert sharded.clear() == len(
+                {r.fingerprint() for r in requests}
+            )
+            assert sharded.cache.snapshot()["size"] == 0
+            assert all(not sharded.solve(r).cached for r in requests)
+
+    def test_single_shard_is_a_valid_degenerate(self):
+        with ShardedBroker(shards=1, shard_mode="thread") as sharded:
+            req = SolveRequest(problem="master-slave",
+                               platform=generators.paper_figure1(),
+                               master="P1")
+            assert sharded.solve(req).throughput == Fraction(2)
+            assert sharded.solve(req).cached
+
+
+# ----------------------------------------------------------------------
+# process shards (wire-codec dispatch to long-lived workers)
+# ----------------------------------------------------------------------
+class TestShardedBrokerProcess:
+    def test_results_exactly_match_single_broker(self):
+        requests = _mixed_requests()
+        reference = _reference_results(requests)
+        with ShardedBroker(shards=2, shard_mode="process",
+                           cache_size=32) as sharded:
+            out = sharded.solve_batch(requests)
+            for ref, got in zip(reference, out):
+                assert isinstance(got, BrokerResult)
+                assert got.fingerprint == ref.fingerprint
+                assert got.throughput == ref.throughput  # Fraction-exact
+            # second pass is served from the workers' own caches
+            again = sharded.solve_batch(requests)
+            assert all(r.cached for r in again)
+
+    def test_worker_state_stays_hot_across_calls(self):
+        g = generators.star(4, master_w=2, worker_w=[1, 2, 3, 4],
+                            link_c=[1, 1, 2, 3])
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            sharded.solve(SolveRequest(problem="master-slave", platform=g,
+                                       master="M"))
+            mutated = g.scale(compute="3/2", comm="2/3")
+            warm = sharded.solve(SolveRequest(problem="master-slave",
+                                              platform=mutated, master="M"))
+            snap = sharded.snapshot()
+            # weight-only mutation: either the same shard re-used its hot
+            # model (warm) or another shard built fresh — but when it IS
+            # warm, the hot model demonstrably survived between calls
+            if warm.warm:
+                assert snap["incremental"]["warm_solves"] >= 1
+            from repro.core.master_slave import solve_master_slave
+
+            assert (warm.solution.throughput
+                    == solve_master_slave(mutated, "M").throughput)
+
+    def test_include_schedule_roundtrips_through_the_pipe(self):
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            req = SolveRequest(problem="master-slave",
+                               platform=generators.paper_figure1(),
+                               master="P1", include_schedule=True)
+            res = sharded.solve(req)
+            assert res.schedule is not None
+            assert res.schedule.throughput == res.solution.throughput
+
+    def test_invalidate_fans_out(self):
+        fig1 = generators.paper_figure1()
+        variants = [
+            SolveRequest(problem="master-slave", platform=fig1, master="P1"),
+            SolveRequest(problem="master-slave", platform=fig1, master="P2"),
+            SolveRequest(problem="send-or-receive", platform=fig1,
+                         master="P1"),
+        ]
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            sharded.solve_batch(variants)
+            assert sharded.invalidate_platform(fig1) == len(variants)
+            assert all(not sharded.solve(r).cached for r in variants)
+
+    def test_spec_error_surfaces_as_broker_error(self):
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            good = SolveRequest(problem="master-slave",
+                                platform=generators.star(2), master="M")
+            from repro.service.api import request_to_dict
+
+            # a tampered wire payload sent straight to a shard: the
+            # *worker* decodes, rejects, and the error crosses the pipe
+            payload = request_to_dict(good)
+            payload["spec"]["problem"] = "nope"
+            with pytest.raises(BrokerError, match="unknown problem"):
+                sharded._process_shards[0].call(
+                    {"op": "solve", "fp": good.fingerprint(),
+                     "request": payload})
+
+    def test_worker_error_preserves_original_type(self):
+        from repro.service import ShardError
+
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            with pytest.raises(ShardError) as err:
+                # worker-side PlatformError (not a SpecError): the relayed
+                # exception must report the ORIGINAL class name, so the
+                # JSON API's "type" field matches the unsharded broker
+                sharded._process_shards[0].call(
+                    {"op": "invalidate", "platform": {"nodes": 12}})
+            assert type(err.value).__name__ == "PlatformError"
+
+    def test_close_is_idempotent_and_workers_exit(self):
+        sharded = ShardedBroker(shards=2, shard_mode="process")
+        procs = [s.process for s in sharded._process_shards]
+        sharded.close()
+        sharded.close()
+        assert all(not p.is_alive() for p in procs)
+
+
+# ----------------------------------------------------------------------
+# the JSON API over a sharded broker
+# ----------------------------------------------------------------------
+class TestShardedApi:
+    def _envelope(self):
+        return {"op": "solve", "request": {
+            "problem": "master-slave",
+            "platform": platform_to_dict(generators.paper_figure1()),
+            "master": "P1"}}
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_handle_request_ops(self, mode):
+        with ShardedBroker(shards=2, shard_mode=mode) as sharded:
+            out = handle_request(sharded, self._envelope())
+            assert out["ok"] and Fraction(out["throughput"]) == Fraction(2)
+            again = handle_request(sharded, self._envelope())
+            assert again["cached"]
+            metrics = handle_request(sharded, {"op": "metrics"})
+            assert metrics["ok"] and metrics["shards"] == 2
+            assert metrics["metrics"]["total_requests"] >= 2
+            cache = handle_request(sharded, {"op": "cache"})
+            assert cache["cache"]["size"] == 1
+            inv = handle_request(sharded, {
+                "op": "invalidate",
+                "platform": platform_to_dict(generators.paper_figure1())})
+            assert inv["invalidated"] == 1
+            bad = handle_request(sharded, {"op": "solve", "request": {
+                "problem": "nope",
+                "platform": platform_to_dict(generators.star(2)),
+                "master": "M"}})
+            assert not bad["ok"] and bad["status"] == 422
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+class TestServeCli:
+    def test_executor_flag_rejected_with_shards(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--shard-mode"):
+            main(["serve", "--stdio", "--shards", "2",
+                  "--executor", "process"])
+
+    def test_sharded_stdio_roundtrip(self, capsys):
+        import io
+        import sys as _sys
+
+        from repro.cli import main
+
+        lines = json.dumps({"op": "ping"}) + "\n" + json.dumps(
+            {"op": "shutdown"}) + "\n"
+        old_stdin = _sys.stdin
+        _sys.stdin = io.StringIO(lines)
+        try:
+            rc = main(["serve", "--stdio", "--shards", "2"])
+        finally:
+            _sys.stdin = old_stdin
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert json.loads(out[0])["pong"]
+
+
+# ----------------------------------------------------------------------
+# metrics snapshot merging
+# ----------------------------------------------------------------------
+class TestMergeSnapshots:
+    def test_counts_sum_and_rates_rederive(self):
+        from repro.service import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for ms in (1, 2, 3):
+            a.observe("solve", ms / 1000)
+        b.observe("solve", 0.004)
+        b.observe("solve", 0.1, error=True)
+        b.observe("ping", 0.001)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        ep = merged["endpoints"]["solve"]
+        assert ep["count"] == 5 and ep["errors"] == 1
+        assert ep["total_seconds"] == pytest.approx(0.110)
+        assert ep["min_seconds"] == pytest.approx(0.001)
+        assert ep["max_seconds"] == pytest.approx(0.1)
+        assert merged["total_requests"] == 6
+        assert merged["requests_per_second"] > 0
+
+    def test_empty_merge(self):
+        merged = merge_snapshots([])
+        assert merged["total_requests"] == 0
+        assert merged["endpoints"] == {}
+
+    def test_dotted_subtimers_not_double_counted(self):
+        from repro.service import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.observe("solve", 0.001)
+        reg.observe("solve.cold", 0.001)
+        merged = merge_snapshots([reg.snapshot(), reg.snapshot()])
+        assert merged["total_requests"] == 2
+        assert "solve.cold" in merged["endpoints"]
