@@ -209,14 +209,21 @@ def _run_registry_check() -> int:
     The CI consistency step: each registered entry's example spec is
     routed through the broker's generic ``execute_request`` dispatch, so
     registration drift (a spec/solver mismatch, a problem no longer
-    servable) fails loudly.
+    servable) fails loudly.  Every problem declaring ``warm_resolve``
+    additionally gets one warm re-solve exercised: the example platform
+    is re-weighted, the hot model is patched and basis-restarted, and the
+    result must be ``Fraction``-identical to a cold solve of the mutation.
     """
+    import dataclasses
+
     from .platform import generators
     from .problems import registered_problems, resolve
     from .service.broker import SolveRequest, execute_request, solution_throughput
+    from .service.incremental import IncrementalSolver
 
     platform = generators.star(2, bidirectional=True)
     failures = []
+    warm_checked = 0
     for problem in registered_problems():
         entry = resolve(problem)
         if entry.example is None:
@@ -228,7 +235,29 @@ def _run_registry_check() -> int:
             throughput = solution_throughput(solution)
             if throughput < 0:
                 raise ValueError(f"negative throughput {throughput}")
-            print(f"  {problem:16s} OK  throughput = {throughput}")
+            note = ""
+            if entry.capabilities.warm_resolve:
+                inc = IncrementalSolver()
+                inc.solve_spec(spec)  # builds the hot model
+                mutated = dataclasses.replace(
+                    spec,
+                    platform=spec.platform.scale(compute=Fraction(3, 2),
+                                                 comm=Fraction(2, 3)),
+                )
+                warm_sol, warm = inc.solve_spec_ex(mutated)
+                if not warm:
+                    raise ValueError("warm re-solve did not take the warm path")
+                warm_tp = solution_throughput(warm_sol)
+                cold_tp = solution_throughput(
+                    execute_request(SolveRequest.from_spec(mutated))
+                )
+                if warm_tp != cold_tp:
+                    raise ValueError(
+                        f"warm re-solve {warm_tp} != cold solve {cold_tp}"
+                    )
+                warm_checked += 1
+                note = f"  warm-resolve = {warm_tp}"
+            print(f"  {problem:16s} OK  throughput = {throughput}{note}")
         except Exception as exc:  # noqa: BLE001 — report all drift at once
             failures.append((problem, f"{type(exc).__name__}: {exc}"))
     if failures:
@@ -237,7 +266,7 @@ def _run_registry_check() -> int:
         print(f"\nregistry check FAILED for {len(failures)} problem(s)")
         return 1
     print(f"\nregistry check OK: {len(registered_problems())} problems "
-          f"servable end-to-end")
+          f"servable end-to-end, {warm_checked} warm re-solves exact")
     return 0
 
 

@@ -29,39 +29,37 @@ from ..platform.graph import NodeId, Platform, PlatformError
 from .activities import SteadyStateSolution
 
 
-def build_ssms_lp(
-    platform: Platform, master: NodeId
-) -> Tuple[LinearProgram, Dict[str, object]]:
-    """Assemble the SSMS(G) LP of section 3.1.
-
-    Returns the LP and a handle dict mapping ``("alpha", i)`` and
-    ``("s", i, j)`` to LP variables.
-    """
+def declare_ssms_variables(
+    lp: LinearProgram, platform: Platform, master: NodeId
+) -> Dict[object, object]:
+    """Declare the SSMS activity variables: ``("alpha", i)`` in [0, 1] for
+    compute-capable nodes and ``("s", i, j)`` in [0, 1] per edge, with
+    edges into the master pinned to zero (5th equation).  Shared by the
+    one-port build below and the section-5.1 port-model variants, which
+    differ only in their port constraints."""
     platform.node(master)  # validate
-    lp = LinearProgram(f"SSMS({platform.name})")
     handles: Dict[object, object] = {}
-
-    # alpha_i in [0, 1] for nodes able to compute
     for node in platform.nodes():
         if platform.node(node).can_compute:
             handles[("alpha", node)] = lp.variable(f"alpha[{node}]", lo=0, hi=1)
-
-    # s_ij in [0, 1]; edges into the master are pinned to zero (5th equation)
     for spec in platform.edges():
         hi = 0 if spec.dst == master else 1
         handles[("s", spec.src, spec.dst)] = lp.variable(
             f"s[{spec.src}->{spec.dst}]", lo=0, hi=hi
         )
+    return handles
 
-    # one-port constraints (3rd and 4th equations)
-    for node in platform.nodes():
-        out = [handles[("s", node, j)] for j in platform.successors(node)]
-        if out:
-            lp.add_constraint(lp_sum(out) <= 1, name=f"send-port[{node}]")
-        inc = [handles[("s", j, node)] for j in platform.predecessors(node)]
-        if inc:
-            lp.add_constraint(lp_sum(inc) <= 1, name=f"recv-port[{node}]")
 
+def add_ssms_conservation_and_objective(
+    lp: LinearProgram,
+    handles: Dict[object, object],
+    platform: Platform,
+    master: NodeId,
+) -> None:
+    """The weight-carrying part of every SSMS-family LP: per-node
+    conservation (named ``conserve[i]``, so
+    :func:`patch_ssms_coefficients` can find it) and the throughput
+    objective ``ntask(G) = sum_i alpha_i / w_i``."""
     # conservation law (last equation): for i != m,
     #   sum_j s_ji / c_ji  ==  alpha_i / w_i + sum_j s_ij / c_ij
     for node in platform.nodes():
@@ -82,7 +80,6 @@ def build_ssms_lp(
         else:
             lp.add_constraint(inflow == outflow, name=f"conserve[{node}]")
 
-    # objective: ntask(G) = sum_i alpha_i / w_i
     lp.maximize(
         lp_sum(
             handles[("alpha", node)] * (Fraction(1) / platform.node(node).w)
@@ -90,6 +87,29 @@ def build_ssms_lp(
             if platform.node(node).can_compute
         )
     )
+
+
+def build_ssms_lp(
+    platform: Platform, master: NodeId
+) -> Tuple[LinearProgram, Dict[str, object]]:
+    """Assemble the SSMS(G) LP of section 3.1.
+
+    Returns the LP and a handle dict mapping ``("alpha", i)`` and
+    ``("s", i, j)`` to LP variables.
+    """
+    lp = LinearProgram(f"SSMS({platform.name})")
+    handles = declare_ssms_variables(lp, platform, master)
+
+    # one-port constraints (3rd and 4th equations)
+    for node in platform.nodes():
+        out = [handles[("s", node, j)] for j in platform.successors(node)]
+        if out:
+            lp.add_constraint(lp_sum(out) <= 1, name=f"send-port[{node}]")
+        inc = [handles[("s", j, node)] for j in platform.predecessors(node)]
+        if inc:
+            lp.add_constraint(lp_sum(inc) <= 1, name=f"recv-port[{node}]")
+
+    add_ssms_conservation_and_objective(lp, handles, platform, master)
     return lp, handles
 
 
@@ -144,13 +164,16 @@ def package_ssms_solution(
     sol: LPSolution,
     handles: Dict[str, object],
     backend: str = "exact",
+    verify: bool = True,
 ) -> SteadyStateSolution:
     """Turn an SSMS LP solution back into verified steady-state activities.
 
     Shared by :func:`solve_master_slave` and the warm re-solve path of
     :mod:`repro.service.incremental` (which re-solves a coefficient-patched
     copy of the same LP, so the handle dict is reused across platforms with
-    identical topology).
+    identical topology).  ``verify=False`` skips the one-port invariant
+    check — the section-5.1 port-model variants relax exactly that
+    invariant, so their packaging reuses this with verification off.
     """
     alpha: Dict[NodeId, Fraction] = {}
     s: Dict[Tuple[NodeId, NodeId], Fraction] = {}
@@ -168,7 +191,7 @@ def package_ssms_solution(
         source=master,
     )
     out.simplify()  # cancel degenerate flow circulations (see activities.py)
-    if backend == "exact":
+    if backend == "exact" and verify:
         out.verify()
     return out
 

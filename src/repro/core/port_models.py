@@ -28,68 +28,85 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..lp import LinearProgram, lp_sum
-from ..platform.graph import Edge, NodeId, Platform
+from ..platform.graph import NodeId, Platform
 from .activities import SteadyStateSolution
+from .master_slave import (
+    add_ssms_conservation_and_objective,
+    declare_ssms_variables,
+    package_ssms_solution,
+)
+
+# These LPs share the SSMS structure-vs-coefficient split: only the port
+# constraints differ from the one-port build, and ports are weight-free,
+# so the warm re-solve path reuses ``patch_ssms_coefficients`` verbatim
+# (re-exported here so the catalog's warm models read naturally).
+from .master_slave import patch_ssms_coefficients  # noqa: F401 — re-export
+
+
+def build_send_or_receive_lp(
+    platform: Platform, master: NodeId
+) -> Tuple[LinearProgram, Dict[object, object]]:
+    """Assemble SSMS under the send-OR-receive model of section 5.1.1.
+
+    Same variables, conservation law and objective as the one-port SSMS
+    build (handles in the same ``("alpha", i)`` / ``("s", i, j)`` format);
+    the one-port pair collapses into one merged budget per node.
+    """
+    lp = LinearProgram(f"SSMS-sor({platform.name})")
+    handles = declare_ssms_variables(lp, platform, master)
+    # merged port constraint: sending plus receiving within one time-unit
+    for node in platform.nodes():
+        terms = [handles[("s", node, j)] for j in platform.successors(node)]
+        terms += [handles[("s", j, node)] for j in platform.predecessors(node)]
+        if terms:
+            lp.add_constraint(lp_sum(terms) <= 1, name=f"port[{node}]")
+    add_ssms_conservation_and_objective(lp, handles, platform, master)
+    return lp, handles
+
+
+def build_multiport_lp(
+    platform: Platform, master: NodeId, ports: int = 2
+) -> Tuple[LinearProgram, Dict[object, object]]:
+    """Assemble SSMS with ``ports`` send cards and receive cards per node
+    (section 5.1.2).  Each individual link still carries at most one
+    message at a time (``s_ij <= 1``); per-direction totals may reach
+    ``ports``."""
+    if ports < 1:
+        raise ValueError("ports must be >= 1")
+    lp = LinearProgram(f"SSMS-mp{ports}({platform.name})")
+    handles = declare_ssms_variables(lp, platform, master)
+    for node in platform.nodes():
+        out = [handles[("s", node, j)] for j in platform.successors(node)]
+        if out:
+            lp.add_constraint(lp_sum(out) <= ports, name=f"send-cards[{node}]")
+        inc = [handles[("s", j, node)] for j in platform.predecessors(node)]
+        if inc:
+            lp.add_constraint(lp_sum(inc) <= ports, name=f"recv-cards[{node}]")
+    add_ssms_conservation_and_objective(lp, handles, platform, master)
+    return lp, handles
+
+
+def package_port_model_solution(
+    platform: Platform,
+    master: NodeId,
+    sol,
+    handles: Dict[object, object],
+    backend: str = "exact",
+) -> SteadyStateSolution:
+    """Package a port-model LP solution: the SSMS packaging with the
+    one-port invariant check off (these models relax exactly that)."""
+    return package_ssms_solution(platform, master, sol, handles,
+                                 backend=backend, verify=False)
 
 
 def solve_master_slave_send_or_receive(
     platform: Platform, master: NodeId, backend: str = "exact"
 ) -> SteadyStateSolution:
     """SSMS under the send-OR-receive model of section 5.1.1."""
-    platform.node(master)
-    lp = LinearProgram(f"SSMS-sor({platform.name})")
-    alpha_vars: Dict[NodeId, object] = {}
-    s_vars: Dict[Edge, object] = {}
-    for node in platform.nodes():
-        if platform.node(node).can_compute:
-            alpha_vars[node] = lp.variable(f"alpha[{node}]", lo=0, hi=1)
-    for spec in platform.edges():
-        hi = 0 if spec.dst == master else 1
-        s_vars[(spec.src, spec.dst)] = lp.variable(
-            f"s[{spec.src}->{spec.dst}]", lo=0, hi=hi
-        )
-    # merged port constraint: sending plus receiving within one time-unit
-    for node in platform.nodes():
-        terms = [s_vars[(node, j)] for j in platform.successors(node)]
-        terms += [s_vars[(j, node)] for j in platform.predecessors(node)]
-        if terms:
-            lp.add_constraint(lp_sum(terms) <= 1, name=f"port[{node}]")
-    for node in platform.nodes():
-        if node == master:
-            continue
-        inflow = lp_sum(
-            s_vars[(j, node)] / platform.c(j, node)
-            for j in platform.predecessors(node)
-        )
-        outflow = lp_sum(
-            s_vars[(node, j)] / platform.c(node, j)
-            for j in platform.successors(node)
-        )
-        spec = platform.node(node)
-        if spec.can_compute:
-            lp.add_constraint(
-                inflow == alpha_vars[node] * (Fraction(1) / spec.w) + outflow,
-                name=f"conserve[{node}]",
-            )
-        else:
-            lp.add_constraint(inflow == outflow, name=f"conserve[{node}]")
-    lp.maximize(
-        lp_sum(
-            alpha_vars[node] * (Fraction(1) / platform.node(node).w)
-            for node in alpha_vars
-        )
-    )
+    lp, handles = build_send_or_receive_lp(platform, master)
     sol = lp.solve(backend=backend)
-    out = SteadyStateSolution(
-        platform=platform,
-        problem="master-slave",
-        throughput=sol.objective,
-        alpha={n: sol[v] for n, v in alpha_vars.items()},
-        s={e: sol[v] for e, v in s_vars.items()},
-        source=master,
-    )
-    out.simplify()
-    return out
+    return package_port_model_solution(platform, master, sol, handles,
+                                       backend=backend)
 
 
 def solve_master_slave_multiport(
@@ -103,63 +120,10 @@ def solve_master_slave_multiport(
     Each individual link still carries at most one message at a time
     (``s_ij <= 1``); per-direction totals may reach ``ports``.
     """
-    if ports < 1:
-        raise ValueError("ports must be >= 1")
-    platform.node(master)
-    lp = LinearProgram(f"SSMS-mp{ports}({platform.name})")
-    alpha_vars: Dict[NodeId, object] = {}
-    s_vars: Dict[Edge, object] = {}
-    for node in platform.nodes():
-        if platform.node(node).can_compute:
-            alpha_vars[node] = lp.variable(f"alpha[{node}]", lo=0, hi=1)
-    for spec in platform.edges():
-        hi = 0 if spec.dst == master else 1
-        s_vars[(spec.src, spec.dst)] = lp.variable(
-            f"s[{spec.src}->{spec.dst}]", lo=0, hi=hi
-        )
-    for node in platform.nodes():
-        out = [s_vars[(node, j)] for j in platform.successors(node)]
-        if out:
-            lp.add_constraint(lp_sum(out) <= ports, name=f"send-cards[{node}]")
-        inc = [s_vars[(j, node)] for j in platform.predecessors(node)]
-        if inc:
-            lp.add_constraint(lp_sum(inc) <= ports, name=f"recv-cards[{node}]")
-    for node in platform.nodes():
-        if node == master:
-            continue
-        inflow = lp_sum(
-            s_vars[(j, node)] / platform.c(j, node)
-            for j in platform.predecessors(node)
-        )
-        outflow = lp_sum(
-            s_vars[(node, j)] / platform.c(node, j)
-            for j in platform.successors(node)
-        )
-        spec = platform.node(node)
-        if spec.can_compute:
-            lp.add_constraint(
-                inflow == alpha_vars[node] * (Fraction(1) / spec.w) + outflow,
-                name=f"conserve[{node}]",
-            )
-        else:
-            lp.add_constraint(inflow == outflow, name=f"conserve[{node}]")
-    lp.maximize(
-        lp_sum(
-            alpha_vars[node] * (Fraction(1) / platform.node(node).w)
-            for node in alpha_vars
-        )
-    )
+    lp, handles = build_multiport_lp(platform, master, ports=ports)
     sol = lp.solve(backend=backend)
-    out = SteadyStateSolution(
-        platform=platform,
-        problem="master-slave",
-        throughput=sol.objective,
-        alpha={n: sol[v] for n, v in alpha_vars.items()},
-        s={e: sol[v] for e, v in s_vars.items()},
-        source=master,
-    )
-    out.simplify()
-    return out
+    return package_port_model_solution(platform, master, sol, handles,
+                                       backend=backend)
 
 
 # ----------------------------------------------------------------------

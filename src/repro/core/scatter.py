@@ -286,6 +286,150 @@ def solve_gather(
     return gather_from_scatter(platform, sink, sources, rsol)
 
 
+def build_a2a_lp(
+    platform: Platform,
+    participants: Optional[Sequence[NodeId]] = None,
+) -> Tuple[LinearProgram, Dict[object, object]]:
+    """Assemble the personalised all-to-all LP (end of section 4.2).
+
+    Every participant sends a distinct commodity to every other
+    participant, all at the common rate ``TP`` (maximised).  Handles map
+    ``"TP"``, ``("s", i, j)`` and ``("f", i, j, a, b)`` to LP variables;
+    ``handles["participants"]`` records the resolved participant list so
+    the warm re-solve patch/package steps need no re-derivation.
+    """
+    nodes = list(participants) if participants is not None else platform.nodes()
+    if len(nodes) < 2:
+        raise PlatformError("all-to-all needs at least two participants")
+    commodities = [(a, b) for a in nodes for b in nodes if a != b]
+
+    lp = LinearProgram(f"A2A({platform.name})")
+    handles: Dict[object, object] = {
+        "participants": tuple(nodes),
+        "commodities": tuple(commodities),
+    }
+    tp = lp.variable("TP", lo=0)
+    handles["TP"] = tp
+    for spec in platform.edges():
+        handles[("s", spec.src, spec.dst)] = lp.variable(
+            f"s[{spec.src}->{spec.dst}]", lo=0, hi=1
+        )
+        for (a, b) in commodities:
+            handles[("f", spec.src, spec.dst, a, b)] = lp.variable(
+                f"f[{spec.src}->{spec.dst},{a}->{b}]", lo=0
+            )
+    # edge occupation under the sum rule — the only weight-carrying rows,
+    # named so the warm re-solve patch can find them
+    for spec in platform.edges():
+        i, j = spec.src, spec.dst
+        lp.add_constraint(
+            handles[("s", i, j)]
+            == lp_sum(handles[("f", i, j, a, b)] for (a, b) in commodities)
+            * spec.c,
+            name=f"occupation[{i}->{j}]",
+        )
+    for node in platform.nodes():
+        out = [handles[("s", node, j)] for j in platform.successors(node)]
+        if out:
+            lp.add_constraint(lp_sum(out) <= 1)
+        inc = [handles[("s", j, node)] for j in platform.predecessors(node)]
+        if inc:
+            lp.add_constraint(lp_sum(inc) <= 1)
+    for (a, b) in commodities:
+        for node in platform.nodes():
+            inflow = lp_sum(
+                handles[("f", j, node, a, b)]
+                for j in platform.predecessors(node)
+            )
+            outflow = lp_sum(
+                handles[("f", node, j, a, b)]
+                for j in platform.successors(node)
+            )
+            if node == a:
+                lp.add_constraint(outflow - inflow == tp * 1)
+            elif node == b:
+                lp.add_constraint(inflow - outflow == tp * 1)
+            else:
+                lp.add_constraint(inflow == outflow)
+    lp.maximize(tp)
+    return lp, handles
+
+
+def patch_a2a_coefficients(
+    lp: LinearProgram,
+    handles: Dict[object, object],
+    platform: Platform,
+) -> None:
+    """Rewrite every weight-derived coefficient of an assembled all-to-all
+    model (the structure-vs-coefficient split behind ``warm_resolve``,
+    mirroring :func:`patch_ssps_coefficients`): only the occupation rows
+    ``s_ij - sum_ab c_ij * f(i,j,a,b) == 0`` carry weights."""
+    for spec in platform.edges():
+        i, j = spec.src, spec.dst
+        name = f"occupation[{i}->{j}]"
+        for (a, b) in handles["commodities"]:
+            lp.set_constraint_coefficient(
+                name, handles[("f", i, j, a, b)], -spec.c
+            )
+
+
+def package_a2a_solution(
+    platform: Platform,
+    sol,
+    handles: Dict[object, object],
+    backend: str = "exact",
+    participants: Optional[Sequence[NodeId]] = None,
+) -> SteadyStateSolution:
+    """All-to-all LP solution -> reconstructable steady-state activities.
+
+    Commodities are named ``"a->b"``; the reconstruction pipeline
+    decomposes each into routes from ``a`` to ``b`` and orchestrates the
+    whole exchange with the usual edge colouring.
+
+    ``participants`` is the *requesting* call's participant ordering —
+    it must be passed on the warm path, where ``handles`` belongs to the
+    first request that built the hot model and may list the same nodes
+    in a different order (the hot-model key sorts participants); falling
+    back to the handles ordering would make a warm result differ from
+    the cold solve of the identical request.
+    """
+    per_commodity: Dict[Tuple[NodeId, NodeId],
+                        Dict[Tuple[NodeId, NodeId], Fraction]] = {}
+    for key, var in handles.items():
+        if isinstance(key, tuple) and key[0] == "f":
+            _, i, j, a, b = key
+            rate = sol[var]
+            if rate != 0:
+                per_commodity.setdefault((a, b), {})[(i, j)] = rate
+    send: Dict[Tuple[NodeId, NodeId, str], Fraction] = {}
+    s: Dict[Tuple[NodeId, NodeId], Fraction] = {
+        (spec.src, spec.dst): Fraction(0) for spec in platform.edges()
+    }
+    for (a, b), flow in per_commodity.items():
+        clean = cancel_cycles(flow)
+        for (i, j), rate in clean.items():
+            if rate != 0:
+                send[(i, j, f"{a}->{b}")] = rate
+                s[(i, j)] += rate * platform.c(i, j)
+    if participants is None:
+        targets = tuple(handles["participants"])
+    else:
+        targets = tuple(participants) or tuple(platform.nodes())
+    out = SteadyStateSolution(
+        platform=platform,
+        problem="all-to-all",
+        throughput=sol.objective,
+        s=s,
+        send=send,
+        source=None,
+        targets=targets,
+        edge_occupation_mode="sum",
+    )
+    if backend == "exact":
+        out.verify()
+    return out
+
+
 def solve_all_to_all(
     platform: Platform,
     participants: Optional[Sequence[NodeId]] = None,
@@ -298,54 +442,12 @@ def solve_all_to_all(
     ``src -> dst`` commodity on edge ``i -> j``.  Mentioned at the end of
     section 4.2 as a direct extension of the scatter machinery.
     """
-    nodes = list(participants) if participants is not None else platform.nodes()
-    if len(nodes) < 2:
-        raise PlatformError("all-to-all needs at least two participants")
-    commodities = [(a, b) for a in nodes for b in nodes if a != b]
-
-    lp = LinearProgram(f"A2A({platform.name})")
-    tp = lp.variable("TP", lo=0)
-    svars: Dict[Tuple[NodeId, NodeId], object] = {}
-    fvars: Dict[Tuple[NodeId, NodeId, NodeId, NodeId], object] = {}
-    for spec in platform.edges():
-        svars[(spec.src, spec.dst)] = lp.variable(
-            f"s[{spec.src}->{spec.dst}]", lo=0, hi=1
-        )
-        for (a, b) in commodities:
-            fvars[(spec.src, spec.dst, a, b)] = lp.variable(
-                f"f[{spec.src}->{spec.dst},{a}->{b}]", lo=0
-            )
-    for spec in platform.edges():
-        i, j = spec.src, spec.dst
-        lp.add_constraint(
-            svars[(i, j)]
-            == lp_sum(fvars[(i, j, a, b)] for (a, b) in commodities) * spec.c
-        )
-    for node in platform.nodes():
-        out = [svars[(node, j)] for j in platform.successors(node)]
-        if out:
-            lp.add_constraint(lp_sum(out) <= 1)
-        inc = [svars[(j, node)] for j in platform.predecessors(node)]
-        if inc:
-            lp.add_constraint(lp_sum(inc) <= 1)
-    for (a, b) in commodities:
-        for node in platform.nodes():
-            inflow = lp_sum(
-                fvars[(j, node, a, b)] for j in platform.predecessors(node)
-            )
-            outflow = lp_sum(
-                fvars[(node, j, a, b)] for j in platform.successors(node)
-            )
-            if node == a:
-                lp.add_constraint(outflow - inflow == tp * 1)
-            elif node == b:
-                lp.add_constraint(inflow - outflow == tp * 1)
-            else:
-                lp.add_constraint(inflow == outflow)
-    lp.maximize(tp)
+    lp, handles = build_a2a_lp(platform, participants)
     sol = lp.solve(backend=backend)
     flows = {
-        key: sol[var] for key, var in fvars.items() if sol[var] != 0
+        key[1:]: sol[var]
+        for key, var in handles.items()
+        if isinstance(key, tuple) and key[0] == "f" and sol[var] != 0
     }
     return sol.objective, flows
 
@@ -355,37 +457,8 @@ def solve_all_to_all_solution(
     participants: Optional[Sequence[NodeId]] = None,
     backend: str = "exact",
 ) -> SteadyStateSolution:
-    """All-to-all as a reconstructable :class:`SteadyStateSolution`.
-
-    Commodities are named ``"a->b"``; the reconstruction pipeline
-    decomposes each into routes from ``a`` to ``b`` and orchestrates the
-    whole exchange with the usual edge colouring.
-    """
-    tp, flows = solve_all_to_all(platform, participants, backend=backend)
-    send: Dict[Tuple[NodeId, NodeId, str], Fraction] = {}
-    per_commodity: Dict[Tuple[NodeId, NodeId],
-                        Dict[Tuple[NodeId, NodeId], Fraction]] = {}
-    for (i, j, a, b), rate in flows.items():
-        per_commodity.setdefault((a, b), {})[(i, j)] = rate
-    s: Dict[Tuple[NodeId, NodeId], Fraction] = {
-        (spec.src, spec.dst): Fraction(0) for spec in platform.edges()
-    }
-    for (a, b), flow in per_commodity.items():
-        clean = cancel_cycles(flow)
-        for (i, j), rate in clean.items():
-            if rate != 0:
-                send[(i, j, f"{a}->{b}")] = rate
-                s[(i, j)] += rate * platform.c(i, j)
-    out = SteadyStateSolution(
-        platform=platform,
-        problem="all-to-all",
-        throughput=tp,
-        s=s,
-        send=send,
-        source=None,
-        targets=tuple(participants or platform.nodes()),
-        edge_occupation_mode="sum",
-    )
-    if backend == "exact":
-        out.verify()
-    return out
+    """All-to-all as a reconstructable :class:`SteadyStateSolution`."""
+    lp, handles = build_a2a_lp(platform, participants)
+    sol = lp.solve(backend=backend)
+    return package_a2a_solution(platform, sol, handles, backend=backend,
+                                participants=participants or ())

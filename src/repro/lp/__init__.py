@@ -16,10 +16,11 @@ from .model import (
     Variable,
     lp_sum,
 )
-from .simplex import solve_exact
+from .simplex import SimplexInstance, solve_exact
 from .scipy_backend import solve_scipy
 
 __all__ = [
+    "SimplexInstance",
     "Constraint",
     "InfeasibleError",
     "LinearProgram",

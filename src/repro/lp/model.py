@@ -246,12 +246,16 @@ class LPSolution:
     ``values`` maps every model variable to an exact Fraction (backends that
     work in floats rationalise their output — see the backend docs for the
     guarantees).  ``objective`` is the objective value at ``values``.
+    ``pivots`` counts the simplex pivots the exact backend performed (zero
+    for other backends); a warm basis-restart re-solve shows up here as a
+    much smaller count than the cold solve it replaces.
     """
 
     objective: Fraction
     values: Dict[Variable, Fraction]
     backend: str
     iterations: int = 0
+    pivots: int = 0
 
     def __getitem__(self, var: Variable) -> Fraction:
         return self.values.get(var, Fraction(0))

@@ -1,4 +1,4 @@
-"""Exact two-phase simplex over rational numbers.
+"""Exact simplex over rational numbers, with basis-reusing warm re-solves.
 
 Why from scratch: the steady-state methodology needs the *rational* optimal
 basic solution (section 4.1 derives the period ``T`` as the lcm of the
@@ -7,6 +7,25 @@ available offline.  This is a dense tableau implementation with Bland's
 anti-cycling rule — O(m·n) Fraction operations per pivot, entirely adequate
 for the platform-sized LPs of this library (tens to a few hundred variables)
 and exact by construction.
+
+The solve is split into three phases behind :class:`SimplexInstance`:
+
+1. **assemble** — the caller builds (or patches) a
+   :class:`~repro.lp.model.LinearProgram`;
+2. **standard form** — :func:`_build_standard_form` lowers it to
+   ``min c·u, A u = b, u >= 0`` plus the column-decoding recipe;
+3. **pivot** — a cold solve runs the classic two-phase primal simplex,
+   while a *warm* solve restarts from the basis retained by the previous
+   solve of the same instance: the basis is re-factorised against the
+   patched coefficients, primal/dual feasibility is repaired as needed
+   (phase 1 is skipped entirely when the old basis is still primal
+   feasible), and any structural surprise falls back to the cold
+   two-phase solve.  Either way the result is the exact rational optimum.
+
+``solve_exact`` remains the stateless entry point (one cold solve);
+:mod:`repro.service.incremental` holds a :class:`SimplexInstance` per hot
+model so weight-only re-solves reuse both the assembled LP *and* the
+optimal basis.
 
 Standard-form conversion
 ------------------------
@@ -36,6 +55,10 @@ from .model import (
 ZERO = Fraction(0)
 ONE = Fraction(1)
 
+#: default pivot safety cap — far above anything the platform-sized LPs
+#: need, low enough that a degenerate spin fails in seconds, not hours
+DEFAULT_MAX_PIVOTS = 200_000
+
 
 class _StandardForm:
     """min c·u  s.t.  A u = b (b >= 0), u >= 0, plus the decoding recipe."""
@@ -53,6 +76,18 @@ class _StandardForm:
         col = self.num_cols
         self.num_cols += 1
         return col
+
+    def structure_key(self) -> Tuple:
+        """Hashable *shape* of the standard form: column count, per-row
+        column support and objective support — everything a retained basis
+        depends on, none of the coefficient values.  Two standard forms
+        with equal keys differ only in coefficients, which is exactly the
+        situation a warm basis restart can handle."""
+        return (
+            self.num_cols,
+            tuple(tuple(sorted(row)) for row in self.rows),
+            tuple(sorted(self.cost)),
+        )
 
 
 def _build_standard_form(lp: LinearProgram) -> _StandardForm:
@@ -128,178 +163,550 @@ def _build_standard_form(lp: LinearProgram) -> _StandardForm:
     return sf
 
 
-def solve_exact(lp: LinearProgram, max_iterations: int = 200_000) -> LPSolution:
-    """Solve ``lp`` exactly; raises Infeasible/Unbounded errors as needed."""
-    sf = _build_standard_form(lp)
-    m = len(sf.rows)
-    n = sf.num_cols
+class _AbandonWarm(Exception):
+    """Internal: a warm attempt blew its pivot budget; fall back to cold."""
 
-    # Dense tableau: m rows x (n + m artificials + 1 rhs); artificials are
-    # appended so that column j >= n is the artificial of row j - n.
-    width = n + m + 1
-    tableau: List[List[Fraction]] = []
-    basis: List[int] = []
-    for i, row in enumerate(sf.rows):
-        dense = [ZERO] * width
-        for col, val in row.items():
-            dense[col] = val
-        dense[-1] = sf.rhs[i]
-        tableau.append(dense)
 
-    # Choose initial basis: reuse a slack column (+1 coefficient, sole entry
-    # in its row among *potential* basis columns) when possible, else an
-    # artificial.  Simpler and safe: if the row has a column with coefficient
-    # +1 that appears in no other row, use it; otherwise add an artificial.
-    col_rows: Dict[int, List[int]] = {}
-    for i, row in enumerate(sf.rows):
-        for col in row:
-            col_rows.setdefault(col, []).append(i)
-    artificial_cols: List[int] = []
-    for i, row in enumerate(sf.rows):
-        chosen = -1
-        for col, val in row.items():
-            if val == 1 and len(col_rows[col]) == 1 and col not in sf.cost:
-                chosen = col
-                break
-        if chosen >= 0:
-            basis.append(chosen)
-        else:
-            art = n + i
-            tableau[i][art] = ONE
-            basis.append(art)
-            artificial_cols.append(art)
+class _Tableau:
+    """Dense simplex working state: ``m`` rows x (``n`` + m artificials + 1
+    rhs), a basis assignment per row, and the pivot bookkeeping.
 
-    iterations = 0
+    Column ``n + i`` is reserved as the artificial of row ``i`` (cold
+    phase 1 and the warm restricted phase-1 repair both use it); the rhs
+    lives in the last cell of each row.  ``pivots`` counts genuine simplex
+    pivots against the safety cap; basis re-factorisation row operations
+    are the same O(m·width) work but bounded by ``m``, so they are counted
+    separately (``refactor_ops``) and never trip the cap.
+    """
 
-    def pivot(row_i: int, col_j: int) -> None:
-        piv_row = tableau[row_i]
+    def __init__(self, sf: _StandardForm, lp: LinearProgram,
+                 max_pivots: int, extra_artificials: bool = False) -> None:
+        self.sf = sf
+        self.lp = lp
+        self.m = len(sf.rows)
+        self.n = sf.num_cols
+        # A warm restart reserves a SECOND artificial region
+        # [n + m, n + 2m): the first region's columns may be left dirty by
+        # driving a retained artificial out of the basis, so the
+        # feasibility repair mints its fresh artificials from untouched
+        # columns instead.
+        self.width = self.n + (2 if extra_artificials else 1) * self.m + 1
+        self.max_pivots = max_pivots
+        #: soft budget for warm attempts: when set, exceeding it raises
+        #: :class:`_AbandonWarm` (caught by the warm solver, which falls
+        #: back to cold) instead of the hard :class:`LPError` of the
+        #: safety cap — a restart that pivots more than the cold solve it
+        #: is meant to undercut has already lost
+        self.abandon_after: Optional[int] = None
+        self.pivots = 0
+        self.refactor_ops = 0
+        self.iterations = 0
+        self.rows: List[List[Fraction]] = []
+        for i, row in enumerate(sf.rows):
+            dense = [ZERO] * self.width
+            for col, val in row.items():
+                dense[col] = val
+            dense[-1] = sf.rhs[i]
+            self.rows.append(dense)
+        self.basis: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _apply_pivot(self, row_i: int, col_j: int) -> None:
+        piv_row = self.rows[row_i]
         piv = piv_row[col_j]
         inv = ONE / piv
-        for j in range(width):
-            if piv_row[j] != 0:
+        # one O(width) scan for the pivot row's support, then every row
+        # update touches only those columns — the steady-state LPs are
+        # sparse, so this is the difference between O(m·width) and
+        # O(m·nnz) Fraction work per pivot
+        nonzero = [j for j in range(self.width) if piv_row[j] != 0]
+        if piv != 1:
+            for j in nonzero:
                 piv_row[j] *= inv
-        for r in range(m):
+        for r in range(self.m):
             if r == row_i:
                 continue
-            factor = tableau[r][col_j]
+            factor = self.rows[r][col_j]
             if factor == 0:
                 continue
-            target = tableau[r]
-            for j in range(width):
-                if piv_row[j] != 0:
-                    target[j] -= factor * piv_row[j]
-        basis[row_i] = col_j
+            target = self.rows[r]
+            for j in nonzero:
+                target[j] -= factor * piv_row[j]
+        self.basis[row_i] = col_j
 
-    def run_phase(cost: List[Fraction], allowed_cols: int) -> List[Fraction]:
-        """Price out the basis, then pivot to optimality with Bland's rule.
+    def pivot(self, row_i: int, col_j: int) -> None:
+        self.pivots += 1
+        if self.abandon_after is not None and self.pivots > self.abandon_after:
+            raise _AbandonWarm()
+        if self.pivots > self.max_pivots:
+            raise LPError(
+                f"simplex exceeded the {self.max_pivots}-pivot safety cap "
+                f"on {self.lp.name!r} (m={self.m} rows, n={self.n} columns, "
+                f"{len(self.lp.variables)} model variables) — degenerate "
+                f"cycling, or raise max_pivots for an LP this size"
+            )
+        self._apply_pivot(row_i, col_j)
 
-        Returns the final reduced-cost row (length ``width``: the rhs cell
-        holds minus the objective value of the phase).
-        """
-        nonlocal iterations
-        z = [ZERO] * width
+    # ------------------------------------------------------------------
+    def install_basis(self, basis_cols: List[int]) -> bool:
+        """Re-factorise: pivot each retained basis column back into the
+        basis by Gauss-Jordan elimination against the *patched*
+        coefficients.  Returns False when the columns have gone singular
+        (the caller falls back to a cold solve).
+
+        Artificial columns (``col >= n``, retained when the previous solve
+        ended with a redundant row's artificial still basic) are pinned
+        first: the artificial of row ``i`` is the unit column ``e_i``, so
+        assigning it to its own row is free and keeps every *other*
+        artificial column untouched — which the warm repair relies on when
+        it mints fresh artificials for rows the old basis leaves
+        infeasible."""
+        self.basis = [-1] * self.m
+        assigned = [False] * self.m
+        for col in basis_cols:
+            if col >= self.n:
+                i = col - self.n
+                if assigned[i]:
+                    return False
+                self.rows[i][col] = ONE
+                self.basis[i] = col
+                assigned[i] = True
+        # Markowitz-flavoured ordering: eliminate the sparsest columns
+        # first (slacks and bound rows are near-unit and pivot for free),
+        # so the fill-in of the dense conservation block lands late and
+        # stays small — this is what keeps a re-factorisation cheaper
+        # than the pivot sequence it replaces.
+        col_nnz: Dict[int, int] = {}
+        for row in self.sf.rows:
+            for col in row:
+                col_nnz[col] = col_nnz.get(col, 0) + 1
+        structural = sorted(
+            (col for col in basis_cols if col < self.n),
+            key=lambda col: col_nnz.get(col, 0),
+        )
+        for col in structural:
+            chosen = -1
+            for r in range(self.m):
+                if not assigned[r] and self.rows[r][col] != 0:
+                    chosen = r
+                    break
+            if chosen < 0:
+                return False
+            self.refactor_ops += 1
+            self._apply_pivot(chosen, col)
+            assigned[chosen] = True
+        return True
+
+    def price_out(self, cost: List[Fraction]) -> List[Fraction]:
+        """The reduced-cost row of ``cost`` under the current basis
+        (length ``width``; the rhs cell holds minus the objective)."""
+        z = [ZERO] * self.width
         for j, c in enumerate(cost):
             z[j] = c
-        # price out: z <- z - sum(cost[basis[i]] * row_i)
-        for i in range(m):
-            cb = cost[basis[i]] if basis[i] < len(cost) else ZERO
+        for i in range(self.m):
+            cb = cost[self.basis[i]] if self.basis[i] < len(cost) else ZERO
             if cb == 0:
                 continue
-            row = tableau[i]
-            for j in range(width):
-                if row[j] != 0:
-                    z[j] -= cb * row[j]
+            row = self.rows[i]
+            for j in range(self.width):
+                v = row[j]
+                if v != 0:
+                    z[j] -= cb * v
+        return z
+
+    def _sweep_z(self, z: List[Fraction], piv_row_i: int, enter: int) -> None:
+        factor = z[enter]
+        if factor == 0:
+            return
+        piv_row = self.rows[piv_row_i]
+        for j in range(self.width):
+            v = piv_row[j]
+            if v != 0:
+                z[j] -= factor * v
+
+    #: consecutive degenerate (no-progress) pivots tolerated under the
+    #: Dantzig rule before switching to Bland's rule for good — the
+    #: standard cycling safeguard (Bland guarantees termination from any
+    #: basis; Dantzig is simply much faster when progress is being made)
+    STALL_LIMIT = 32
+
+    def run_primal(self, cost: List[Fraction], allowed_cols: int,
+                   z: Optional[List[Fraction]] = None) -> List[Fraction]:
+        """Pivot to optimality from the current basis; returns the final
+        reduced-cost row.  Entering column by Dantzig's rule (most
+        negative reduced cost), degrading permanently to Bland's rule
+        after :data:`STALL_LIMIT` consecutive degenerate pivots so
+        termination stays guaranteed.  ``z`` may carry a reduced-cost
+        row the caller already maintains for ``cost`` (the dual repair
+        does), saving the O(m·width) re-pricing pass."""
+        if z is None:
+            z = self.price_out(cost)
+        bland = False
+        stall = 0
         while True:
-            iterations += 1
-            if iterations > max_iterations:
-                raise LPError(
-                    f"simplex exceeded {max_iterations} iterations "
-                    f"(m={m}, n={n})"
-                )
-            # Bland: entering = smallest-index column with negative reduced
-            # cost among allowed columns.
+            self.iterations += 1
             enter = -1
-            for j in range(allowed_cols):
-                if z[j] < 0:
-                    enter = j
-                    break
+            if bland:
+                # Bland: smallest-index column with negative reduced cost
+                for j in range(allowed_cols):
+                    if z[j] < 0:
+                        enter = j
+                        break
+            else:
+                most: Optional[Fraction] = None
+                for j in range(allowed_cols):
+                    v = z[j]
+                    if v < 0 and (most is None or v < most):
+                        most = v
+                        enter = j
             if enter < 0:
                 return z
-            # ratio test; Bland tie-break on smallest basis column index.
+            # ratio test; tie-break on smallest basis column index.
             leave = -1
             best: Optional[Fraction] = None
-            for i in range(m):
-                a = tableau[i][enter]
+            for i in range(self.m):
+                a = self.rows[i][enter]
                 if a > 0:
-                    ratio = tableau[i][-1] / a
+                    ratio = self.rows[i][-1] / a
                     if best is None or ratio < best or (
-                        ratio == best and basis[i] < basis[leave]
+                        ratio == best and self.basis[i] < self.basis[leave]
                     ):
                         best = ratio
                         leave = i
             if leave < 0:
                 raise UnboundedError(
-                    f"objective of {lp.name!r} is unbounded "
+                    f"objective of {self.lp.name!r} is unbounded "
                     f"(column {enter} has no positive entries)"
                 )
-            pivot(leave, enter)
-            factor = z[enter]
-            piv_row = tableau[leave]
-            if factor != 0:
-                for j in range(width):
-                    if piv_row[j] != 0:
-                        z[j] -= factor * piv_row[j]
+            self.pivot(leave, enter)
+            self._sweep_z(z, leave, enter)
+            if not bland:
+                if best == 0:  # degenerate: the objective did not move
+                    stall += 1
+                    if stall >= self.STALL_LIMIT:
+                        bland = True
+                else:
+                    stall = 0
 
-    # ---------------- phase 1 ----------------
-    if artificial_cols:
-        cost1 = [ZERO] * width
+    def run_dual(self, z: List[Fraction], limit: int) -> bool:
+        """Dual-simplex pivots toward primal feasibility.
+
+        Requires ``z`` dual feasible (no negative reduced cost among the
+        structural columns); maintains that invariant.  Returns True once
+        every rhs is non-negative, False to request a fallback (step
+        budget exhausted, or a fully non-negative pivot row — the dual
+        ray case, which the cold two-phase solve diagnoses properly).
+        """
+        steps = 0
+        while True:
+            # leaving row: most negative rhs (the textbook dual rule —
+            # converges far faster than Bland order; the step budget, not
+            # an anti-cycling rule, bounds the loop)
+            leave = -1
+            worst: Optional[Fraction] = None
+            for i in range(self.m):
+                rhs = self.rows[i][-1]
+                if rhs < 0 and (worst is None or rhs < worst):
+                    worst = rhs
+                    leave = i
+            if leave < 0:
+                return True
+            if steps >= limit:
+                return False
+            row = self.rows[leave]
+            enter = -1
+            best: Optional[Fraction] = None
+            for j in range(self.n):
+                a = row[j]
+                if a < 0:
+                    ratio = z[j] / -a
+                    if best is None or ratio < best:
+                        best = ratio
+                        enter = j
+            if enter < 0:
+                return False
+            self.pivot(leave, enter)
+            self._sweep_z(z, leave, enter)
+            steps += 1
+
+    def drive_out_artificials(self) -> None:
+        """Pivot zero-valued basic artificials onto structural columns
+        where possible; a row that stays artificial is redundant and the
+        artificial sits harmlessly at 0 (it can never re-enter: phase 2
+        restricts entering columns to the structural ones)."""
+        for i in range(self.m):
+            if self.basis[i] >= self.n:
+                row = self.rows[i]
+                for j in range(self.n):
+                    if row[j] != 0:
+                        self.refactor_ops += 1
+                        self._apply_pivot(i, j)
+                        break
+
+
+class SimplexInstance:
+    """Persistent exact-simplex state for repeated solves of one LP.
+
+    The instance keeps the *final basis* (and the standard-form structure
+    key it belongs to) across solves.  ``solve(warm=True)`` after the
+    bound :class:`~repro.lp.model.LinearProgram` was patched in place
+    (coefficients only — see the rebuild hook) restarts pivoting from
+    that basis instead of re-running the two-phase method from scratch:
+
+    * still primal feasible → phase 1 skipped entirely, straight to the
+      primal phase 2 (often zero pivots);
+    * primal infeasible but dual feasible → bounded dual-simplex repair;
+    * otherwise → restricted phase 1 (artificials only on the infeasible
+      rows), then phase 2;
+    * structure changed / basis gone singular / repair budget exhausted
+      → guaranteed fallback to the cold two-phase solve.
+
+    Results are exact :class:`~fractions.Fraction` optima on every path.
+    Counters (``basis_restarts``, ``phase1_skips``, ``dual_repairs``,
+    ``primal_repairs``, ``fallbacks``, ``last_pivots``/``total_pivots``)
+    feed the service metrics and the warm-path benchmark.
+    """
+
+    def __init__(self, lp: LinearProgram,
+                 max_pivots: int = DEFAULT_MAX_PIVOTS) -> None:
+        self.lp = lp
+        self.max_pivots = max_pivots
+        self._basis: Optional[List[int]] = None
+        self._structure: Optional[Tuple] = None
+        self.solves = 0
+        self.basis_restarts = 0
+        self.phase1_skips = 0
+        self.dual_repairs = 0
+        self.primal_repairs = 0
+        self.fallbacks = 0
+        self.last_pivots = 0
+        self.total_pivots = 0
+        # how the most recent solve went (read by the incremental layer)
+        self.last_restarted = False
+        self.last_phase1_skipped = False
+
+    # ------------------------------------------------------------------
+    def solve(self, warm: bool = False) -> LPSolution:
+        """Solve the bound LP exactly; ``warm=True`` restarts from the
+        retained basis when the structure still matches (with a cold
+        fallback), ``warm=False`` always runs the cold two-phase method.
+        """
+        if self.lp.objective is None:
+            raise LPError("no objective set")
+        sf = _build_standard_form(self.lp)
+        key = sf.structure_key()
+        self.last_restarted = False
+        self.last_phase1_skipped = False
+        outcome = None
+        if warm:
+            if self._basis is not None and key == self._structure:
+                try:
+                    outcome = self._warm_solve(sf)
+                except _AbandonWarm:
+                    outcome = None
+            if outcome is None:
+                # never-solved / structure changed / singular basis /
+                # repair abandoned: every warm request that could not
+                # restart is a fallback
+                self.fallbacks += 1
+        if outcome is None:
+            outcome = self._cold_solve(sf)
+        tab, z2 = outcome
+        # canonicalise before retaining: any basic artificial is recorded
+        # as ``n + row`` — the next restart only needs to know WHICH rows
+        # were artificial-basic (redundant), not which artificial column
+        # happened to serve them
+        n = sf.num_cols
+        self._basis = [col if col < n else n + i
+                       for i, col in enumerate(tab.basis)]
+        self._structure = key
+        self.solves += 1
+        self.last_pivots = tab.pivots
+        self.total_pivots += tab.pivots
+        return self._decode(sf, tab, z2)
+
+    # ------------------------------------------------------------------
+    def _cold_solve(self, sf: _StandardForm) -> Tuple[_Tableau, List[Fraction]]:
+        tab = _Tableau(sf, self.lp, self.max_pivots)
+        m, n = tab.m, tab.n
+        # Choose initial basis: reuse a slack column (+1 coefficient, sole
+        # entry in its row among *potential* basis columns) when possible,
+        # else an artificial.
+        col_rows: Dict[int, List[int]] = {}
+        for i, row in enumerate(sf.rows):
+            for col in row:
+                col_rows.setdefault(col, []).append(i)
+        artificial_cols: List[int] = []
+        for i, row in enumerate(sf.rows):
+            chosen = -1
+            for col, val in row.items():
+                if val == 1 and len(col_rows[col]) == 1 and col not in sf.cost:
+                    chosen = col
+                    break
+            if chosen >= 0:
+                tab.basis.append(chosen)
+            else:
+                art = n + i
+                tab.rows[i][art] = ONE
+                tab.basis.append(art)
+                artificial_cols.append(art)
+
+        # ---------------- phase 1 ----------------
+        if artificial_cols:
+            cost1 = [ZERO] * tab.width
+            for col in artificial_cols:
+                cost1[col] = ONE
+            z1 = tab.run_primal(cost1, tab.width - 1)
+            phase1_value = -z1[-1]
+            if phase1_value > 0:
+                raise InfeasibleError(
+                    f"{self.lp.name!r} is infeasible "
+                    f"(phase-1 optimum {phase1_value})"
+                )
+            tab.drive_out_artificials()
+
+        # ---------------- phase 2 ----------------
+        z2 = tab.run_primal(self._phase2_cost(tab), n)
+        return tab, z2
+
+    def _phase2_cost(self, tab: _Tableau) -> List[Fraction]:
+        cost2 = [ZERO] * tab.width
+        for col, c in tab.sf.cost.items():
+            cost2[col] = c
+        return cost2
+
+    # ------------------------------------------------------------------
+    def _warm_solve(
+        self, sf: _StandardForm
+    ) -> Optional[Tuple[_Tableau, List[Fraction]]]:
+        """Basis-restart solve; None requests the cold fallback.
+
+        Entering columns are restricted to the *structural* region
+        (``j < n``) in every warm phase — a driven-out artificial's column
+        is no longer a valid unit column, and the standard
+        no-artificial-re-entry rule keeps phase 1 correct without it.
+        """
+        assert self._basis is not None
+        n = sf.num_cols
+        tab = _Tableau(sf, self.lp, self.max_pivots, extra_artificials=True)
+        tab.abandon_after = tab.m // 2 + 16
+        if not tab.install_basis(self._basis):
+            return None
+        # Retained artificials mark rows that were redundant last solve.
+        # Against the patched coefficients each such row either (a) is
+        # still all-zero over the structural columns — a harmless
+        # invariant row provided its rhs is 0 — or (b) regained structural
+        # entries, in which case the artificial is driven out immediately
+        # so no phase below ever carries a nonzero artificial.
+        for i in range(tab.m):
+            if tab.basis[i] < n:
+                continue
+            row = tab.rows[i]
+            enter = -1
+            for j in range(n):
+                if row[j] != 0:
+                    enter = j
+                    break
+            if enter >= 0:
+                tab.refactor_ops += 1
+                tab._apply_pivot(i, enter)
+            elif row[-1] != 0:
+                # 0·u = nonzero after elimination: let the cold two-phase
+                # method diagnose the (in)feasibility from scratch
+                return None
+        cost2 = self._phase2_cost(tab)
+        if all(row[-1] >= 0 for row in tab.rows):
+            # old basis still primal feasible: no phase 1, no repair
+            z2 = tab.run_primal(cost2, n)
+            self.basis_restarts += 1
+            self.phase1_skips += 1
+            self.last_restarted = True
+            self.last_phase1_skipped = True
+            return tab, z2
+        z = tab.price_out(cost2)
+        if all(z[j] >= 0 for j in range(n)):
+            # dual feasible: dual-simplex repair.  The budget is tight on
+            # purpose — a drifted-but-close basis repairs in a handful of
+            # pivots, and a repair that wanders past ~m/2 pivots is losing
+            # to the cold solve it is supposed to undercut, so fall back.
+            if not tab.run_dual(z, limit=tab.m // 2 + 8):
+                return None
+            # z was maintained through every dual pivot: still the exact
+            # reduced-cost row of cost2, so phase 2 needs no re-pricing
+            z2 = tab.run_primal(cost2, n, z=z)
+            self.basis_restarts += 1
+            self.dual_repairs += 1
+            self.last_restarted = True
+            return tab, z2
+        # neither feasible: restricted phase 1 — each negative row is
+        # sign-flipped and given a FRESH artificial from the second
+        # region (guaranteed untouched; see _Tableau.__init__)
+        artificial_cols: List[int] = []
+        for i in range(tab.m):
+            row = tab.rows[i]
+            if row[-1] < 0:
+                for j in range(tab.width):
+                    if row[j] != 0:
+                        row[j] = -row[j]
+                art = n + tab.m + i
+                row[art] = ONE
+                tab.basis[i] = art
+                artificial_cols.append(art)
+        cost1 = [ZERO] * tab.width
         for col in artificial_cols:
             cost1[col] = ONE
-        z1 = run_phase(cost1, width - 1)
-        phase1_value = -z1[-1]
-        if phase1_value > 0:
+        z1 = tab.run_primal(cost1, n)
+        if -z1[-1] > 0:
             raise InfeasibleError(
-                f"{lp.name!r} is infeasible (phase-1 optimum {phase1_value})"
+                f"{self.lp.name!r} is infeasible "
+                f"(restricted phase-1 optimum {-z1[-1]})"
             )
-        # Drive remaining artificials out of the basis where possible.
-        for i in range(m):
-            if basis[i] >= n:
-                row = tableau[i]
-                enter = -1
-                for j in range(n):
-                    if row[j] != 0:
-                        enter = j
-                        break
-                if enter >= 0:
-                    pivot(i, enter)
-                # else: the row is all-zero over structural columns —
-                # a redundant constraint; the artificial stays basic at 0,
-                # which is harmless as long as it never re-enters (it cannot:
-                # phase 2 restricts entering columns to the structural ones).
+        tab.drive_out_artificials()
+        z2 = tab.run_primal(cost2, n)
+        self.basis_restarts += 1
+        self.primal_repairs += 1
+        self.last_restarted = True
+        return tab, z2
 
-    # ---------------- phase 2 ----------------
-    cost2 = [ZERO] * width
-    for col, c in sf.cost.items():
-        cost2[col] = c
-    z2 = run_phase(cost2, n)
-    # objective value: cost2 . u = -(z2 rhs) ... plus offset
-    min_value = -z2[-1] + sf.cost_offset
+    # ------------------------------------------------------------------
+    def _decode(self, sf: _StandardForm, tab: _Tableau,
+                z2: List[Fraction]) -> LPSolution:
+        min_value = -z2[-1] + sf.cost_offset
+        u = [ZERO] * sf.num_cols
+        for i in range(tab.m):
+            if tab.basis[i] < sf.num_cols:
+                u[tab.basis[i]] = tab.rows[i][-1]
+        values: Dict[Variable, Fraction] = {}
+        for var, (cols, offset) in sf.decode.items():
+            x = offset
+            for col, s in cols:
+                x += s * u[col]
+            values[var] = x
+        objective = -min_value if self.lp.sense == "max" else min_value
+        return LPSolution(
+            objective=objective,
+            values=values,
+            backend="exact",
+            iterations=tab.iterations,
+            pivots=tab.pivots,
+        )
 
-    # ---------------- decode ----------------
-    u = [ZERO] * sf.num_cols
-    for i in range(m):
-        if basis[i] < sf.num_cols:
-            u[basis[i]] = tableau[i][-1]
-    values: Dict[Variable, Fraction] = {}
-    for var, (cols, offset) in sf.decode.items():
-        x = offset
-        for col, s in cols:
-            x += s * u[col]
-        values[var] = x
-    objective = -min_value if lp.sense == "max" else min_value
-    return LPSolution(
-        objective=objective,
-        values=values,
-        backend="exact",
-        iterations=iterations,
-    )
+    def stats(self) -> Dict[str, int]:
+        return {
+            "solves": self.solves,
+            "basis_restarts": self.basis_restarts,
+            "phase1_skips": self.phase1_skips,
+            "dual_repairs": self.dual_repairs,
+            "primal_repairs": self.primal_repairs,
+            "fallbacks": self.fallbacks,
+            "last_pivots": self.last_pivots,
+            "total_pivots": self.total_pivots,
+        }
+
+
+def solve_exact(lp: LinearProgram,
+                max_iterations: int = DEFAULT_MAX_PIVOTS) -> LPSolution:
+    """Solve ``lp`` exactly (one cold two-phase solve); raises
+    Infeasible/Unbounded errors as needed.  ``max_iterations`` is the
+    pivot safety cap (see :class:`SimplexInstance`)."""
+    return SimplexInstance(lp, max_pivots=max_iterations).solve()

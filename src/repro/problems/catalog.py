@@ -26,13 +26,19 @@ from ..core.master_slave import (
 )
 from ..core.multicast import solve_multicast
 from ..core.port_models import (
+    build_multiport_lp,
+    build_send_or_receive_lp,
+    package_port_model_solution,
     solve_master_slave_multiport,
     solve_master_slave_send_or_receive,
 )
 from ..core.scatter import (
+    build_a2a_lp,
     build_ssps_lp,
     gather_from_scatter,
+    package_a2a_solution,
     package_ssps_solution,
+    patch_a2a_coefficients,
     patch_ssps_coefficients,
     reversed_platform,
     solve_all_to_all_solution,
@@ -168,13 +174,31 @@ def _solve_gather(spec: GatherSpec, backend: str = "exact"):
 
 
 # ----------------------------------------------------------------------
-# personalised all-to-all (end of section 4.2)
+# personalised all-to-all (end of section 4.2).  Like SSPS, only the
+# occupation rows carry weights, so the multicommodity LP warm re-solves
+# by patching the c_ij coefficients in place.
 # ----------------------------------------------------------------------
+_A2A_WARM = WarmModel(
+    spec_key=lambda spec: ("all-to-all", tuple(sorted(spec.participants))),
+    build=lambda spec: build_a2a_lp(spec.platform,
+                                    list(spec.participants) or None),
+    patch=lambda lp, handles, spec: patch_a2a_coefficients(
+        lp, handles, spec.platform
+    ),
+    package=lambda spec, sol, handles, backend: package_a2a_solution(
+        spec.platform, sol, handles, backend=backend,
+        participants=spec.participants,  # the REQUESTER's ordering, not
+        # the (sorted-key) hot model's first-build ordering
+    ),
+)
+
+
 @register(
     AllToAllSpec,
-    capabilities=Capabilities(reconstructs_schedule=True,
+    capabilities=Capabilities(warm_resolve=True, reconstructs_schedule=True,
                               lp_structure="multicommodity"),
     entry_point=solve_all_to_all_solution,
+    warm_model=_A2A_WARM,
     example=lambda platform, root, others: AllToAllSpec(platform=platform),
 )
 def _solve_all_to_all(spec: AllToAllSpec, backend: str = "exact"):
@@ -245,12 +269,30 @@ def _solve_dag(spec: DagSpec, backend: str = "exact"):
 
 
 # ----------------------------------------------------------------------
-# alternative port models for master-slave (section 5.1)
+# alternative port models for master-slave (section 5.1).  Both share the
+# SSMS conservation/objective block (the only weight-carrying rows — port
+# budgets are weight-free), so patch_ssms_coefficients serves their warm
+# models unchanged; only the build differs.
 # ----------------------------------------------------------------------
+_MULTIPORT_WARM = WarmModel(
+    spec_key=lambda spec: ("multiport", spec.master, spec.ports),
+    build=lambda spec: build_multiport_lp(spec.platform, spec.master,
+                                          ports=spec.ports),
+    patch=lambda lp, handles, spec: patch_ssms_coefficients(
+        lp, handles, spec.platform, spec.master
+    ),
+    package=lambda spec, sol, handles, backend: package_port_model_solution(
+        spec.platform, spec.master, sol, handles, backend=backend
+    ),
+)
+
+
 @register(
     MultiportSpec,
-    capabilities=Capabilities(lp_structure="ssms-multiport"),
+    capabilities=Capabilities(warm_resolve=True,
+                              lp_structure="ssms-multiport"),
     entry_point=solve_master_slave_multiport,
+    warm_model=_MULTIPORT_WARM,
     example=lambda platform, root, others: MultiportSpec(
         platform=platform, master=root, ports=2
     ),
@@ -260,10 +302,24 @@ def _solve_multiport(spec: MultiportSpec, backend: str = "exact"):
                                         ports=spec.ports, backend=backend)
 
 
+_SOR_WARM = WarmModel(
+    spec_key=lambda spec: ("send-or-receive", spec.master),
+    build=lambda spec: build_send_or_receive_lp(spec.platform, spec.master),
+    patch=lambda lp, handles, spec: patch_ssms_coefficients(
+        lp, handles, spec.platform, spec.master
+    ),
+    package=lambda spec, sol, handles, backend: package_port_model_solution(
+        spec.platform, spec.master, sol, handles, backend=backend
+    ),
+)
+
+
 @register(
     SendOrReceiveSpec,
-    capabilities=Capabilities(lp_structure="ssms-send-or-receive"),
+    capabilities=Capabilities(warm_resolve=True,
+                              lp_structure="ssms-send-or-receive"),
     entry_point=solve_master_slave_send_or_receive,
+    warm_model=_SOR_WARM,
     example=lambda platform, root, others: SendOrReceiveSpec(
         platform=platform, master=root
     ),

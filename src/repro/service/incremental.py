@@ -9,14 +9,24 @@ need to be re-assembled: the built model is kept hot, the moved
 coefficients are patched through the :class:`~repro.lp.model.LinearProgram`
 rebuild hook, and the model is re-solved exactly.
 
+Since the basis-reusing refactor the warm path is first-class all the way
+down: each hot model carries a :class:`~repro.lp.simplex.SimplexInstance`
+that retains the previous solve's optimal basis, so a warm re-solve
+restarts pivoting from that basis (skipping phase 1 entirely when it is
+still feasible, repairing primal/dual feasibility otherwise) instead of
+re-running the two-phase method — with a guaranteed fallback to the cold
+pivot sequence.  :class:`WarmSolveStats` counts the restarts, repairs,
+fallbacks and pivots; the broker surfaces them in ``/metrics``.
+
 Which problems support this — and *how* — is declared in the solver
 registry (:mod:`repro.problems.registry`): an entry with the
 ``warm_resolve`` capability carries a
 :class:`~repro.problems.registry.WarmModel` spelling out its
 structure-vs-coefficient split (build / patch / package).  Master-slave
-(SSMS), scatter and gather (SSPS, the latter on the reversed platform)
-all declare it; :class:`IncrementalSolver` is the generic executor and
-contains no per-problem code.
+(SSMS), scatter and gather (SSPS, the latter on the reversed platform),
+all-to-all, multiport and send-or-receive all declare it;
+:class:`IncrementalSolver` is the generic executor and contains no
+per-problem code.
 
 A topology change (node/edge added or removed, or a node's compute
 ability toggled) changes the structure itself; the solver detects it via
@@ -25,18 +35,20 @@ falls back to a full rebuild (counted in
 :attr:`WarmSolveStats.full_rebuilds`).
 
 Exactness is preserved: a warm re-solve goes through the same exact
-rational simplex as a cold solve of the mutated platform and produces the
-identical :class:`~fractions.Fraction` throughput — asserted by the test
-suite and the service benchmark.
+rational simplex arithmetic as a cold solve of the mutated platform and
+produces the identical :class:`~fractions.Fraction` throughput — asserted
+by the test suite and the warm-path benchmark.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..lp.model import LinearProgram
+from ..lp.simplex import SimplexInstance
 from ..platform.graph import NodeId, Platform
 from ..problems import MasterSlaveSpec, ProblemSpec, SpecError, resolve
 from .fingerprint import topology_signature
@@ -44,20 +56,34 @@ from .fingerprint import topology_signature
 
 @dataclass
 class WarmSolveStats:
-    """How often the warm path was taken vs a full rebuild."""
+    """How the warm path behaved, down to the pivot level.
+
+    ``warm_solves`` / ``full_rebuilds`` split re-solves by whether a hot
+    model was reused; ``evictions`` counts hot models dropped by the
+    ``max_models`` cap (visibility into cache pressure — an evicted model
+    costs a full rebuild *and* a cold pivot sequence on its next use).
+    ``basis_restarts`` / ``phase1_skips`` / ``basis_fallbacks`` describe
+    how the retained simplex basis fared on warm solves, and
+    ``warm_pivots`` / ``cold_pivots`` accumulate the exact-simplex pivot
+    counts of each path (the benchmark's headline comparison).
+    """
 
     warm_solves: int = 0
     full_rebuilds: int = 0
+    evictions: int = 0
+    basis_restarts: int = 0
+    phase1_skips: int = 0
+    basis_fallbacks: int = 0
+    warm_pivots: int = 0
+    cold_pivots: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "warm_solves": self.warm_solves,
-            "full_rebuilds": self.full_rebuilds,
-        }
+        return dataclasses.asdict(self)
 
 
 class IncrementalSolver:
-    """Keeps assembled LP models hot across weight-only re-solves.
+    """Keeps assembled LP models — and their simplex bases — hot across
+    weight-only re-solves.
 
     One instance may serve many platforms and problem kinds: models are
     keyed by ``(topology signature, warm-model spec key)``.  Concurrency
@@ -85,9 +111,12 @@ class IncrementalSolver:
         # registry lock: guards the two dicts and the stats, never held
         # across an LP solve
         self._lock = threading.Lock()
-        # key -> (lp, handles, root node of the spec that built it)
+        # key -> (lp, handles, root node of the spec that built it,
+        #         SimplexInstance or None for non-exact backends)
         self._models: Dict[
-            Tuple, Tuple[LinearProgram, Dict[str, object], Optional[NodeId]]
+            Tuple,
+            Tuple[LinearProgram, Dict[str, object], Optional[NodeId],
+                  Optional[SimplexInstance]],
         ] = {}
         # per-model locks: serialise patch+solve of one structure only.
         # Entries are NEVER removed — eviction/forget only drops the model.
@@ -128,6 +157,8 @@ class IncrementalSolver:
                 cached = self._models.get(key)
             if cached is None:
                 lp, handles = model.build(spec)
+                instance = (SimplexInstance(lp)
+                            if self.backend == "exact" else None)
                 with self._lock:
                     self.stats.full_rebuilds += 1
                     while len(self._models) >= self.max_models:
@@ -136,15 +167,37 @@ class IncrementalSolver:
                         # on an evicted model keeps its local reference;
                         # the evicted key's lock stays (see __init__).
                         self._models.pop(next(iter(self._models)))
-                    self._models[key] = (lp, handles, spec.source_node())
+                        self.stats.evictions += 1
+                    self._models[key] = (lp, handles, spec.source_node(),
+                                         instance)
             else:
-                lp, handles, _root = cached
+                lp, handles, _root, instance = cached
                 model.patch(lp, handles, spec)
                 with self._lock:
                     self.stats.warm_solves += 1
-            sol = lp.solve(backend=self.backend)
+            sol = self._solve_model(lp, instance, warm=cached is not None)
             out = model.package(spec, sol, handles, self.backend)
             return out, cached is not None
+
+    def _solve_model(self, lp: LinearProgram,
+                     instance: Optional[SimplexInstance], warm: bool) -> Any:
+        """Solve a (possibly just patched) hot model, preferring the
+        basis-restart path of its :class:`SimplexInstance`."""
+        if instance is None:
+            return lp.solve(backend=self.backend)
+        sol = instance.solve(warm=warm)
+        with self._lock:
+            if warm:
+                self.stats.warm_pivots += sol.pivots
+                if instance.last_restarted:
+                    self.stats.basis_restarts += 1
+                    if instance.last_phase1_skipped:
+                        self.stats.phase1_skips += 1
+                else:
+                    self.stats.basis_fallbacks += 1
+            else:
+                self.stats.cold_pivots += sol.pivots
+        return sol
 
     # ------------------------------------------------------------------
     # master-slave convenience wrappers (the original PR 1 surface)
@@ -180,7 +233,8 @@ class IncrementalSolver:
         topo = topology_signature(platform)
         with self._lock:
             doomed = [
-                key for key, (_lp, _handles, root) in self._models.items()
+                key
+                for key, (_lp, _handles, root, _inst) in self._models.items()
                 if key[0] == topo and (master is None or root == master)
             ]
             for key in doomed:

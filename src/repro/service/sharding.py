@@ -92,6 +92,17 @@ def _remote_error(type_name: str, message: str) -> ShardError:
     return cls(message)
 
 
+def _raise_worker_error(reply: Dict[str, Any]) -> Exception:
+    """The exception for a worker-side ``{"ok": False, ...}`` reply —
+    :class:`BrokerError` for spec validation, a relayed
+    :class:`ShardError` subclass otherwise (shared by single-solve
+    replies and per-item ``solve_many`` replies)."""
+    if reply.get("type") == "SpecError":
+        return BrokerError(reply.get("error", "shard error"))
+    return _remote_error(reply.get("type", "ShardError"),
+                         reply.get("error", ""))
+
+
 # ----------------------------------------------------------------------
 # consistent-hash ring
 # ----------------------------------------------------------------------
@@ -167,6 +178,22 @@ def _shard_worker_main(
                 request = request_from_dict(msg["request"])
                 result = engine.run(request, msg["fp"])
                 conn.send({"ok": True, "result": result})
+            elif op == "solve_many":
+                # one round-trip for a whole shard batch; per-item error
+                # isolation mirrors the JSON API's batch op (one failing
+                # request must not discard its siblings' results)
+                replies = []
+                for item in msg["items"]:
+                    try:
+                        request = request_from_dict(item["request"])
+                        replies.append({
+                            "ok": True,
+                            "result": engine.run(request, item["fp"]),
+                        })
+                    except Exception as exc:  # noqa: BLE001 — reply carries it
+                        replies.append({"ok": False, "error": str(exc),
+                                        "type": type(exc).__name__})
+                conn.send({"ok": True, "results": replies})
             elif op == "invalidate":
                 platform = platform_from_dict(msg["platform"])
                 removed = engine.invalidate_platform(platform)
@@ -208,12 +235,14 @@ class _ProcessShard:
         self.process.start()
         child.close()
         self.lock = threading.Lock()
+        self.calls = 0  # IPC round-trips (one send+recv pair per call)
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"repro-shard-{index}"
         )
 
     def call(self, msg: Dict[str, Any]) -> Dict[str, Any]:
         with self.lock:
+            self.calls += 1
             try:
                 self.conn.send(msg)
                 reply = self.conn.recv()
@@ -223,10 +252,7 @@ class _ProcessShard:
                     f"(exitcode={self.process.exitcode}): {exc}"
                 ) from exc
         if not reply.get("ok"):
-            if reply.get("type") == "SpecError":
-                raise BrokerError(reply.get("error", "shard error"))
-            raise _remote_error(reply.get("type", "ShardError"),
-                                reply.get("error", ""))
+            raise _raise_worker_error(reply)
         return reply
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -359,6 +385,12 @@ class ShardedBroker:
         """The shard id a fingerprint routes to (stable, deterministic)."""
         return self.ring.route(fingerprint)
 
+    @property
+    def ipc_round_trips(self) -> int:
+        """Total pipe round-trips across all process shards (0 in thread
+        mode) — what ``solve_many`` batching is measured by."""
+        return sum(shard.calls for shard in self._process_shards)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -406,10 +438,58 @@ class ShardedBroker:
         )
 
     def solve_batch(self, requests: List[SolveRequest]) -> List[BrokerResult]:
-        """Fan a mixed batch out across shards; order preserved."""
+        """Fan a mixed batch out across shards; order preserved.
+
+        Process shards receive ONE ``solve_many`` pipe message per shard
+        (the whole sub-batch crosses in a single round-trip instead of one
+        per request — the ~0.4 ms IPC cost that dominates hit-heavy
+        workloads); thread shards keep the in-process submit path.  As
+        with :meth:`~repro.service.broker.Broker.solve_batch`, a failing
+        request propagates its exception (earliest by batch position);
+        callers needing per-request error isolation submit individually.
+        """
         with self.metrics.timer("solve.batch"):
-            futures = [self.submit(request) for request in requests]
-            return [fut.result() for fut in futures]
+            if self._thread_shards:
+                futures = [self.submit(request) for request in requests]
+                return [fut.result() for fut in futures]
+            return self._process_solve_batch(requests)
+
+    def _process_solve_batch(
+        self, requests: List[SolveRequest]
+    ) -> List[BrokerResult]:
+        from .api import _request_wire  # deferred: avoid import cycle
+
+        fps = [request.fingerprint() for request in requests]
+        by_shard: Dict[int, List[int]] = {}
+        for index, fp in enumerate(fps):
+            by_shard.setdefault(self.shard_for(fp), []).append(index)
+        # one solve_many per shard, dispatched through the shard's own
+        # queue (ordered with its other work), all shards in parallel
+        futures = {
+            shard: self._process_shards[shard].executor.submit(
+                self._process_shards[shard].call,
+                {
+                    "op": "solve_many",
+                    "items": [
+                        {"fp": fps[i], "request": _request_wire(requests[i])}
+                        for i in indices
+                    ],
+                },
+            )
+            for shard, indices in by_shard.items()
+        }
+        outcomes: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        for shard, indices in by_shard.items():
+            reply = futures[shard].result()  # ShardError if the worker died
+            for i, item in zip(indices, reply["results"]):
+                outcomes[i] = item
+        results: List[BrokerResult] = []
+        for item in outcomes:
+            assert item is not None
+            if not item.get("ok"):
+                raise _raise_worker_error(item)
+            results.append(item["result"])
+        return results
 
     def _process_solve(
         self, shard: int, request: SolveRequest, fp: str
@@ -514,6 +594,10 @@ class ShardedBroker:
                     "cache_size": s["cache"]["size"],
                     "hits": s["cache"]["hits"],
                     "misses": s["cache"]["misses"],
+                    # the full warm-path breakdown of this shard (hot
+                    # models, evictions, basis restarts, pivots, ...)
+                    **({"incremental": s["incremental"]}
+                       if "incremental" in s else {}),
                 }
                 for idx, s in enumerate(shard_snaps)
             ],
@@ -521,8 +605,12 @@ class ShardedBroker:
         incremental = [s["incremental"] for s in shard_snaps
                        if "incremental" in s]
         if incremental:
+            # sum over the union of counters so new WarmSolveStats fields
+            # (evictions, basis_restarts, pivot counts, ...) surface in
+            # /metrics without this list needing maintenance
+            keys = sorted({key for snap in incremental for key in snap})
             out["incremental"] = {
-                key: sum(s[key] for s in incremental)
-                for key in ("hot_models", "warm_solves", "full_rebuilds")
+                key: sum(snap.get(key, 0) for snap in incremental)
+                for key in keys
             }
         return out

@@ -65,12 +65,13 @@ class TestRegistry:
             resolve("nope")
 
     def test_declared_capabilities(self):
-        for problem in ("master-slave", "scatter", "gather"):
+        # every non-tree-packing LP problem is warm-capable (6 of 10)
+        for problem in ("master-slave", "scatter", "gather", "all-to-all",
+                        "multiport", "send-or-receive"):
             entry = resolve(problem)
             assert entry.capabilities.warm_resolve
             assert entry.warm_model is not None
-        for problem in ("broadcast", "reduce", "multicast", "dag",
-                        "multiport", "send-or-receive", "all-to-all"):
+        for problem in ("broadcast", "reduce", "multicast", "dag"):
             entry = resolve(problem)
             assert not entry.capabilities.warm_resolve
             assert entry.warm_model is None

@@ -276,6 +276,67 @@ class TestShardedBrokerProcess:
 
 
 # ----------------------------------------------------------------------
+# the batched pipe protocol (solve_many)
+# ----------------------------------------------------------------------
+class TestSolveMany:
+    def test_batch_is_one_round_trip_per_shard(self):
+        requests = _mixed_requests()
+        reference = _reference_results(requests)
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            before = sharded.ipc_round_trips
+            results = sharded.solve_batch(requests)
+            used = sharded.ipc_round_trips - before
+            # one solve_many per shard that owns part of the batch — not
+            # one round-trip per request
+            assert used <= sharded.shards < len(requests)
+            for ref, got in zip(reference, results):
+                assert got.throughput == ref.throughput  # Fraction-exact
+                assert got.fingerprint == ref.fingerprint
+
+    def test_intra_batch_duplicates_hit_the_shard_cache(self):
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.star(3), master="M")
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            results = sharded.solve_batch([req, req, req])
+            assert not results[0].cached
+            assert results[1].cached and results[2].cached
+            assert len({r.throughput for r in results}) == 1
+
+    def test_per_item_errors_are_isolated_in_the_reply(self):
+        good = SolveRequest(problem="master-slave",
+                            platform=generators.star(2), master="M")
+        from repro.service.api import request_to_dict
+
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            bad = request_to_dict(good)
+            bad["spec"]["problem"] = "nope"
+            reply = sharded._process_shards[0].call({
+                "op": "solve_many",
+                "items": [
+                    {"fp": good.fingerprint(),
+                     "request": request_to_dict(good)},
+                    {"fp": "bogus", "request": bad},
+                ],
+            })
+            ok, err = reply["results"]
+            assert ok["ok"] and isinstance(ok["result"], BrokerResult)
+            assert not err["ok"] and err["type"] == "SpecError"
+
+    def test_ipc_counter_grows_per_unbatched_solve(self):
+        requests = _mixed_requests()[:4]
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            before = sharded.ipc_round_trips
+            for request in requests:
+                sharded.solve(request)
+            assert sharded.ipc_round_trips - before == len(requests)
+
+    def test_thread_mode_has_no_ipc(self):
+        with ShardedBroker(shards=2, shard_mode="thread") as sharded:
+            sharded.solve_batch(_mixed_requests()[:3])
+            assert sharded.ipc_round_trips == 0
+
+
+# ----------------------------------------------------------------------
 # the JSON API over a sharded broker
 # ----------------------------------------------------------------------
 class TestShardedApi:

@@ -1,0 +1,175 @@
+"""The first-class warm path, end to end: for every problem declaring
+``warm_resolve``, a basis-restart warm re-solve after a randomized
+weight-only mutation returns the identical ``Fraction`` throughput as a
+cold solve — over random star, tree and general platforms — plus the
+eviction/restart/pivot counters the service surfaces in ``/metrics``."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro._rational import INF, is_infinite
+from repro.platform import generators
+from repro.platform.graph import Platform
+from repro.problems import (
+    AllToAllSpec,
+    GatherSpec,
+    MasterSlaveSpec,
+    MultiportSpec,
+    ScatterSpec,
+    SendOrReceiveSpec,
+    registered_problems,
+    resolve,
+)
+from repro.service import Broker, IncrementalSolver, SolveRequest
+from repro.service.broker import execute_request, solution_throughput
+
+WARM_PROBLEMS = (
+    "master-slave", "scatter", "gather", "all-to-all", "multiport",
+    "send-or-receive",
+)
+
+
+def _reweight(platform: Platform, rng: random.Random) -> Platform:
+    """Same topology, every weight independently re-drawn (the monitoring
+    regime: per-node load changes, per-link bandwidth changes)."""
+    out = Platform(platform.name)
+    for spec in platform._nodes.values():  # noqa: SLF001 — test helper
+        if is_infinite(spec.w):
+            out.add_node(spec.name, INF)
+        else:
+            out.add_node(spec.name,
+                         Fraction(rng.randint(1, 12), rng.randint(1, 4)))
+    for spec in platform.edges():
+        out.add_edge(spec.src, spec.dst,
+                     Fraction(rng.randint(1, 10), rng.randint(1, 4)))
+    return out
+
+
+def _spec_for(problem: str, platform: Platform, root, others):
+    others = tuple(others)
+    return {
+        "master-slave": lambda: MasterSlaveSpec(platform=platform, master=root),
+        "scatter": lambda: ScatterSpec(platform=platform, source=root,
+                                       targets=others),
+        "gather": lambda: GatherSpec(platform=platform, sink=root,
+                                     sources=others),
+        "all-to-all": lambda: AllToAllSpec(platform=platform),
+        "multiport": lambda: MultiportSpec(platform=platform, master=root,
+                                           ports=2),
+        "send-or-receive": lambda: SendOrReceiveSpec(platform=platform,
+                                                     master=root),
+    }[problem]()
+
+
+def _platform_pool():
+    return [
+        ("star", generators.star(3, bidirectional=True), "M",
+         ("W1", "W2", "W3")),
+        ("tree", generators.binary_tree(2, seed=7), "T0", ("T1", "T2")),
+        ("general", generators.random_connected(5, seed=11), "R0",
+         ("R1", "R2")),
+    ]
+
+
+class TestWarmEqualsColdProperty:
+    """The ISSUE's property test: randomized weight mutations, identical
+    Fraction throughput from the basis-restart warm path, for every
+    warm-capable problem kind."""
+
+    @pytest.mark.parametrize("problem", WARM_PROBLEMS)
+    def test_randomized_mutations_are_exact(self, problem):
+        rng = random.Random(hash(problem) & 0xFFFF)
+        for name, base, root, others in _platform_pool():
+            inc = IncrementalSolver()
+            base_spec = _spec_for(problem, base, root, others)
+            inc.solve_spec(base_spec)  # prime the hot model + basis
+            for trial in range(3):
+                mutated = _reweight(base, rng)
+                spec = dataclasses.replace(base_spec, platform=mutated)
+                warm_sol, warm = inc.solve_spec_ex(spec)
+                assert warm, f"{problem}/{name}: warm path not taken"
+                cold_sol = execute_request(SolveRequest.from_spec(spec))
+                assert (solution_throughput(warm_sol)
+                        == solution_throughput(cold_sol)), (
+                    f"{problem}/{name} trial {trial}: warm != cold"
+                )
+            stats = inc.stats
+            assert stats.warm_solves == 3
+            assert stats.basis_restarts + stats.basis_fallbacks == 3
+
+    def test_a2a_warm_hit_keeps_the_requesters_participant_order(self):
+        # the hot-model key sorts participants, so two orderings share a
+        # model — but the packaged solution must reflect THIS request's
+        # ordering, identically to a cold solve of the same spec
+        g = generators.star(2, bidirectional=True)
+        inc = IncrementalSolver()
+        inc.solve_spec(AllToAllSpec(platform=g,
+                                    participants=("M", "W1", "W2")))
+        spec = AllToAllSpec(platform=g, participants=("W2", "W1", "M"))
+        warm_sol, warm = inc.solve_spec_ex(spec)
+        assert warm
+        cold_sol = execute_request(SolveRequest.from_spec(spec))
+        assert warm_sol.targets == cold_sol.targets == ("W2", "W1", "M")
+        assert warm_sol.throughput == cold_sol.throughput
+
+    def test_all_warm_capable_problems_are_covered(self):
+        declared = {p for p in registered_problems()
+                    if resolve(p).capabilities.warm_resolve}
+        assert declared == set(WARM_PROBLEMS)  # 6 of 10
+        for problem in declared:
+            assert resolve(problem).warm_model is not None
+
+
+class TestWarmStatsAndEvictions:
+    def test_model_cache_evictions_are_counted(self):
+        inc = IncrementalSolver(max_models=1)
+        inc.solve_master_slave(generators.star(2), "M")
+        assert inc.stats.evictions == 0
+        inc.solve_master_slave(generators.star(3), "M")  # distinct topology
+        assert inc.stats.evictions == 1
+        assert len(inc) == 1
+
+    def test_basis_restart_counters_move_on_warm_solves(self):
+        g = generators.paper_figure1()
+        inc = IncrementalSolver()
+        inc.solve_master_slave(g, "P1")
+        assert inc.stats.cold_pivots > 0
+        inc.solve_master_slave(g.scale(compute=Fraction(5, 4)), "P1")
+        stats = inc.stats
+        assert stats.warm_solves == 1
+        assert stats.basis_restarts == 1
+        assert stats.basis_fallbacks == 0
+        # a basis restart re-solves with (far) fewer pivots than cold
+        assert stats.warm_pivots < stats.cold_pivots
+
+    def test_counters_surface_in_broker_snapshot(self):
+        g = generators.paper_figure1()
+        with Broker(executor="sync") as broker:
+            broker.solve(SolveRequest(problem="master-slave", platform=g,
+                                      master="P1"))
+            broker.solve(SolveRequest(problem="master-slave",
+                                      platform=g.scale(compute=2),
+                                      master="P1"))
+            snap = broker.snapshot()
+        inc = snap["incremental"]
+        for key in ("hot_models", "warm_solves", "full_rebuilds",
+                    "evictions", "basis_restarts", "phase1_skips",
+                    "basis_fallbacks", "warm_pivots", "cold_pivots"):
+            assert key in inc, f"missing {key} in /metrics incremental"
+        assert inc["warm_solves"] == 1 and inc["basis_restarts"] == 1
+
+    def test_non_exact_backend_skips_the_instance_path(self):
+        pytest.importorskip("scipy")
+        g = generators.star(3)
+        inc = IncrementalSolver(backend="scipy")
+        inc.solve_master_slave(g, "M")
+        inc.solve_master_slave(g.scale(compute=2), "M")
+        stats = inc.stats
+        assert stats.warm_solves == 1
+        # no exact instance: no pivot/restart accounting
+        assert stats.warm_pivots == 0 and stats.basis_restarts == 0
