@@ -12,6 +12,7 @@ Commands
                solves every registered problem end-to-end);
 ``export``     write a generator-built platform as JSON for editing;
 ``serve``      run the scheduling service (HTTP JSON API, or --stdio);
+``shard-serve`` run one standalone TCP solve shard for a remote broker;
 ``submit``     send one solve request to a server (or solve locally).
 
 Examples
@@ -288,7 +289,8 @@ def _build_broker(args):
 
     ttl = args.ttl if args.ttl and args.ttl > 0 else None
     shards = getattr(args, "shards", 1)
-    if shards > 1:
+    addresses = list(getattr(args, "shard", None) or [])
+    if shards > 1 or addresses:
         if getattr(args, "executor", None):
             # fail loudly: the flag would be silently dropped, and
             # "--shards 4 --executor process" reads like process shards
@@ -296,14 +298,38 @@ def _build_broker(args):
                 "--executor applies to the unsharded broker only; with "
                 "--shards use --shard-mode thread|process instead"
             )
+        mode = args.shard_mode or ("process" if addresses else "thread")
+        if addresses and mode == "thread":
+            raise SystemExit(
+                "--shard host:port requires process shards; drop "
+                "--shard-mode thread (local shards run as pipe workers "
+                "beside the remote ones)"
+            )
         from .service.sharding import ShardedBroker
 
+        timeout = getattr(args, "shard_timeout", 0) or 0
+        if timeout > 0 and mode == "thread":
+            # fail loudly: thread shards solve in-process, nothing to
+            # time out — the flag would be silently dropped
+            raise SystemExit(
+                "--shard-timeout applies to process/TCP shards only; "
+                "use --shard-mode process (or --shard host:port)"
+            )
         return ShardedBroker(
             shards=shards,
-            shard_mode=args.shard_mode,
+            shard_mode=mode,
             workers=args.workers,
             cache_size=args.cache_size,
             ttl=ttl,
+            shard_addresses=addresses,
+            request_timeout=timeout if timeout > 0 else None,
+        )
+    if shards < 1:
+        raise SystemExit("--shards 0 needs at least one --shard host:port")
+    if getattr(args, "shard_timeout", 0):
+        raise SystemExit(
+            "--shard-timeout applies to the sharded broker's transport "
+            "shards only; the unsharded broker solves in-process"
         )
     cache = SolutionCache(max_size=args.cache_size, ttl=ttl)
     return Broker(cache=cache, workers=args.workers,
@@ -322,9 +348,13 @@ def cmd_serve(args) -> int:
     server = ServiceServer((args.host, args.port), broker=broker,
                            verbose=args.verbose)
     shards = getattr(args, "shards", 1)
-    if shards > 1:
-        layout = f"{shards} {args.shard_mode} shards x {args.cache_size} entries"
-        if args.shard_mode == "thread":  # --workers is per-shard, thread only
+    addresses = list(getattr(args, "shard", None) or [])
+    if shards > 1 or addresses:
+        mode = getattr(broker, "shard_mode", "thread")
+        layout = f"{shards} local {mode} shards x {args.cache_size} entries"
+        if addresses:
+            layout += f" + {len(addresses)} remote " + " ".join(addresses)
+        if mode == "thread":  # --workers is per-shard, thread only
             layout += f", {args.workers} workers/shard"
     else:
         layout = f"cache {args.cache_size} entries, {args.workers} workers"
@@ -337,6 +367,35 @@ def cmd_serve(args) -> int:
     finally:
         server.shutdown()
         broker.close()
+    return 0
+
+
+def cmd_shard_serve(args) -> int:
+    """Run one standalone TCP shard (a SolveEngine behind framed JSON).
+
+    Point any ``python -m repro serve`` at it with ``--shard host:port``
+    to place it on that broker's hash ring; several brokers may share
+    one shard (the engine lock serialises their ops).
+    """
+    from .service.transport import ShardServer
+
+    ttl = args.ttl if args.ttl and args.ttl > 0 else None
+    server = ShardServer(
+        (args.host, args.port),
+        cache_size=args.cache_size,
+        ttl=ttl,
+        incremental=not args.no_incremental,
+    )
+    print(f"repro shard listening on {server.address} "
+          f"(cache {args.cache_size} entries, warm path "
+          f"{'off' if args.no_incremental else 'on'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
     return 0
 
 
@@ -475,16 +534,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker-pool kind (default thread; unsharded "
                         "broker only — rejected alongside --shards)")
     p.add_argument("--shards", type=int, default=1,
-                   help="independent broker shards routed by consistent "
-                        "hash of the request fingerprint (1 = unsharded; "
-                        "--cache-size is per shard)")
+                   help="independent local broker shards routed by "
+                        "consistent hash of the request fingerprint "
+                        "(1 = unsharded; --cache-size is per shard; 0 is "
+                        "allowed when --shard supplies the whole ring)")
     p.add_argument("--shard-mode", choices=["thread", "process"],
-                   default="thread",
-                   help="shard placement: in-process brokers (thread) or "
-                        "long-lived worker processes dispatched over the "
-                        "wire codec (process)")
+                   default=None,
+                   help="local shard placement: in-process brokers "
+                        "(thread, the default) or long-lived worker "
+                        "processes dispatched over the wire codec "
+                        "(process; implied by --shard)")
+    p.add_argument("--shard", action="append", metavar="HOST:PORT",
+                   help="remote shard-serve address to place on the hash "
+                        "ring (repeatable; unreachable shards are "
+                        "ejected and rejoin automatically)")
+    p.add_argument("--shard-timeout", type=float, default=0,
+                   help="per-request shard transport timeout in seconds "
+                        "(0 = wait indefinitely); on expiry the request "
+                        "fails over to the next live shard")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("shard-serve",
+                       help="run one standalone TCP solve shard")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8590,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--ttl", type=float, default=0,
+                   help="cache TTL in seconds (0 = no expiry)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable the warm re-solve path for this shard")
+    p.set_defaults(func=cmd_shard_serve)
 
     p = sub.add_parser("submit", help="submit one solve request")
     _add_platform_options(p)

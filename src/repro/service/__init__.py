@@ -21,7 +21,14 @@ long-running scheduling service that amortises solves across requests:
 * :mod:`~repro.service.api` — a JSON request/response layer and the
   ``python -m repro serve`` / ``python -m repro submit`` CLI entry points;
 * :mod:`~repro.service.metrics` — per-endpoint latency / throughput
-  counters exposed through the API.
+  counters exposed through the API;
+* :mod:`~repro.service.transport` + :mod:`~repro.service.wire` — the
+  shard wire protocol: framed-JSON transports with per-request timeouts
+  (local pipe workers, remote TCP shards via ``python -m repro
+  shard-serve``) and the exact JSON result codec they reply with;
+* :mod:`~repro.service.sharding` — :class:`ShardedBroker`: consistent-
+  hash routing over mixed thread / pipe / TCP shards with health
+  supervision (auto-restart, ring ejection/rejoin, failover).
 
 Quickstart
 ----------
@@ -52,7 +59,30 @@ from .api import (
     request_to_dict,
     response_to_dict,
 )
-from .sharding import HashRing, ShardedBroker, ShardError
+from .wire import (
+    WireCodecError,
+    result_from_wire,
+    result_to_wire,
+    solution_from_wire,
+    solution_to_wire,
+)
+from .transport import (
+    PipeTransport,
+    ShardServer,
+    TcpTransport,
+    Transport,
+    TransportError,
+    TransportTimeout,
+    connect,
+    parse_shard_address,
+)
+from .sharding import (
+    HashRing,
+    ShardedBroker,
+    ShardError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+)
 
 __all__ = [
     "platform_signature",
@@ -72,6 +102,21 @@ __all__ = [
     "HashRing",
     "ShardedBroker",
     "ShardError",
+    "ShardTimeoutError",
+    "ShardUnavailableError",
+    "Transport",
+    "TransportError",
+    "TransportTimeout",
+    "PipeTransport",
+    "TcpTransport",
+    "ShardServer",
+    "connect",
+    "parse_shard_address",
+    "WireCodecError",
+    "result_to_wire",
+    "result_from_wire",
+    "solution_to_wire",
+    "solution_from_wire",
     "IncrementalSolver",
     "WarmSolveStats",
     "ServiceServer",

@@ -4,53 +4,67 @@ One :class:`~repro.service.broker.SolveEngine` owns one
 :class:`~repro.service.cache.SolutionCache` and one
 :class:`~repro.service.incremental.IncrementalSolver`.  That is exactly
 the state that should *not* be shared once the platform corpus outgrows a
-single cache or the solve load outgrows a single process:
+single cache or the solve load outgrows a single process — or a single
+host.  :class:`ShardedBroker` routes each request by **consistent hash of
+its fingerprint** to one of N shards, each owning its own engine, so
+cache entries and hot models never contend across shards and the
+aggregate capacity scales linearly with the shard count.  Identical
+requests always land on the same shard, so sharding never duplicates
+cache entries and per-request results are exactly the single-broker
+results — ``Fraction``-exact.
 
-* every lookup contends on one cache lock and one in-flight table;
-* every hot LP model lives in one process, bounded by one
-  ``max_models`` budget and one GIL.
+Three shard placements, mixable on one hash ring:
 
-:class:`ShardedBroker` routes each request by **consistent hash of its
-fingerprint** to one of N shards, each owning its own engine, so cache
-entries and hot models never contend across shards and the aggregate
-cache/model capacity scales linearly with the shard count.  Identical
-requests always land on the same shard (hash routing is deterministic),
-so sharding never duplicates cache entries and per-request results are
-exactly the single-broker results — ``Fraction``-exact.
+``thread`` shards
+    Full in-process :class:`~repro.service.broker.Broker`\\ s (worker
+    pool + in-flight coalescing).  Zero serialization; all shards share
+    the GIL, so this mode scales cache/model *capacity*, not CPU.
 
-Two shard modes:
+``process`` (pipe) shards
+    Long-lived local worker **processes**, each hosting a bare
+    :class:`~repro.service.broker.SolveEngine` behind a
+    :class:`~repro.service.transport.PipeTransport`.  Requests travel
+    as the spec wire codec, replies as the exact JSON result codec of
+    :mod:`repro.service.wire`; the worker keeps its cache and warm LP
+    models hot across calls.  One IPC round-trip per request, CPU
+    scaling across cores, and **supervision**: a worker that dies or
+    times out is restarted automatically (once per failure) and the
+    request is retried — first on the fresh worker, then on the next
+    ring shard.
 
-``thread`` (default)
-    Each shard is a full in-process :class:`~repro.service.broker.Broker`
-    (worker pool + in-flight coalescing).  Zero serialization cost; all
-    shards share the GIL, so this mode scales cache/model *capacity*, not
-    CPU.
+``tcp`` (remote) shards
+    ``python -m repro shard-serve --port N`` on any host, placed on the
+    ring via ``shard_addresses=["host:port", ...]`` (CLI: repeated
+    ``--shard host:port``).  Same protocol as the pipe shards over a
+    :class:`~repro.service.transport.TcpTransport`.  A remote shard
+    that fails or times out is **ejected** from the ring — its keys
+    fail over to the clockwise-next live shard, moving only that
+    shard's slice of the keyspace — and a background health probe
+    re-admits it when its host returns (after clearing its cache, so
+    invalidations it missed during the outage can never resurface).
 
-``process``
-    Each shard is a long-lived worker **process** hosting a bare
-    :class:`~repro.service.broker.SolveEngine` behind a pipe.  Requests
-    travel as the PR 2 wire codec (``spec.to_wire()`` inside
-    :func:`~repro.service.api.request_to_dict`, with the platform as
-    ``platform_to_dict``) — JSON-safe dicts, not pickled ``Platform``
-    objects — and the worker keeps its cache and warm LP models hot
-    across calls, so only the *request description* crosses the process
-    boundary, never the solver state.  Results return as pickled
-    :class:`~repro.service.broker.BrokerResult` objects (``Fraction``
-    arithmetic pickles exactly).  This mode adds one IPC round-trip per
-    request but scales CPU-bound solve load across cores and isolates
-    solver state per shard.
+Failure semantics, uniformly: a transport-level failure raises a typed
+:class:`ShardUnavailableError` (a :class:`ShardError`) carrying the
+shard id; per-request timeouts raise :class:`ShardTimeoutError`; and
+every failure is counted — ``shard_failures`` / ``shard_timeouts`` /
+``shard_restarts`` / ``failovers`` / ``rejoins`` all surface under
+``shard_health`` in :meth:`ShardedBroker.snapshot` (and therefore in
+``/metrics``), alongside per-backend transport round-trip latency
+(``transport.pipe`` / ``transport.tcp`` endpoint timers).
 
-:meth:`ShardedBroker.invalidate_platform` fans out to every shard (a
-platform's requests spread across shards as their fingerprints differ),
-and each shard's generation counter (see
-:class:`~repro.service.cache.SolutionCache`) guarantees a solve that was
-in flight when the invalidation arrived cannot re-populate the shard
-cache with a stale solution.
+:meth:`ShardedBroker.invalidate_platform` fans out to every shard and
+**tolerates outages**: an unreachable shard is ejected and counted, not
+raised — its entries are dropped wholesale before it rejoins, so cache
+invalidation never fails the caller during a shard outage, and a solve
+racing the invalidation still cannot re-insert a stale entry (each
+shard's cache generation counter, see
+:class:`~repro.service.cache.SolutionCache`).
 
 The consistent-hash ring (many points per shard, like the routing rings
 in Dask ``distributed``-style schedulers) keeps the fingerprint → shard
-map stable and balanced; remapping when the shard count changes moves
-only ~1/N of the keyspace.
+map stable and balanced; ejecting a shard remaps *only its own keys*
+(each walks clockwise to the next live owner), which is what makes
+failover cheap and rejoin cheap again.
 """
 
 from __future__ import annotations
@@ -59,19 +73,41 @@ import bisect
 import hashlib
 import multiprocessing
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..platform.graph import Platform
-from ..platform.serialization import platform_from_dict, platform_to_dict
-from .broker import Broker, BrokerError, BrokerResult, SolveEngine, SolveRequest
+from ..platform.serialization import platform_to_dict
+from .broker import Broker, BrokerError, BrokerResult, SolveRequest
 from .cache import SolutionCache
-from .incremental import IncrementalSolver
 from .metrics import MetricsRegistry, merge_snapshots
+from .transport import (
+    TransportError,
+    TransportTimeout,
+    connect,
+    spawn_pipe_shard,
+)
+from .wire import result_from_wire
 
 
 class ShardError(RuntimeError):
-    """A shard worker process failed or died mid-request."""
+    """A shard failed; ``shard`` carries the shard id when known."""
+
+    def __init__(self, message: str, shard: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardUnavailableError(ShardError):
+    """Transport-level shard failure: the worker died, the host is
+    unreachable, or the channel broke mid-request.  The sharding layer
+    reacts (restart / ejection / failover); callers only see this when
+    every candidate shard is gone."""
+
+
+class ShardTimeoutError(ShardUnavailableError):
+    """The shard sent no reply within the per-request timeout."""
 
 
 #: dynamically minted ShardError subclasses named after the worker-side
@@ -86,7 +122,8 @@ def _remote_error(type_name: str, message: str) -> ShardError:
     cls = _REMOTE_ERROR_TYPES.get(type_name)
     if cls is None:
         cls = type(type_name, (ShardError,), {
-            "__doc__": f"worker-side {type_name}, relayed over the pipe",
+            "__doc__": f"worker-side {type_name}, relayed over the shard "
+                       f"transport",
         })
         _REMOTE_ERROR_TYPES[type_name] = cls
     return cls(message)
@@ -118,6 +155,12 @@ class HashRing:
     routing is a binary search, and the map depends only on (shard count,
     replicas) — every :class:`ShardedBroker` with the same configuration
     routes identically, across processes and across restarts.
+
+    :meth:`route` accepts a ``skip`` set of ejected shard ids: a skipped
+    owner's keys walk clockwise to the next live owner, and keys owned
+    by live shards are untouched — the **minimal-disruption invariant**
+    failover relies on (dropping one shard remaps only that shard's
+    keys).
     """
 
     def __init__(self, shards: int, replicas: int = 64) -> None:
@@ -135,86 +178,32 @@ class HashRing:
         self._keys = [p for p, _ in points]
         self._owners = [s for _, s in points]
 
-    def route(self, fingerprint: str) -> int:
-        """Shard id owning this fingerprint (a hex SHA-256 digest)."""
+    def route(self, fingerprint: str, skip: Iterable[int] = ()) -> int:
+        """Shard id owning this fingerprint (a hex SHA-256 digest).
+
+        ``skip`` excludes ejected shards; raises :class:`ValueError`
+        when every shard is excluded.
+        """
         point = int(fingerprint[:16], 16)
         idx = bisect.bisect_right(self._keys, point)
-        if idx == len(self._keys):  # wrap around the ring
-            idx = 0
-        return self._owners[idx]
+        skip = frozenset(skip)
+        if not skip:
+            return self._owners[idx % len(self._owners)]
+        for step in range(len(self._owners)):
+            owner = self._owners[(idx + step) % len(self._owners)]
+            if owner not in skip:
+                return owner
+        raise ValueError("every shard is excluded from routing")
 
 
 # ----------------------------------------------------------------------
-# process-shard worker
+# shard handles: one transport + one dispatch queue per shard
 # ----------------------------------------------------------------------
-def _shard_worker_main(
-    conn, cache_size: int, ttl: Optional[float], incremental: bool
-) -> None:
-    """Long-lived shard worker: one engine, one pipe, wire-codec requests.
+class _TransportShard:
+    """Parent-side handle: a transport, a call lock and a single-thread
+    dispatch queue.
 
-    The engine (cache + metrics + warm models) lives for the worker's
-    whole life — that persistence is the point: re-spawning per request
-    would throw the hot state away.  One message in, one reply out;
-    failures are reported as ``{"ok": False, ...}`` replies, never by
-    killing the worker.
-    """
-    from .api import request_from_dict  # deferred: avoid import cycle
-
-    engine = SolveEngine(
-        cache=SolutionCache(max_size=cache_size, ttl=ttl),
-        incremental=IncrementalSolver() if incremental else None,
-    )
-    while True:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):  # parent went away
-            return
-        op = msg.get("op")
-        try:
-            if op == "stop":
-                conn.send({"ok": True})
-                return
-            if op == "solve":
-                request = request_from_dict(msg["request"])
-                result = engine.run(request, msg["fp"])
-                conn.send({"ok": True, "result": result})
-            elif op == "solve_many":
-                # one round-trip for a whole shard batch; per-item error
-                # isolation mirrors the JSON API's batch op (one failing
-                # request must not discard its siblings' results)
-                replies = []
-                for item in msg["items"]:
-                    try:
-                        request = request_from_dict(item["request"])
-                        replies.append({
-                            "ok": True,
-                            "result": engine.run(request, item["fp"]),
-                        })
-                    except Exception as exc:  # noqa: BLE001 — reply carries it
-                        replies.append({"ok": False, "error": str(exc),
-                                        "type": type(exc).__name__})
-                conn.send({"ok": True, "results": replies})
-            elif op == "invalidate":
-                platform = platform_from_dict(msg["platform"])
-                removed = engine.invalidate_platform(platform)
-                conn.send({"ok": True, "removed": removed})
-            elif op == "snapshot":
-                conn.send({"ok": True, "snapshot": engine.snapshot()})
-            elif op == "clear":
-                conn.send({"ok": True, "cleared": engine.cache.clear()})
-            else:
-                conn.send({"ok": False, "error": f"unknown shard op {op!r}",
-                           "type": "SpecError"})
-        except Exception as exc:  # noqa: BLE001 — reply carries it
-            conn.send({"ok": False, "error": str(exc),
-                       "type": type(exc).__name__})
-
-
-class _ProcessShard:
-    """Parent-side handle: a worker process, its pipe, a call lock and a
-    single-thread dispatch queue.
-
-    The lock serialises pipe use (one request in flight per shard —
+    The lock serialises transport use (one request in flight per shard —
     cross-shard parallelism is the scaling axis, and it also gives each
     shard a strict solve → invalidate ordering, which keeps fan-out
     invalidation race-free from the parent's point of view).  The
@@ -222,52 +211,121 @@ class _ProcessShard:
     burst of requests hashing to one busy shard queues on *that shard's*
     thread and can never starve dispatch to idle shards or the
     introspection fan-outs, which a shared pool would allow.
+
+    ``epoch`` increments on every worker swap (local restart); a caller
+    that saw a failure on epoch *e* only triggers recovery if the shard
+    is still on epoch *e*, so concurrent failures cause one restart, not
+    a stampede.
     """
 
-    def __init__(self, index: int, ctx, cache_size: int,
-                 ttl: Optional[float], incremental: bool) -> None:
-        self.conn, child = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(
-            target=_shard_worker_main,
-            args=(child, cache_size, ttl, incremental),
-            daemon=True,
-        )
-        self.process.start()
-        child.close()
+    restartable = False
+
+    def __init__(self, index: int, transport) -> None:
+        self.index = index
+        self.transport = transport
         self.lock = threading.Lock()
-        self.calls = 0  # IPC round-trips (one send+recv pair per call)
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"repro-shard-{index}"
         )
+        self.calls = 0  # transport round-trips (one request+reply pair)
+        self.failures = 0
+        self.timeouts = 0
+        self.restarts = 0
+        self.epoch = 0
+        self.ejected = False  # remote: off the ring until health rejoin
+        self.dead = False  # local: respawn itself failed (permanent)
 
-    def call(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+    @property
+    def active(self) -> bool:
+        return not (self.ejected or self.dead)
+
+    def call(self, msg: Dict[str, Any],
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        """One locked round-trip; worker-side errors become exceptions."""
         with self.lock:
             self.calls += 1
-            try:
-                self.conn.send(msg)
-                reply = self.conn.recv()
-            except (EOFError, OSError, BrokenPipeError) as exc:
-                raise ShardError(
-                    f"shard worker pid={self.process.pid} died "
-                    f"(exitcode={self.process.exitcode}): {exc}"
-                ) from exc
+            reply = self.transport.request(msg, timeout=timeout)
         if not reply.get("ok"):
             raise _raise_worker_error(reply)
         return reply
 
+    def restart(self, expected_epoch: int) -> bool:
+        """Swap in a fresh worker; returns whether the shard is usable.
+        Base shards (remote) cannot restart."""
+        raise NotImplementedError
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "shard": self.index,
+            "kind": self.transport.kind,
+            "address": self.transport.address,
+            "active": self.active,
+            "ejected": self.ejected,
+            "dead": self.dead,
+            "calls": self.calls,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "restarts": self.restarts,
+        }
+
     def stop(self, timeout: float = 5.0) -> None:
         self.executor.shutdown(wait=True)  # drain queued dispatches first
-        try:
-            with self.lock:
-                self.conn.send({"op": "stop"})
-                self.conn.recv()
-        except (EOFError, OSError, BrokenPipeError):
-            pass
-        self.process.join(timeout=timeout)
-        if self.process.is_alive():
-            self.process.terminate()
-            self.process.join(timeout=timeout)
-        self.conn.close()
+        self.transport.close()
+
+
+class _LocalShard(_TransportShard):
+    """A pipe shard: worker process spawned (and respawned) by us."""
+
+    restartable = True
+
+    def __init__(self, index: int, ctx, cache_size: int,
+                 ttl: Optional[float], incremental: bool) -> None:
+        self._ctx = ctx
+        self._cache_size = cache_size
+        self._ttl = ttl
+        self._incremental = incremental
+        super().__init__(
+            index, spawn_pipe_shard(ctx, cache_size, ttl, incremental)
+        )
+
+    @property
+    def process(self):
+        return self.transport.process
+
+    def restart(self, expected_epoch: int) -> bool:
+        with self.lock:
+            if self.epoch != expected_epoch:
+                return not self.dead  # another thread already recovered
+            old = self.transport
+            try:
+                # the worker is dead or wedged: skip the stop handshake's
+                # grace and terminate straight away
+                old.close(stop_timeout=0.2)
+            except Exception:  # noqa: BLE001 — already beyond saving
+                pass
+            try:
+                self.transport = spawn_pipe_shard(
+                    self._ctx, self._cache_size, self._ttl,
+                    self._incremental,
+                )
+            except Exception:  # noqa: BLE001 — respawn failed: shard dead
+                self.dead = True
+                return False
+            self.epoch += 1
+            self.restarts += 1
+            return True
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self.executor.shutdown(wait=True)
+        self.transport.close(stop_timeout=timeout)
+
+
+class _RemoteShard(_TransportShard):
+    """A TCP shard on another host; we supervise membership, not life."""
+
+    def __init__(self, index: int, address: str,
+                 connect_timeout: float = 5.0) -> None:
+        super().__init__(index, connect(address, connect_timeout))
 
 
 # ----------------------------------------------------------------------
@@ -301,8 +359,14 @@ class _AggregateCacheView:
 
     def snapshot(self) -> Dict[str, Any]:
         return _merge_cache_snapshots(
-            [s["cache"] for s in self._owner.shard_snapshots()]
+            [s["cache"] for s in self._owner.shard_snapshots()
+             if s is not None]
         )
+
+
+#: health-probe request budget: pings and rejoin clears are cheap ops,
+#: so a shard that cannot answer within this is treated as down
+_PING_TIMEOUT = 2.0
 
 
 # ----------------------------------------------------------------------
@@ -316,48 +380,97 @@ class ShardedBroker:
     Parameters
     ----------
     shards:
-        Number of independent shards (>= 1; 1 is the unsharded baseline
-        with the same code path, useful for benchmarking).
+        Number of **local** shards (>= 1 without remote addresses; may
+        be 0 when ``shard_addresses`` supplies the whole ring).
     shard_mode:
         ``"thread"`` — in-process :class:`Broker` per shard (coalescing
-        kept, zero serialization, shared GIL); ``"process"`` — long-lived
-        worker process per shard, wire-codec dispatch (see module docs).
+        kept, zero serialization, shared GIL); ``"process"`` — one
+        long-lived pipe worker per local shard, wire-codec dispatch.
+        Defaults to ``"thread"``, or ``"process"`` when remote
+        addresses are given (remote shards require the transport path,
+        so local shards beside them run as pipe workers).
     workers:
         Thread-pool width *per shard* (thread mode only).
     cache_size / ttl:
-        Per-shard :class:`SolutionCache` budget; the aggregate capacity
-        is ``shards * cache_size``.
+        Per-shard :class:`SolutionCache` budget for local shards; the
+        aggregate capacity is ``shards * cache_size`` plus whatever the
+        remote servers were started with.
     incremental:
-        Enable the per-shard warm re-solve path.
+        Enable the per-shard warm re-solve path (local shards; remote
+        servers decide for themselves at ``shard-serve`` time).
     replicas:
         Virtual ring points per shard (routing smoothness).
     mp_start_method:
-        Override the multiprocessing start method for process shards
+        Override the multiprocessing start method for local pipe shards
         (``"fork"``/``"spawn"``/``"forkserver"``; default: platform
         default).
+    shard_addresses:
+        Remote shard servers (``"host:port"`` or ``"tcp://host:port"``)
+        appended to the ring after the local shards.
+    request_timeout:
+        Per-request transport timeout in seconds (``None`` — the
+        default — waits indefinitely, like the unsharded broker).  On
+        expiry the shard's channel is abandoned, the shard is
+        restarted (local) or ejected (remote) and the request fails
+        over; pick a budget above the worst-case cold solve.
+    health_interval:
+        Seconds between background health probes.  ``None`` picks the
+        default: 5 s when remote shards are present (they cannot rejoin
+        without a prober), disabled otherwise; ``0`` disables
+        explicitly.  Local-shard restart and remote ejection also
+        happen reactively on request failures, prober or not.
     """
 
     def __init__(
         self,
         shards: int = 2,
-        shard_mode: str = "thread",
+        shard_mode: Optional[str] = None,
         workers: int = 2,
         cache_size: int = 256,
         ttl: Optional[float] = None,
         incremental: bool = True,
         replicas: int = 64,
         mp_start_method: Optional[str] = None,
+        shard_addresses: Optional[List[str]] = None,
+        request_timeout: Optional[float] = None,
+        health_interval: Optional[float] = None,
     ) -> None:
+        addresses = list(shard_addresses or [])
+        if shard_mode is None:
+            shard_mode = "process" if addresses else "thread"
         if shard_mode not in ("thread", "process"):
             raise ValueError("shard_mode must be 'thread' or 'process'")
+        if addresses and shard_mode == "thread":
+            raise ValueError(
+                "remote shard addresses require shard_mode='process' "
+                "(local shards run as pipe workers beside them)"
+            )
+        if shard_mode == "thread" and request_timeout:
+            # fail loudly: thread shards solve in-process with no channel
+            # to time out, so the flag would silently buy no protection
+            raise ValueError(
+                "request_timeout applies to transport shards only; "
+                "thread-mode shards solve in-process and cannot be "
+                "timed out"
+            )
+        local_count = int(shards)
+        if local_count < 0:
+            raise ValueError("shards must be >= 0")
         self.shard_mode = shard_mode
         self.workers = max(1, int(workers))
-        self.ring = HashRing(int(shards), replicas=replicas)
-        self.metrics = MetricsRegistry()  # front-door ops (ping/metrics/...)
+        self.ring = HashRing(local_count + len(addresses),
+                             replicas=replicas)
+        self.metrics = MetricsRegistry()  # front-door ops + transport RTT
         self.cache = _AggregateCacheView(self)
+        self.request_timeout = (request_timeout
+                                if request_timeout and request_timeout > 0
+                                else None)
+        self.failovers = 0  # requests that abandoned a shard mid-flight
+        self.rejoins = 0  # ejected remote shards re-admitted to the ring
+        self._health_lock = threading.Lock()
         self._closed = False
         self._thread_shards: List[Broker] = []
-        self._process_shards: List[_ProcessShard] = []
+        self._transport_shards: List[_TransportShard] = []
         if shard_mode == "thread":
             self._thread_shards = [
                 Broker(
@@ -371,10 +484,26 @@ class ShardedBroker:
         else:
             ctx = (multiprocessing.get_context(mp_start_method)
                    if mp_start_method else multiprocessing.get_context())
-            self._process_shards = [
-                _ProcessShard(index, ctx, cache_size, ttl, incremental)
-                for index in range(self.ring.shards)
+            self._transport_shards = [
+                _LocalShard(index, ctx, cache_size, ttl, incremental)
+                for index in range(local_count)
+            ] + [
+                _RemoteShard(local_count + offset, address)
+                for offset, address in enumerate(addresses)
             ]
+        if health_interval is None:
+            health_interval = 5.0 if addresses else 0.0
+        self.health_interval = (health_interval
+                                if health_interval > 0 else None)
+        self._stop_event = threading.Event()
+        self._health_thread: Optional[threading.Thread] = None
+        if self._transport_shards and self.health_interval:
+            self._health_thread = threading.Thread(
+                target=self._health_loop,
+                name="repro-shard-health",
+                daemon=True,
+            )
+            self._health_thread.start()
 
     # ------------------------------------------------------------------
     @property
@@ -382,14 +511,15 @@ class ShardedBroker:
         return self.ring.shards
 
     def shard_for(self, fingerprint: str) -> int:
-        """The shard id a fingerprint routes to (stable, deterministic)."""
+        """The shard id a fingerprint routes to (stable, deterministic;
+        ignores ejections — the *home* shard, not today's stand-in)."""
         return self.ring.route(fingerprint)
 
     @property
     def ipc_round_trips(self) -> int:
-        """Total pipe round-trips across all process shards (0 in thread
-        mode) — what ``solve_many`` batching is measured by."""
-        return sum(shard.calls for shard in self._process_shards)
+        """Total transport round-trips across all pipe/TCP shards (0 in
+        thread mode) — what ``solve_many`` batching is measured by."""
+        return sum(shard.calls for shard in self._transport_shards)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -398,9 +528,12 @@ class ShardedBroker:
         if self._closed:
             return
         self._closed = True
+        self._stop_event.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=10.0)
         for broker in self._thread_shards:
             broker.close()
-        for shard in self._process_shards:
+        for shard in self._transport_shards:
             shard.stop()
 
     def __enter__(self) -> "ShardedBroker":
@@ -410,64 +543,186 @@ class ShardedBroker:
         self.close()
 
     # ------------------------------------------------------------------
+    # transport dispatch: metered calls, recovery, ring failover
+    # ------------------------------------------------------------------
+    def _shard_call(self, shard: _TransportShard,
+                    msg: Dict[str, Any]) -> Dict[str, Any]:
+        """One metered call; transport failures trigger recovery and
+        re-raise as typed :class:`ShardUnavailableError`\\ s."""
+        endpoint = f"transport.{shard.transport.kind}"
+        epoch = shard.epoch
+        timeout = self.request_timeout
+        if timeout is not None and msg.get("op") == "solve_many":
+            # request_timeout is a PER-REQUEST budget; a solve_many
+            # round-trip carries a whole sub-batch, so the wait scales
+            # with it — otherwise any batch longer than one budget would
+            # deterministically "time out" a healthy shard and wipe its
+            # warm state
+            timeout *= max(1, len(msg.get("items", ())))
+        start = time.perf_counter()
+        try:
+            reply = shard.call(msg, timeout=timeout)
+        except TransportTimeout as exc:
+            self.metrics.observe(endpoint, time.perf_counter() - start,
+                                 error=True)
+            self._note_transport_failure(shard, epoch, timeout=True)
+            raise ShardTimeoutError(
+                f"shard {shard.index} ({shard.transport.address}): {exc}",
+                shard=shard.index,
+            ) from exc
+        except TransportError as exc:
+            self.metrics.observe(endpoint, time.perf_counter() - start,
+                                 error=True)
+            self._note_transport_failure(shard, epoch)
+            raise ShardUnavailableError(
+                f"shard {shard.index} ({shard.transport.address}): {exc}",
+                shard=shard.index,
+            ) from exc
+        self.metrics.observe(endpoint, time.perf_counter() - start)
+        return reply
+
+    def _note_transport_failure(self, shard: _TransportShard, epoch: int,
+                                timeout: bool = False) -> None:
+        """Count one failure and recover the shard: local shards get one
+        automatic restart, remote shards are ejected until the health
+        probe sees them answer again."""
+        with self._health_lock:
+            shard.failures += 1
+            if timeout:
+                shard.timeouts += 1
+        if shard.restartable:
+            shard.restart(epoch)  # marks the shard dead if respawn fails
+        else:
+            shard.ejected = True
+
+    def _inactive_ids(self) -> set:
+        return {s.index for s in self._transport_shards if not s.active}
+
+    def _routed_call(self, fp: str, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Route to the fingerprint's shard with automatic failover.
+
+        A transport failure retries once on the same shard when it was
+        just restarted (local), then walks the ring to the next live
+        shard.  Worker-*reported* errors (the shard is alive and said
+        no) propagate immediately — failing over a deterministic solver
+        error would just fail N times.
+        """
+        tried: set = set()
+        first_error: Optional[ShardUnavailableError] = None
+        while True:
+            try:
+                shard_id = self.ring.route(fp,
+                                           skip=tried | self._inactive_ids())
+            except ValueError:
+                raise first_error or ShardError(
+                    "no shards available (all ejected or dead)"
+                )
+            shard = self._transport_shards[shard_id]
+            retried_fresh_worker = False
+            while True:
+                try:
+                    return self._shard_call(shard, msg)
+                except ShardUnavailableError as exc:
+                    if first_error is None:
+                        first_error = exc
+                    if (shard.restartable and shard.active
+                            and not retried_fresh_worker):
+                        # the failure handler just swapped in a fresh
+                        # worker — the request gets one try on it
+                        retried_fresh_worker = True
+                        continue
+                    break
+            tried.add(shard_id)
+            with self._health_lock:
+                self.failovers += 1
+
+    # ------------------------------------------------------------------
     # the solve paths
     # ------------------------------------------------------------------
     def solve(self, request: SolveRequest) -> BrokerResult:
         """Route one request to its shard and solve synchronously."""
         fp = request.fingerprint()
-        shard = self.shard_for(fp)
         if self._thread_shards:
-            return self._thread_shards[shard].solve(request)
-        return self._process_solve(shard, request, fp)
+            return self._thread_shards[self.ring.route(fp)].solve(request)
+        return self._transport_solve(request, fp)
 
     def submit(self, request: SolveRequest) -> "Future[BrokerResult]":
         """Asynchronous solve on the owning shard.
 
         Thread mode keeps the shard broker's in-flight coalescing:
         identical concurrent requests always route to the same shard, so
-        they still share one LP.  Process mode serialises per shard (the
-        pipe), so a duplicate behind an in-flight twin resolves as a
-        cache hit instead.
+        they still share one LP.  Transport mode serialises per shard
+        (the channel), so a duplicate behind an in-flight twin resolves
+        as a cache hit instead.
         """
         fp = request.fingerprint()
-        shard = self.shard_for(fp)
         if self._thread_shards:
-            return self._thread_shards[shard].submit(request)
-        return self._process_shards[shard].executor.submit(
-            self._process_solve, shard, request, fp
-        )
+            return self._thread_shards[self.ring.route(fp)].submit(request)
+        shard = self._transport_shards[self._queue_shard_id(fp)]
+        return shard.executor.submit(self._transport_solve, request, fp)
+
+    def _queue_shard_id(self, fp: str) -> int:
+        """The dispatch queue for an async solve: the fingerprint's live
+        owner, or its home shard when nothing is live (the routed call
+        will then raise the no-shards error inside the future)."""
+        try:
+            return self.ring.route(fp, skip=self._inactive_ids())
+        except ValueError:
+            return self.ring.route(fp)
+
+    def _transport_solve(self, request: SolveRequest,
+                         fp: str) -> BrokerResult:
+        from .api import _request_wire  # deferred: avoid import cycle
+
+        # the memoized read-only encoding: re-sends never re-encode the
+        # platform, whichever shard (or failover stand-in) receives it
+        reply = self._routed_call(fp, {
+            "op": "solve",
+            "fp": fp,
+            "request": _request_wire(request),
+        })
+        return result_from_wire(reply["result"])
 
     def solve_batch(self, requests: List[SolveRequest]) -> List[BrokerResult]:
         """Fan a mixed batch out across shards; order preserved.
 
-        Process shards receive ONE ``solve_many`` pipe message per shard
-        (the whole sub-batch crosses in a single round-trip instead of one
-        per request — the ~0.4 ms IPC cost that dominates hit-heavy
-        workloads); thread shards keep the in-process submit path.  As
-        with :meth:`~repro.service.broker.Broker.solve_batch`, a failing
-        request propagates its exception (earliest by batch position);
-        callers needing per-request error isolation submit individually.
+        Transport shards receive ONE ``solve_many`` message per shard
+        (the whole sub-batch crosses in a single round-trip instead of
+        one per request — the IPC/network cost that dominates hit-heavy
+        workloads); thread shards keep the in-process submit path.  A
+        sub-batch whose shard dies mid-call fails over: its requests are
+        re-dispatched individually through the ring, so a killed shard
+        loses no requests.  As with
+        :meth:`~repro.service.broker.Broker.solve_batch`, a failing
+        *request* propagates its exception; callers needing per-request
+        error isolation submit individually.
         """
         with self.metrics.timer("solve.batch"):
             if self._thread_shards:
                 futures = [self.submit(request) for request in requests]
                 return [fut.result() for fut in futures]
-            return self._process_solve_batch(requests)
+            return self._transport_solve_batch(requests)
 
-    def _process_solve_batch(
+    def _transport_solve_batch(
         self, requests: List[SolveRequest]
     ) -> List[BrokerResult]:
         from .api import _request_wire  # deferred: avoid import cycle
 
         fps = [request.fingerprint() for request in requests]
-        by_shard: Dict[int, List[int]] = {}
+        inactive = self._inactive_ids()
+        by_shard: Dict[Optional[int], List[int]] = {}
         for index, fp in enumerate(fps):
-            by_shard.setdefault(self.shard_for(fp), []).append(index)
+            try:
+                owner = self.ring.route(fp, skip=inactive)
+            except ValueError:
+                owner = None  # nothing live: the retry path will raise
+            by_shard.setdefault(owner, []).append(index)
         # one solve_many per shard, dispatched through the shard's own
         # queue (ordered with its other work), all shards in parallel
         futures = {
-            shard: self._process_shards[shard].executor.submit(
-                self._process_shards[shard].call,
+            shard_id: self._transport_shards[shard_id].executor.submit(
+                self._shard_call,
+                self._transport_shards[shard_id],
                 {
                     "op": "solve_many",
                     "items": [
@@ -476,34 +731,37 @@ class ShardedBroker:
                     ],
                 },
             )
-            for shard, indices in by_shard.items()
+            for shard_id, indices in by_shard.items()
+            if shard_id is not None
         }
-        outcomes: List[Optional[Dict[str, Any]]] = [None] * len(requests)
-        for shard, indices in by_shard.items():
-            reply = futures[shard].result()  # ShardError if the worker died
+        outcomes: List[Any] = [None] * len(requests)
+        retry: List[int] = list(by_shard.get(None, ()))
+        for shard_id, indices in by_shard.items():
+            if shard_id is None:
+                continue
+            try:
+                reply = futures[shard_id].result()
+            except ShardUnavailableError:
+                # the shard died holding this whole sub-batch: fail its
+                # members over individually (recovery already ran)
+                retry.extend(indices)
+                with self._health_lock:
+                    self.failovers += 1
+                continue
             for i, item in zip(indices, reply["results"]):
                 outcomes[i] = item
+        for i in sorted(retry):
+            outcomes[i] = self._transport_solve(requests[i], fps[i])
         results: List[BrokerResult] = []
         for item in outcomes:
             assert item is not None
-            if not item.get("ok"):
+            if isinstance(item, BrokerResult):  # failover re-dispatch
+                results.append(item)
+            elif not item.get("ok"):
                 raise _raise_worker_error(item)
-            results.append(item["result"])
+            else:
+                results.append(result_from_wire(item["result"]))
         return results
-
-    def _process_solve(
-        self, shard: int, request: SolveRequest, fp: str
-    ) -> BrokerResult:
-        from .api import _request_wire  # deferred: avoid import cycle
-
-        # the memoized read-only encoding: the pipe pickles it immediately,
-        # so no copy is needed and re-sends never re-encode the platform
-        reply = self._process_shards[shard].call({
-            "op": "solve",
-            "fp": fp,
-            "request": _request_wire(request),
-        })
-        return reply["result"]
 
     # ------------------------------------------------------------------
     # invalidation + introspection
@@ -514,8 +772,11 @@ class ShardedBroker:
         A platform's requests spread across shards (each problem/option
         combination fingerprints differently), so invalidation must fan
         out.  Each shard's generation counter makes the fan-out sound
-        under racing in-flight solves: a solve that started before the
-        invalidation reached its shard cannot re-insert a stale entry.
+        under racing in-flight solves, and an **unreachable shard never
+        fails the caller**: it is ejected (remote) or restarted with an
+        empty cache (local) and counted in ``shard_health`` — either
+        way its stale entries are gone before it serves again (a remote
+        shard's cache is cleared on rejoin).
         """
         if self._thread_shards:
             return sum(broker.invalidate_platform(platform)
@@ -523,86 +784,132 @@ class ShardedBroker:
         encoded = platform_to_dict(platform)
         return sum(
             reply["removed"]
-            for reply in self._fanout({"op": "invalidate",
-                                       "platform": encoded})
+            for _shard, reply in self._fanout({"op": "invalidate",
+                                               "platform": encoded})
+            if reply is not None
         )
 
     def clear(self) -> int:
         """Drop every cached entry on every shard; returns entries removed.
 
         (The per-shard generation counters advance, so in-flight solves
-        cannot re-populate the caches with pre-clear solutions.)
+        cannot re-populate the caches with pre-clear solutions.  Like
+        :meth:`invalidate_platform`, an unreachable shard is recovered
+        and counted, never raised.)
         """
         if self._thread_shards:
             return sum(broker.cache.clear()
                        for broker in self._thread_shards)
         return sum(reply["cleared"]
-                   for reply in self._fanout({"op": "clear"}))
+                   for _shard, reply in self._fanout({"op": "clear"})
+                   if reply is not None)
 
-    def _fanout(self, msg: Dict[str, Any]) -> List[Dict[str, Any]]:
-        """Send one op to every process shard *concurrently*, ahead of
-        each shard's queued solves.
+    def _fanout(self, msg: Dict[str, Any]):
+        """Send one op to every *live* transport shard concurrently,
+        ahead of each shard's queued solves.
 
-        Transient threads contend on the pipe locks directly rather than
-        joining the per-shard dispatch queues, so a metrics scrape or an
-        invalidation waits for (roughly) one in-flight call per shard —
-        not for a deep solve backlog to drain — and the shards are
-        visited in parallel, so the total wait is the slowest shard's,
-        not the sum.  Replies come back in shard-id order.
+        Transient threads contend on the shard locks directly rather
+        than joining the per-shard dispatch queues, so a metrics scrape
+        or an invalidation waits for (roughly) one in-flight call per
+        shard — not for a deep solve backlog to drain — and the shards
+        are visited in parallel, so the total wait is the slowest
+        shard's, not the sum.  Returns ``(shard, reply-or-None)`` pairs
+        in shard-id order; ``None`` marks a shard that failed at the
+        transport level mid-fan-out (recovery already ran — it was
+        restarted or ejected).  Worker-*reported* errors still raise:
+        the shard is alive, the request itself is at fault.
         """
+        shards = [s for s in self._transport_shards if s.active]
+        if not shards:
+            return []
         with ThreadPoolExecutor(
-            max_workers=len(self._process_shards),
+            max_workers=len(shards),
             thread_name_prefix="repro-shard-fanout",
         ) as pool:
-            futures = [pool.submit(shard.call, dict(msg))
-                       for shard in self._process_shards]
-            return [fut.result() for fut in futures]
+            futures = [(shard, pool.submit(self._shard_call, shard,
+                                           dict(msg)))
+                       for shard in shards]
+            out = []
+            for shard, fut in futures:
+                try:
+                    out.append((shard, fut.result()))
+                except ShardUnavailableError:
+                    out.append((shard, None))
+            return out
 
-    def shard_snapshots(self) -> List[Dict[str, Any]]:
+    def shard_snapshots(self) -> List[Optional[Dict[str, Any]]]:
         """Per-shard engine snapshots (``cache`` / ``metrics`` /
-        ``incremental``), in shard-id order (process shards queried
-        concurrently — see :meth:`_fanout`)."""
+        ``incremental``), in shard-id order; ``None`` for shards that
+        are ejected, dead, or failed mid-scrape (transport shards are
+        queried concurrently — see :meth:`_fanout`)."""
         if self._thread_shards:
             return [broker.engine.snapshot()
                     for broker in self._thread_shards]
-        return [reply["snapshot"]
-                for reply in self._fanout({"op": "snapshot"})]
+        snaps: List[Optional[Dict[str, Any]]] = (
+            [None] * len(self._transport_shards)
+        )
+        for shard, reply in self._fanout({"op": "snapshot"}):
+            if reply is not None:
+                snaps[shard.index] = reply["snapshot"]
+        return snaps
+
+    def shard_health(self) -> Dict[str, Any]:
+        """Supervision counters + per-shard liveness (JSON-safe)."""
+        with self._health_lock:
+            out: Dict[str, Any] = {
+                "shard_failures": sum(s.failures
+                                      for s in self._transport_shards),
+                "shard_timeouts": sum(s.timeouts
+                                      for s in self._transport_shards),
+                "shard_restarts": sum(s.restarts
+                                      for s in self._transport_shards),
+                "failovers": self.failovers,
+                "rejoins": self.rejoins,
+            }
+        out["shards"] = [s.health() for s in self._transport_shards]
+        return out
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe aggregate state: merged cache counters, merged
         metrics (see :func:`~repro.service.metrics.merge_snapshots` for
-        the aggregation semantics) and a compact per-shard breakdown."""
+        the aggregation semantics), supervision counters and a compact
+        per-shard breakdown (unreachable shards flagged, not omitted)."""
         shard_snaps = self.shard_snapshots()
+        present = [s for s in shard_snaps if s is not None]
         coalesced = sum(b.coalesced for b in self._thread_shards)
         merged_metrics = merge_snapshots(
-            [self.metrics.snapshot()] + [s["metrics"] for s in shard_snaps]
+            [self.metrics.snapshot()] + [s["metrics"] for s in present]
         )
+        per_shard = []
+        for idx, s in enumerate(shard_snaps):
+            if s is None:
+                shard = self._transport_shards[idx]
+                per_shard.append({"shard": idx, "unreachable": True,
+                                  **shard.health()})
+                continue
+            per_shard.append({
+                "shard": idx,
+                "requests": s["metrics"]["total_requests"],
+                "cache_size": s["cache"]["size"],
+                "hits": s["cache"]["hits"],
+                "misses": s["cache"]["misses"],
+                # the full warm-path breakdown of this shard (hot
+                # models, evictions, basis restarts, pivots, ...)
+                **({"incremental": s["incremental"]}
+                   if "incremental" in s else {}),
+            })
         out: Dict[str, Any] = {
             "executor": f"sharded-{self.shard_mode}",
             "shards": self.shards,
             "shard_mode": self.shard_mode,
             "workers": self.workers,
             "coalesced": coalesced,
-            "cache": _merge_cache_snapshots(
-                [s["cache"] for s in shard_snaps]
-            ),
+            "cache": _merge_cache_snapshots([s["cache"] for s in present]),
             "metrics": merged_metrics,
-            "per_shard": [
-                {
-                    "shard": idx,
-                    "requests": s["metrics"]["total_requests"],
-                    "cache_size": s["cache"]["size"],
-                    "hits": s["cache"]["hits"],
-                    "misses": s["cache"]["misses"],
-                    # the full warm-path breakdown of this shard (hot
-                    # models, evictions, basis restarts, pivots, ...)
-                    **({"incremental": s["incremental"]}
-                       if "incremental" in s else {}),
-                }
-                for idx, s in enumerate(shard_snaps)
-            ],
+            "shard_health": self.shard_health(),
+            "per_shard": per_shard,
         }
-        incremental = [s["incremental"] for s in shard_snaps
+        incremental = [s["incremental"] for s in present
                        if "incremental" in s]
         if incremental:
             # sum over the union of counters so new WarmSolveStats fields
@@ -614,3 +921,48 @@ class ShardedBroker:
                 for key in keys
             }
         return out
+
+    # ------------------------------------------------------------------
+    # background health: probe, restart, eject, rejoin
+    # ------------------------------------------------------------------
+    def _health_loop(self) -> None:
+        while not self._stop_event.wait(self.health_interval):
+            for shard in self._transport_shards:
+                if self._closed:
+                    return
+                try:
+                    self._health_check(shard)
+                except Exception:  # noqa: BLE001 — the prober must live
+                    pass
+
+    def _health_check(self, shard: _TransportShard) -> None:
+        if shard.dead:
+            return  # local respawn failed: permanent until close
+        if shard.ejected:
+            # rejoin probe; TcpTransport reconnects lazily, so a ping
+            # answered means the host is back.  Clear before re-admitting:
+            # invalidations fanned out during the outage skipped this
+            # shard, so whatever it still caches may be stale.
+            if not shard.transport.ping(timeout=_PING_TIMEOUT):
+                return
+            try:
+                with shard.lock:
+                    shard.transport.request({"op": "clear"},
+                                            timeout=_PING_TIMEOUT)
+            except TransportError:
+                return  # came back and vanished again; next round retries
+            shard.ejected = False
+            with self._health_lock:
+                self.rejoins += 1
+            return
+        # a busy shard holds its lock mid-request: that is proof of life,
+        # and probing through the same channel would interleave frames
+        if not shard.lock.acquire(blocking=False):
+            return
+        try:
+            epoch = shard.epoch
+            alive = shard.transport.ping(timeout=_PING_TIMEOUT)
+        finally:
+            shard.lock.release()
+        if not alive:
+            self._note_transport_failure(shard, epoch)

@@ -1,0 +1,594 @@
+"""Shard transport layer: one protocol, pluggable backends.
+
+A shard is a :class:`~repro.service.broker.SolveEngine` somewhere else —
+behind a pipe to a local worker process, or behind a TCP socket to
+another host.  This module owns everything "somewhere else" implies, so
+:mod:`repro.service.sharding` can treat every shard identically:
+
+* **the message schema** — JSON-safe request dicts (``op`` +
+  spec-wire-codec payloads, exactly what the PR 3 pipe protocol already
+  spoke) and JSON-safe replies (results via the exact codec of
+  :mod:`repro.service.wire`, so no pickle ever crosses a host
+  boundary);
+* **the shared op handler** — :func:`handle_shard_message` dispatches
+  ``solve`` / ``solve_many`` / ``invalidate`` / ``snapshot`` /
+  ``clear`` / ``ping`` against an engine, identically for the pipe
+  worker and the TCP server (one protocol implementation, two hosts);
+* **the transports** — :class:`PipeTransport` (a local worker process
+  behind a duplex pipe) and :class:`TcpTransport` (length-prefixed JSON
+  frames over a socket), both satisfying the :class:`Transport`
+  interface: ``request`` / ``request_many`` / ``ping`` / ``close``
+  with **per-request timeouts**;
+* **the standalone shard server** — :class:`ShardServer`, a threaded
+  TCP listener hosting one engine, run as ``python -m repro
+  shard-serve --port N`` so a :class:`~repro.service.sharding.
+  ShardedBroker` on another host can place it on its hash ring via
+  ``--shard host:port``.
+
+Failure semantics are uniform: a dead peer raises
+:class:`TransportError`, an expired per-request timeout raises
+:class:`TransportTimeout`, and both leave the transport **closed** —
+after a timeout the connection has an unread reply in flight, so
+reusing it would pair that stale reply with the next request.  The
+sharding layer reacts by restarting local workers or ejecting remote
+shards from the ring; the transport's only job is to fail loudly and
+atomically.  (:class:`TcpTransport` reconnects lazily on the next
+request, which is what lets an ejected remote shard rejoin once its
+host returns.)
+
+The shape follows the ``comm/`` layer of Dask ``distributed`` (see the
+related file set): an abstract message-oriented channel, concrete
+in-process and socket backends, and explicit closed-channel errors —
+minus the async machinery, because shard calls are strictly
+one-in-one-out per connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import struct
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..platform.serialization import platform_from_dict
+from .broker import SolveEngine
+from .cache import SolutionCache
+from .incremental import IncrementalSolver
+from .wire import result_to_wire
+
+
+class TransportError(RuntimeError):
+    """The peer died or the channel broke; the transport is closed."""
+
+
+class TransportTimeout(TransportError):
+    """No reply within the per-request timeout; the transport is closed
+    (an unread reply may still arrive — reuse would desynchronise)."""
+
+
+# ----------------------------------------------------------------------
+# framing: 4-byte big-endian length prefix + UTF-8 JSON
+# ----------------------------------------------------------------------
+#: Upper bound on one frame; a platform corpus entry is a few KB, so
+#: anything near this is a protocol error, not a big request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+#: Bound on the ``sleep`` debug op (see :func:`handle_shard_message`).
+MAX_SLEEP_SECONDS = 30.0
+_HEADER = struct.Struct(">I")
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialise one message onto a socket (length-prefixed JSON)."""
+    blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(blob)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Dict[str, Any]:
+    """Read one length-prefixed JSON message from a socket.
+
+    Raises :class:`TransportError` on a closed/odd peer and lets
+    ``TimeoutError`` (the socket timeout) propagate to the caller, which
+    knows whether a timeout is fatal.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"peer announced a {length}-byte frame (limit "
+            f"{MAX_FRAME_BYTES}); not a shard protocol peer?"
+        )
+    blob = _recv_exact(sock, length)
+    try:
+        message = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise TransportError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise TransportError(
+            f"frame decodes to {type(message).__name__}, expected an "
+            f"object"
+        )
+    return message
+
+
+def parse_shard_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` or ``"tcp://host:port"`` → ``(host, port)``."""
+    text = address.strip()
+    if text.startswith("tcp://"):
+        text = text[len("tcp://"):]
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"shard address {address!r} must look like host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"shard address {address!r} has a non-numeric "
+                         f"port") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"shard address {address!r} port out of range")
+    return host, port
+
+
+# ----------------------------------------------------------------------
+# the transport interface
+# ----------------------------------------------------------------------
+class Transport:
+    """A message channel to one shard engine: strict request → reply.
+
+    Implementations are *not* internally locked — the sharding layer
+    serialises use per shard (one request in flight per shard is the
+    design: cross-shard parallelism is the scaling axis).  All methods
+    may raise :class:`TransportError` / :class:`TransportTimeout`;
+    after either, the transport is closed and :attr:`closed` is true
+    (a :class:`TcpTransport` transparently reconnects on the next
+    request; a :class:`PipeTransport` does not — its worker is gone).
+    """
+
+    #: short label used in metrics endpoint names ("transport.<kind>")
+    kind = "abstract"
+
+    @property
+    def address(self) -> str:
+        """Where this transport leads (logging/metrics only)."""
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+    def request(self, message: Dict[str, Any],
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Send one message, wait for its reply (``timeout`` seconds)."""
+        raise NotImplementedError
+
+    def request_many(self, messages: List[Dict[str, Any]],
+                     timeout: Optional[float] = None,
+                     ) -> List[Dict[str, Any]]:
+        """Pipeline several messages; replies in message order.
+
+        ``timeout`` bounds the wait for *each* reply, not the total.
+        The default implementation loops :meth:`request`; backends
+        override it to ship all messages before the first reply is
+        read (one latency, not N — what batched shard dispatch rides).
+        """
+        return [self.request(message, timeout=timeout)
+                for message in messages]
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        """Health probe; never raises."""
+        try:
+            reply = self.request({"op": "ping"}, timeout=timeout)
+        except TransportError:
+            return False
+        return bool(reply.get("ok"))
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+def connect(address: str, connect_timeout: float = 5.0) -> "TcpTransport":
+    """A :class:`TcpTransport` for ``host:port`` / ``tcp://host:port``."""
+    host, port = parse_shard_address(address)
+    return TcpTransport(host, port, connect_timeout=connect_timeout)
+
+
+# ----------------------------------------------------------------------
+# pipe transport: a local worker process behind a duplex pipe
+# ----------------------------------------------------------------------
+class PipeTransport(Transport):
+    """A long-lived local worker process reached over a duplex pipe.
+
+    The pipe carries the same JSON-safe message dicts as TCP (the
+    pickling a ``multiprocessing`` pipe applies to a plain dict is an
+    implementation detail, not a schema).  Timeouts use
+    ``Connection.poll`` — the fix for the wedged-broker hazard: a hung
+    worker used to hold the parent's blocking ``recv`` (and with it the
+    shard's call lock) forever.
+    """
+
+    kind = "pipe"
+
+    def __init__(self, conn, process) -> None:
+        self._conn = conn
+        self.process = process
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        return f"pipe://pid={self.process.pid}"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _death_notice(self, exc: BaseException) -> TransportError:
+        self._closed = True
+        return TransportError(
+            f"shard worker pid={self.process.pid} died "
+            f"(exitcode={self.process.exitcode}): {exc}"
+        )
+
+    def request(self, message: Dict[str, Any],
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        if self._closed:
+            raise TransportError("pipe transport is closed")
+        try:
+            self._conn.send(message)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise self._death_notice(exc) from exc
+        return self._read_reply(timeout)
+
+    def request_many(self, messages: List[Dict[str, Any]],
+                     timeout: Optional[float] = None,
+                     ) -> List[Dict[str, Any]]:
+        if self._closed:
+            raise TransportError("pipe transport is closed")
+        try:
+            for message in messages:
+                self._conn.send(message)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise self._death_notice(exc) from exc
+        return [self._read_reply(timeout) for _ in messages]
+
+    def _read_reply(self, timeout: Optional[float]) -> Dict[str, Any]:
+        if timeout is not None:
+            try:
+                ready = self._conn.poll(timeout)
+            except (OSError, EOFError) as exc:
+                raise self._death_notice(exc) from exc
+            if not ready:
+                self._closed = True  # a late reply would desynchronise
+                raise TransportTimeout(
+                    f"shard worker pid={self.process.pid} sent no reply "
+                    f"within {timeout}s"
+                )
+        try:
+            reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._death_notice(exc) from exc
+        return reply
+
+    def close(self, stop_timeout: float = 5.0) -> None:
+        """Stop the worker: handshake when healthy, terminate otherwise."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._conn.send({"op": "stop"})
+                if self._conn.poll(stop_timeout):
+                    self._conn.recv()
+            except (EOFError, OSError, ValueError, BrokenPipeError):
+                pass
+        self.process.join(timeout=stop_timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=stop_timeout)
+            if self.process.is_alive():  # pragma: no cover — last resort
+                self.process.kill()
+                self.process.join(timeout=stop_timeout)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def spawn_pipe_shard(ctx, cache_size: int, ttl: Optional[float],
+                     incremental: bool) -> PipeTransport:
+    """Start one local shard worker and return its transport."""
+    parent, child = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=_shard_worker_main,
+        args=(child, cache_size, ttl, incremental),
+        daemon=True,
+    )
+    process.start()
+    child.close()
+    return PipeTransport(parent, process)
+
+
+# ----------------------------------------------------------------------
+# TCP transport: framed JSON to a shard server on any host
+# ----------------------------------------------------------------------
+class TcpTransport(Transport):
+    """Length-prefixed JSON frames to a :class:`ShardServer`.
+
+    Connects lazily and *re*connects after any failure, so an ejected
+    remote shard rejoins the ring the moment its host is back: the
+    health probe's next :meth:`ping` simply dials again.
+    """
+
+    kind = "tcp"
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def _connected(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot connect to shard {self.address}: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def request(self, message: Dict[str, Any],
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        sock = self._connected()
+        sock.settimeout(timeout)
+        try:
+            write_frame(sock, message)
+            return read_frame(sock)
+        except TimeoutError as exc:  # socket.timeout is an alias
+            self._drop()
+            raise TransportTimeout(
+                f"shard {self.address} sent no reply within {timeout}s"
+            ) from exc
+        except (TransportError, OSError) as exc:
+            self._drop()
+            raise TransportError(
+                f"shard {self.address} connection failed: {exc}"
+            ) from exc
+
+    def request_many(self, messages: List[Dict[str, Any]],
+                     timeout: Optional[float] = None,
+                     ) -> List[Dict[str, Any]]:
+        sock = self._connected()
+        sock.settimeout(timeout)
+        try:
+            for message in messages:
+                write_frame(sock, message)
+            return [read_frame(sock) for _ in messages]
+        except TimeoutError as exc:
+            self._drop()
+            raise TransportTimeout(
+                f"shard {self.address} sent no reply within {timeout}s"
+            ) from exc
+        except (TransportError, OSError) as exc:
+            self._drop()
+            raise TransportError(
+                f"shard {self.address} connection failed: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        self._drop()
+
+
+# ----------------------------------------------------------------------
+# the shard op handler — one protocol implementation for every host
+# ----------------------------------------------------------------------
+def handle_shard_message(engine: SolveEngine,
+                         msg: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one shard-protocol message against an engine.
+
+    Always returns a JSON-safe reply dict; failures are reported as
+    ``{"ok": False, "error": ..., "type": ...}`` replies carrying the
+    original exception class, never by raising (a worker must survive
+    any request).  ``stop`` is *not* handled here — its meaning is
+    host-specific (a pipe worker exits, a TCP server only drops the
+    connection), so each host intercepts it before dispatching.
+    """
+    from .api import request_from_dict  # deferred: avoid import cycle
+
+    op = msg.get("op")
+    try:
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "solve":
+            request = request_from_dict(msg["request"])
+            result = engine.run(request, msg["fp"])
+            return {"ok": True, "result": result_to_wire(result)}
+        if op == "solve_many":
+            # one round-trip for a whole shard batch; per-item error
+            # isolation mirrors the JSON API's batch op (one failing
+            # request must not discard its siblings' results)
+            replies = []
+            for item in msg["items"]:
+                try:
+                    request = request_from_dict(item["request"])
+                    result = engine.run(request, item["fp"])
+                    replies.append({"ok": True,
+                                    "result": result_to_wire(result)})
+                except Exception as exc:  # noqa: BLE001 — reply carries it
+                    replies.append({"ok": False, "error": str(exc),
+                                    "type": type(exc).__name__})
+            return {"ok": True, "results": replies}
+        if op == "invalidate":
+            platform = platform_from_dict(msg["platform"])
+            return {"ok": True,
+                    "removed": engine.invalidate_platform(platform)}
+        if op == "snapshot":
+            return {"ok": True, "snapshot": engine.snapshot()}
+        if op == "clear":
+            return {"ok": True, "cleared": engine.cache.clear()}
+        if op == "sleep":
+            # a test/benchmark aid: simulates a hung or overloaded
+            # worker so timeout and failover paths can be exercised
+            # deterministically.  Capped: the shard protocol is
+            # unauthenticated, and on a TCP shard this op holds the
+            # engine lock — an unbounded sleep would let any client
+            # wedge a shared shard indefinitely
+            seconds = min(float(msg.get("seconds", 0.0)), MAX_SLEEP_SECONDS)
+            time.sleep(seconds)
+            return {"ok": True, "slept": seconds}
+        return {"ok": False, "error": f"unknown shard op {op!r}",
+                "type": "SpecError"}
+    except Exception as exc:  # noqa: BLE001 — reply carries it
+        return {"ok": False, "error": str(exc),
+                "type": type(exc).__name__}
+
+
+def _shard_worker_main(conn, cache_size: int, ttl: Optional[float],
+                       incremental: bool) -> None:
+    """Long-lived pipe-shard worker: one engine, one pipe.
+
+    The engine (cache + metrics + warm models) lives for the worker's
+    whole life — that persistence is the point: re-spawning per request
+    would throw the hot state away.
+    """
+    engine = SolveEngine(
+        cache=SolutionCache(max_size=cache_size, ttl=ttl),
+        incremental=IncrementalSolver() if incremental else None,
+    )
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        if msg.get("op") == "stop":
+            try:
+                conn.send({"ok": True})
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                pass
+            return
+        conn.send(handle_shard_message(engine, msg))
+
+
+# ----------------------------------------------------------------------
+# the standalone TCP shard server (python -m repro shard-serve)
+# ----------------------------------------------------------------------
+class _ShardConnection(socketserver.BaseRequestHandler):
+    server: "ShardServer"  # type: ignore[assignment]
+
+    def handle(self) -> None:
+        sock = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                msg = read_frame(sock)
+            except (TransportError, OSError):
+                return  # client went away / spoke garbage: drop it
+            if msg.get("op") == "stop":
+                # stopping a *server* is the operator's call (signal /
+                # shutdown()), not any client's: acknowledge and drop
+                # only this connection
+                try:
+                    write_frame(sock, {"ok": True, "closing": True})
+                except (TransportError, OSError):
+                    pass
+                return
+            if msg.get("op") == "ping":
+                # answered OUTSIDE the engine lock: a health probe asks
+                # "is the host alive", and queueing it behind another
+                # broker's long solve would make busy look dead (the
+                # prober would eject a healthy shared shard)
+                reply = handle_shard_message(self.server.engine, msg)
+            else:
+                # one op at a time across all connections: the engine's
+                # warm models are not reentrant, and serial execution
+                # gives every client the same strict solve → invalidate
+                # ordering the pipe workers have
+                with self.server.engine_lock:
+                    reply = handle_shard_message(self.server.engine, msg)
+            try:
+                write_frame(sock, reply)
+            except (TransportError, OSError):
+                return
+
+
+class ShardServer(socketserver.ThreadingTCPServer):
+    """A standalone TCP shard: one :class:`SolveEngine` behind framed
+    JSON, placed on a broker's hash ring via ``--shard host:port``.
+
+    >>> server = ShardServer(("127.0.0.1", 0))
+    >>> server.port  # doctest: +SKIP
+    43521
+
+    Run ``serve_forever()`` (the ``python -m repro shard-serve`` entry
+    point does) and point any number of brokers at it; each connection
+    gets its own handler thread, and the engine lock serialises ops so
+    concurrent brokers interleave at message granularity.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address=("127.0.0.1", 0),
+        cache_size: int = 256,
+        ttl: Optional[float] = None,
+        incremental: bool = True,
+        engine: Optional[SolveEngine] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else SolveEngine(
+            cache=SolutionCache(max_size=cache_size, ttl=ttl),
+            incremental=IncrementalSolver() if incremental else None,
+        )
+        self.engine_lock = threading.Lock()
+        super().__init__(address, _ShardConnection)
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"

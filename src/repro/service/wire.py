@@ -1,0 +1,244 @@
+"""Exact JSON wire codec for shard replies.
+
+The shard protocol of :mod:`repro.service.transport` carries *requests*
+as the PR 2 spec wire codec (``spec.to_wire()`` + ``platform_to_dict``)
+— that has been JSON-safe end to end since the process shards landed.
+Replies were the remaining gap: the pipe shards relayed results as
+pickled :class:`~repro.service.broker.BrokerResult` objects, which a
+TCP shard on another host cannot do (and should not: pickle across
+machines couples the hosts' code versions and trusts the peer).  This
+module closes the gap with an exact, versioned JSON encoding of a
+broker result, so every transport backend — pipe or TCP — speaks one
+schema.
+
+Exactness is the contract: rationals travel as the ``"p/q"`` strings of
+:mod:`repro.platform.serialization`, so a result decoded from the wire
+compares ``Fraction``-identical to the in-process original.  Every
+registered problem's solution type round-trips:
+
+* :class:`~repro.core.activities.SteadyStateSolution` (master-slave,
+  scatter, gather, all-to-all, multiport, send-or-receive) — via the
+  existing :func:`~repro.platform.serialization.solution_to_dict`;
+* :class:`~repro.core.broadcast.BroadcastSolution` (broadcast, reduce)
+  — tree packings as explicit edge lists;
+* :class:`~repro.core.multicast.MulticastAnalysis` (multicast);
+* :class:`~repro.core.dag.DagSolution` (dag) — the task graph reuses
+  the spec codec's :func:`~repro.problems.specs.dag_to_dict`.
+
+An unknown solution type raises :class:`WireCodecError` at *encode*
+time, on the shard — a new problem kind must extend this codec before
+it can be served remotely, and the failure says so instead of
+surfacing as a baffling decode error on the broker.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from ..core.activities import SteadyStateSolution
+from ..core.broadcast import BroadcastSolution
+from ..core.dag import DagSolution
+from ..core.multicast import MulticastAnalysis
+from .._rational import INF, is_infinite
+from ..platform.serialization import (
+    encode_weight,
+    platform_from_dict,
+    platform_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from ..problems import dag_from_dict, dag_to_dict
+from .broker import BrokerResult
+
+#: Bumped when the result schema changes shape; a decoder seeing a newer
+#: version fails loudly instead of mis-reading fields.
+RESULT_WIRE_VERSION = 1
+
+
+class WireCodecError(ValueError):
+    """A result cannot be (de)coded for the shard wire protocol."""
+
+
+def _decode_weight(text: str):
+    if text == "inf":
+        return INF
+    return Fraction(text)
+
+
+# ----------------------------------------------------------------------
+# tree packings (broadcast / multicast): Dict[FrozenSet[Edge], Fraction]
+# ----------------------------------------------------------------------
+def _packing_to_wire(packing: Dict[Any, Fraction]) -> list:
+    return [
+        {"rate": encode_weight(rate),
+         "edges": sorted([u, v] for u, v in tree)}
+        for tree, rate in sorted(
+            packing.items(), key=lambda tr: sorted(tr[0])
+        )
+    ]
+
+
+def _packing_from_wire(records: list) -> Dict[FrozenSet[Tuple[str, str]],
+                                              Fraction]:
+    return {
+        frozenset((u, v) for u, v in rec["edges"]):
+            Fraction(rec["rate"])
+        for rec in records
+    }
+
+
+# ----------------------------------------------------------------------
+# solutions
+# ----------------------------------------------------------------------
+def solution_to_wire(solution: Any) -> Dict[str, Any]:
+    """Encode any registered problem's solution object, tagged by kind."""
+    if isinstance(solution, SteadyStateSolution):
+        return {"kind": "steady-state", **solution_to_dict(solution)}
+    if isinstance(solution, BroadcastSolution):
+        return {
+            "kind": "broadcast",
+            "platform": platform_to_dict(solution.platform),
+            "source": solution.source,
+            "lp_bound": encode_weight(solution.lp_bound),
+            "achieved": encode_weight(solution.achieved),
+            "packing": _packing_to_wire(solution.packing),
+            "exhaustive": solution.exhaustive,
+        }
+    if isinstance(solution, MulticastAnalysis):
+        return {
+            "kind": "multicast",
+            "platform": platform_to_dict(solution.platform),
+            "source": solution.source,
+            "targets": list(solution.targets),
+            "sum_lp": encode_weight(solution.sum_lp),
+            "max_lp": encode_weight(solution.max_lp),
+            "tree_optimal": encode_weight(solution.tree_optimal),
+            "packing": _packing_to_wire(solution.packing),
+            "exhaustive": solution.exhaustive,
+        }
+    if isinstance(solution, DagSolution):
+        out: Dict[str, Any] = {
+            "kind": "dag",
+            "platform": platform_to_dict(solution.platform),
+            "dag": dag_to_dict(solution.dag),
+            "master": solution.master,
+            "throughput": encode_weight(solution.throughput),
+            "cons": [
+                {"node": n, "type": t, "rate": encode_weight(r)}
+                for (n, t), r in sorted(solution.cons.items())
+            ],
+            "flow": [
+                {"src": i, "dst": j, "producer": k, "consumer": l,
+                 "rate": encode_weight(r)}
+                for (i, j, (k, l)), r in sorted(solution.flow.items())
+            ],
+        }
+        if solution.affinity is not None:
+            out["affinity"] = [
+                {"node": n, "type": t,
+                 "mult": encode_weight(m) if not is_infinite(m)
+                 else "inf"}
+                for (n, t), m in sorted(solution.affinity.items())
+            ]
+        return out
+    raise WireCodecError(
+        f"no wire encoding for solution type {type(solution).__name__}; "
+        f"extend repro.service.wire before serving this problem over a "
+        f"shard transport"
+    )
+
+
+def solution_from_wire(data: Dict[str, Any]) -> Any:
+    """Decode :func:`solution_to_wire` output (exact inverse)."""
+    kind = data.get("kind")
+    if kind == "steady-state":
+        return solution_from_dict(data)
+    if kind == "broadcast":
+        return BroadcastSolution(
+            platform=platform_from_dict(data["platform"]),
+            source=data["source"],
+            lp_bound=_decode_weight(data["lp_bound"]),
+            achieved=_decode_weight(data["achieved"]),
+            packing=_packing_from_wire(data["packing"]),
+            exhaustive=bool(data["exhaustive"]),
+        )
+    if kind == "multicast":
+        return MulticastAnalysis(
+            platform=platform_from_dict(data["platform"]),
+            source=data["source"],
+            targets=tuple(data["targets"]),
+            sum_lp=_decode_weight(data["sum_lp"]),
+            max_lp=_decode_weight(data["max_lp"]),
+            tree_optimal=_decode_weight(data["tree_optimal"]),
+            packing=_packing_from_wire(data["packing"]),
+            exhaustive=bool(data["exhaustive"]),
+        )
+    if kind == "dag":
+        affinity = None
+        if "affinity" in data:
+            affinity = {
+                (rec["node"], rec["type"]): _decode_weight(rec["mult"])
+                for rec in data["affinity"]
+            }
+        return DagSolution(
+            platform=platform_from_dict(data["platform"]),
+            dag=dag_from_dict(data["dag"]),
+            master=data["master"],
+            throughput=_decode_weight(data["throughput"]),
+            cons={
+                (rec["node"], rec["type"]): _decode_weight(rec["rate"])
+                for rec in data["cons"]
+            },
+            flow={
+                (rec["src"], rec["dst"],
+                 (rec["producer"], rec["consumer"])):
+                    _decode_weight(rec["rate"])
+                for rec in data["flow"]
+            },
+            affinity=affinity,
+        )
+    raise WireCodecError(f"unknown solution wire kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# broker results
+# ----------------------------------------------------------------------
+def result_to_wire(result: BrokerResult) -> Dict[str, Any]:
+    """Encode a :class:`BrokerResult` as a JSON-safe dict."""
+    out: Dict[str, Any] = {
+        "version": RESULT_WIRE_VERSION,
+        "fingerprint": result.fingerprint,
+        "cached": result.cached,
+        "warm": result.warm,
+        "coalesced": result.coalesced,
+        "latency_seconds": result.latency_seconds,
+        "solution": solution_to_wire(result.solution),
+    }
+    if result.schedule is not None:
+        out["schedule"] = schedule_to_dict(result.schedule)
+    return out
+
+
+def result_from_wire(data: Dict[str, Any]) -> BrokerResult:
+    """Decode :func:`result_to_wire` output (exact inverse)."""
+    version = data.get("version", RESULT_WIRE_VERSION)
+    if version > RESULT_WIRE_VERSION:
+        raise WireCodecError(
+            f"result wire version {version} is newer than this decoder "
+            f"({RESULT_WIRE_VERSION}); upgrade the broker host"
+        )
+    schedule: Optional[Any] = None
+    if data.get("schedule") is not None:
+        schedule = schedule_from_dict(data["schedule"])
+    return BrokerResult(
+        fingerprint=data["fingerprint"],
+        solution=solution_from_wire(data["solution"]),
+        schedule=schedule,
+        cached=bool(data.get("cached", False)),
+        warm=bool(data.get("warm", False)),
+        coalesced=bool(data.get("coalesced", False)),
+        latency_seconds=float(data.get("latency_seconds", 0.0)),
+    )

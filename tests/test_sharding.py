@@ -1,11 +1,17 @@
-"""Sharded-broker tests: routing, aggregation, invalidation, process mode."""
+"""Sharded-broker tests: routing, aggregation, invalidation, process mode,
+remote TCP shards, health/failover."""
 
 from __future__ import annotations
 
 import json
+import multiprocessing
+import socket
+import time
 from fractions import Fraction
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.dag import TaskGraph
 from repro.platform import generators
@@ -15,6 +21,7 @@ from repro.service import (
     BrokerResult,
     HashRing,
     ShardedBroker,
+    ShardTimeoutError,
     SolveRequest,
     handle_request,
     merge_snapshots,
@@ -251,7 +258,7 @@ class TestShardedBrokerProcess:
             payload = request_to_dict(good)
             payload["spec"]["problem"] = "nope"
             with pytest.raises(BrokerError, match="unknown problem"):
-                sharded._process_shards[0].call(
+                sharded._transport_shards[0].call(
                     {"op": "solve", "fp": good.fingerprint(),
                      "request": payload})
 
@@ -263,13 +270,13 @@ class TestShardedBrokerProcess:
                 # worker-side PlatformError (not a SpecError): the relayed
                 # exception must report the ORIGINAL class name, so the
                 # JSON API's "type" field matches the unsharded broker
-                sharded._process_shards[0].call(
+                sharded._transport_shards[0].call(
                     {"op": "invalidate", "platform": {"nodes": 12}})
             assert type(err.value).__name__ == "PlatformError"
 
     def test_close_is_idempotent_and_workers_exit(self):
         sharded = ShardedBroker(shards=2, shard_mode="process")
-        procs = [s.process for s in sharded._process_shards]
+        procs = [s.process for s in sharded._transport_shards]
         sharded.close()
         sharded.close()
         assert all(not p.is_alive() for p in procs)
@@ -306,11 +313,12 @@ class TestSolveMany:
         good = SolveRequest(problem="master-slave",
                             platform=generators.star(2), master="M")
         from repro.service.api import request_to_dict
+        from repro.service.wire import result_from_wire
 
         with ShardedBroker(shards=2, shard_mode="process") as sharded:
             bad = request_to_dict(good)
             bad["spec"]["problem"] = "nope"
-            reply = sharded._process_shards[0].call({
+            reply = sharded._transport_shards[0].call({
                 "op": "solve_many",
                 "items": [
                     {"fp": good.fingerprint(),
@@ -319,7 +327,10 @@ class TestSolveMany:
                 ],
             })
             ok, err = reply["results"]
-            assert ok["ok"] and isinstance(ok["result"], BrokerResult)
+            # replies are JSON-safe wire dicts (no pickle on any backend)
+            assert ok["ok"] and isinstance(
+                result_from_wire(ok["result"]), BrokerResult
+            )
             assert not err["ok"] and err["type"] == "SpecError"
 
     def test_ipc_counter_grows_per_unbatched_solve(self):
@@ -435,3 +446,399 @@ class TestMergeSnapshots:
         merged = merge_snapshots([reg.snapshot(), reg.snapshot()])
         assert merged["total_requests"] == 2
         assert "solve.cold" in merged["endpoints"]
+
+
+# ----------------------------------------------------------------------
+# HashRing properties (what failover's minimal disruption relies on)
+# ----------------------------------------------------------------------
+def _fingerprints(n: int, salt: str = "") -> list:
+    import hashlib
+
+    return [hashlib.sha256(f"{salt}{i}".encode()).hexdigest()
+            for i in range(n)]
+
+
+class TestHashRingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(shards=st.integers(min_value=2, max_value=12),
+           salt=st.text(alphabet="abcdef", min_size=0, max_size=6))
+    def test_keys_balance_within_tolerance(self, shards, salt):
+        """No shard owns a grossly unfair share of a uniform keyspace."""
+        fps = _fingerprints(64 * shards, salt)
+        ring = HashRing(shards)
+        counts = [0] * shards
+        for fp in fps:
+            counts[ring.route(fp)] += 1
+        fair = len(fps) / shards
+        assert min(counts) >= fair / 4  # every shard carries real load
+        assert max(counts) <= fair * 4  # nobody is a hot spot
+
+    @settings(max_examples=25, deadline=None)
+    @given(shards=st.integers(min_value=2, max_value=10),
+           removed=st.integers(min_value=0, max_value=9))
+    def test_removing_one_shard_remaps_only_its_keys(self, shards,
+                                                     removed):
+        """The minimal-disruption invariant: ejecting shard ``r`` moves
+        exactly the keys ``r`` owned; every other key keeps its owner."""
+        removed %= shards
+        fps = _fingerprints(256)
+        ring = HashRing(shards)
+        for fp in fps:
+            before = ring.route(fp)
+            after = ring.route(fp, skip={removed})
+            if before != removed:
+                assert after == before  # untouched by the ejection
+            else:
+                assert after != removed  # found a live stand-in
+
+    @settings(max_examples=10, deadline=None)
+    @given(shards=st.integers(min_value=2, max_value=8))
+    def test_skipped_keys_spread_over_survivors(self, shards):
+        """An ejected shard's keys fan out across the survivors (ring
+        replicas), they do not all pile onto one neighbour."""
+        if shards < 3:
+            return
+        fps = _fingerprints(512)
+        ring = HashRing(shards)
+        heirs = {ring.route(fp, skip={0})
+                 for fp in fps if ring.route(fp) == 0}
+        assert len(heirs) >= 2
+
+    def test_all_shards_skipped_raises(self):
+        ring = HashRing(3)
+        with pytest.raises(ValueError, match="excluded"):
+            ring.route("ab" * 32, skip={0, 1, 2})
+
+    def test_empty_skip_matches_plain_route(self):
+        ring = HashRing(5)
+        for fp in _fingerprints(64):
+            assert ring.route(fp) == ring.route(fp, skip=set())
+
+
+# ----------------------------------------------------------------------
+# supervision: worker death, restart, timeout (local pipe shards)
+# ----------------------------------------------------------------------
+class TestLocalShardSupervision:
+    def test_worker_death_restarts_once_and_request_survives(self):
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.paper_figure1(),
+                           master="P1")
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            reference = sharded.solve(req)
+            old_pids = [s.process.pid for s in sharded._transport_shards]
+            for shard in sharded._transport_shards:  # kill every worker
+                shard.process.kill()
+                shard.process.join()
+            # no lost request: the owning shard is restarted (fresh
+            # cache, so a cold re-solve) and answers identically
+            again = sharded.solve(req)
+            assert again.throughput == reference.throughput
+            assert not again.cached
+            health = sharded.shard_health()
+            assert health["shard_failures"] >= 1
+            assert health["shard_restarts"] >= 1
+            new_pids = [s.process.pid for s in sharded._transport_shards]
+            assert any(a != b for a, b in zip(old_pids, new_pids))
+
+    def test_death_mid_request_is_a_typed_shard_error_not_eof(self):
+        """The PR 3 bug: a worker dying mid-request surfaced as a raw
+        EOFError from the pipe.  It must be a counted, typed failure
+        (and here — with a live sibling shard — a transparent failover,
+        so the caller sees no error at all)."""
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.star(3), master="M")
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            shard = sharded._transport_shards[
+                sharded.shard_for(req.fingerprint())
+            ]
+            shard.process.kill()
+            shard.process.join()
+            result = sharded.solve(req)  # restart + retry, not EOFError
+            assert result.throughput == _reference_results([req])[0].throughput
+            assert sharded.shard_health()["shard_failures"] >= 1
+            snap = sharded.snapshot()
+            assert snap["shard_health"]["shard_restarts"] >= 1
+
+    def test_request_timeout_fails_over_then_raises_typed(self):
+        with ShardedBroker(shards=1, shard_mode="process",
+                           request_timeout=0.3) as sharded:
+            with pytest.raises(ShardTimeoutError) as err:
+                sharded._routed_call("0" * 64,
+                                     {"op": "sleep", "seconds": 10.0})
+            assert err.value.shard == 0
+            # the hung worker was replaced; the shard still serves
+            req = SolveRequest(problem="master-slave",
+                               platform=generators.star(2), master="M")
+            assert sharded.solve(req).throughput == Fraction(2)
+            health = sharded.shard_health()
+            assert health["shard_timeouts"] >= 1
+            assert health["shard_restarts"] >= 1
+
+    def test_invalidation_survives_a_dead_shard(self):
+        fig1 = generators.paper_figure1()
+        variants = [
+            SolveRequest(problem="master-slave", platform=fig1,
+                         master="P1"),
+            SolveRequest(problem="master-slave", platform=fig1,
+                         master="P2"),
+            SolveRequest(problem="send-or-receive", platform=fig1,
+                         master="P1"),
+        ]
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            sharded.solve_batch(variants)
+            for shard in sharded._transport_shards:
+                shard.process.kill()
+                shard.process.join()
+            # must not raise — dead workers are restarted with empty
+            # caches, which is invalidation by rebirth
+            removed = sharded.invalidate_platform(fig1)
+            assert removed >= 0
+            assert all(not sharded.solve(r).cached for r in variants)
+
+    def test_metrics_observe_transport_latency(self):
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.star(2), master="M")
+        with ShardedBroker(shards=2, shard_mode="process") as sharded:
+            sharded.solve(req)
+            endpoints = sharded.snapshot()["metrics"]["endpoints"]
+            assert endpoints["transport.pipe"]["count"] >= 1
+
+
+# ----------------------------------------------------------------------
+# remote TCP shards on the ring
+# ----------------------------------------------------------------------
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _run_shard_server(port: int) -> None:  # pragma: no cover — child
+    from repro.service import ShardServer
+
+    server = ShardServer(("127.0.0.1", port))
+    server.serve_forever()
+
+
+def _start_shard_process(port: int) -> multiprocessing.Process:
+    ctx = multiprocessing.get_context()
+    process = ctx.Process(target=_run_shard_server, args=(port,),
+                          daemon=True)
+    process.start()
+    deadline = time.time() + 20
+    while time.time() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port),
+                                     timeout=0.2).close()
+            return process
+        except OSError:
+            time.sleep(0.05)
+    process.kill()
+    raise RuntimeError(f"shard server on :{port} never became reachable")
+
+
+class TestRemoteTcpShards:
+    def test_mixed_ring_matches_single_broker_exactly(self):
+        """Acceptance: a ShardedBroker spanning a TCP shard returns
+        Fraction-identical results to the unsharded Broker."""
+        requests = _mixed_requests()
+        reference = _reference_results(requests)
+        port = _free_port()
+        server = _start_shard_process(port)
+        try:
+            with ShardedBroker(shards=1,
+                               shard_addresses=[f"127.0.0.1:{port}"],
+                               health_interval=0) as sharded:
+                assert sharded.shards == 2
+                out = sharded.solve_batch(requests)
+                for ref, got in zip(reference, out):
+                    assert got.fingerprint == ref.fingerprint
+                    assert got.throughput == ref.throughput  # exact
+                again = [sharded.solve(r) for r in requests]
+                assert all(r.cached for r in again)
+                kinds = {h["kind"] for h in
+                         sharded.shard_health()["shards"]}
+                assert kinds == {"pipe", "tcp"}
+        finally:
+            server.kill()
+            server.join()
+
+    def test_batch_over_tcp_is_one_round_trip_per_shard(self):
+        requests = _mixed_requests()
+        port = _free_port()
+        server = _start_shard_process(port)
+        try:
+            with ShardedBroker(shards=0,
+                               shard_addresses=[f"127.0.0.1:{port}"],
+                               health_interval=0) as sharded:
+                before = sharded.ipc_round_trips
+                sharded.solve_batch(requests)
+                assert sharded.ipc_round_trips - before == 1
+        finally:
+            server.kill()
+            server.join()
+
+    def test_kill_a_shard_mid_run_fails_over_without_losing_requests(self):
+        """Acceptance: the workload completes via failover after a hard
+        kill — ejection moves the dead shard's keys to survivors."""
+        requests = _mixed_requests()
+        reference = _reference_results(requests)
+        ports = [_free_port(), _free_port()]
+        servers = [_start_shard_process(p) for p in ports]
+        try:
+            with ShardedBroker(
+                shards=0,
+                shard_addresses=[f"127.0.0.1:{p}" for p in ports],
+                health_interval=0,
+            ) as sharded:
+                warm = sharded.solve_batch(requests)
+                assert all(g.throughput == r.throughput
+                           for g, r in zip(warm, reference))
+                servers[0].kill()
+                servers[0].join()
+                out = [sharded.solve(r) for r in requests]  # no losses
+                for ref, got in zip(reference, out):
+                    assert got.throughput == ref.throughput
+                health = sharded.shard_health()
+                assert health["shard_failures"] >= 1
+                assert health["failovers"] >= 1
+                states = {h["address"]: h["active"]
+                          for h in health["shards"]}
+                assert states[f"tcp://127.0.0.1:{ports[0]}"] is False
+                assert states[f"tcp://127.0.0.1:{ports[1]}"] is True
+                # metrics scrape survives the outage, flags the shard
+                snap = sharded.snapshot()
+                flags = [p.get("unreachable", False)
+                         for p in snap["per_shard"]]
+                assert flags.count(True) == 1
+                # invalidation fan-out tolerates the dead shard too
+                fig1 = generators.paper_figure1()
+                assert sharded.invalidate_platform(fig1) >= 1
+        finally:
+            for server in servers:
+                server.kill()
+                server.join()
+
+    def test_ejected_shard_rejoins_after_restart(self):
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.paper_figure1(),
+                           master="P1")
+        port = _free_port()
+        server = _start_shard_process(port)
+        try:
+            with ShardedBroker(
+                shards=1,
+                shard_addresses=[f"127.0.0.1:{port}"],
+                health_interval=0.2,
+            ) as sharded:
+                sharded.solve(req)
+                server.kill()
+                server.join()
+                # force the failure to be noticed (request path ejects)
+                assert sharded.solve(req).throughput == Fraction(2)
+                remote = sharded._transport_shards[1]
+                assert not remote.active
+                server = _start_shard_process(port)  # same address
+                deadline = time.time() + 20
+                while time.time() < deadline and not remote.active:
+                    time.sleep(0.1)
+                assert remote.active, "health probe never rejoined"
+                assert sharded.shard_health()["rejoins"] >= 1
+                assert sharded.solve(req).throughput == Fraction(2)
+        finally:
+            server.kill()
+            server.join()
+
+    def test_thread_mode_rejects_remote_addresses(self):
+        with pytest.raises(ValueError, match="process"):
+            ShardedBroker(shards=2, shard_mode="thread",
+                          shard_addresses=["127.0.0.1:1"])
+
+    def test_all_remote_ring_needs_an_address(self):
+        with pytest.raises(ValueError):
+            ShardedBroker(shards=0, shard_mode="process")
+
+
+# ----------------------------------------------------------------------
+# review-hardening regressions
+# ----------------------------------------------------------------------
+class TestTimeoutConfiguration:
+    def test_thread_mode_rejects_request_timeout(self):
+        with pytest.raises(ValueError, match="thread"):
+            ShardedBroker(shards=2, shard_mode="thread",
+                          request_timeout=5.0)
+
+    def test_cli_rejects_shard_timeout_without_transport_shards(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="shard-timeout"):
+            main(["serve", "--stdio", "--shards", "2",
+                  "--shard-timeout", "5"])
+        with pytest.raises(SystemExit, match="shard-timeout"):
+            main(["serve", "--stdio", "--shard-timeout", "5"])
+
+    def test_solve_many_timeout_scales_with_batch_size(self):
+        """A batch whose total solve time exceeds one per-request budget
+        must NOT time out its shard (the budget is per request)."""
+        from repro.service.api import request_to_dict
+
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.star(2), master="M")
+        with ShardedBroker(shards=1, shard_mode="process",
+                           request_timeout=0.5) as sharded:
+            shard = sharded._transport_shards[0]
+            seen = []
+            original = shard.call
+
+            def spying_call(msg, timeout=None):
+                seen.append(timeout)
+                return original(msg, timeout=timeout)
+
+            shard.call = spying_call
+            items = [{"fp": req.fingerprint(),
+                      "request": request_to_dict(req)}
+                     for _ in range(6)]
+            reply = sharded._shard_call(shard,
+                                        {"op": "solve_many",
+                                         "items": items})
+            assert len(reply["results"]) == 6
+            assert seen == [6 * 0.5]  # the whole-batch budget
+            sharded._shard_call(shard, {"op": "ping"})
+            assert seen[-1] == 0.5  # single ops keep the per-request one
+
+
+class TestSharedShardServerHealth:
+    def test_ping_is_answered_while_the_engine_lock_is_held(self):
+        """A shared TCP shard busy with another broker's long op must
+        still answer health pings — busy is not dead."""
+        import threading
+
+        from repro.service import ShardServer, connect
+
+        server = ShardServer(("127.0.0.1", 0))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            busy = connect(server.address)
+            prober = connect(server.address)
+
+            def hold_the_engine_lock():
+                try:
+                    busy.request({"op": "sleep", "seconds": 3.0})
+                except Exception:  # noqa: BLE001 — torn down by the test
+                    pass
+
+            blocker = threading.Thread(target=hold_the_engine_lock,
+                                       daemon=True)
+            blocker.start()
+            time.sleep(0.3)  # let the sleep op take the engine lock
+            start = time.perf_counter()
+            assert prober.ping(timeout=1.0)  # must not queue behind it
+            assert time.perf_counter() - start < 1.0
+            busy.close()
+            prober.close()
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -1,0 +1,339 @@
+"""Shard transport tests: framing, wire codec, pipe/TCP backends, server."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import socket
+import threading
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dag import TaskGraph
+from repro.platform import generators
+from repro.service import (
+    Broker,
+    ShardServer,
+    SolveRequest,
+    TransportError,
+    TransportTimeout,
+    connect,
+    parse_shard_address,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.service.api import _request_wire
+from repro.service.transport import (
+    read_frame,
+    spawn_pipe_shard,
+    write_frame,
+)
+from repro.service.wire import WireCodecError, solution_to_wire
+
+
+def _mixed_requests():
+    """One request per solution *kind* (plus a schedule round-trip)."""
+    fig1 = generators.paper_figure1()
+    fig2 = generators.paper_figure2_multicast()
+    star_bi = generators.star(3, bidirectional=True)
+    return [
+        SolveRequest(problem="master-slave", platform=fig1, master="P1",
+                     include_schedule=True),
+        SolveRequest(problem="scatter", platform=fig2, source="P0",
+                     targets=("P5", "P6")),
+        SolveRequest(problem="gather", platform=star_bi, source="M",
+                     targets=("W1", "W2", "W3")),
+        SolveRequest(problem="all-to-all", platform=star_bi,
+                     targets=("M", "W1", "W2")),
+        SolveRequest(problem="broadcast", platform=generators.chain(4),
+                     source="N0"),
+        SolveRequest(problem="reduce", platform=star_bi, source="M"),
+        SolveRequest(problem="multicast", platform=fig2, source="P0",
+                     targets=("P5", "P6")),
+        SolveRequest(problem="dag", platform=fig1, master="P1",
+                     dag=TaskGraph.chain([1, 2], [1])),
+        SolveRequest(problem="multiport", platform=fig1, master="P1",
+                     options={"ports": 2}),
+        SolveRequest(problem="send-or-receive", platform=fig1,
+                     master="P1"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# the exact result wire codec
+# ----------------------------------------------------------------------
+class TestResultWireCodec:
+    def test_every_solution_kind_roundtrips_exactly(self):
+        with Broker(executor="sync") as broker:
+            for request in _mixed_requests():
+                result = broker.solve(request)
+                wire = json.loads(json.dumps(result_to_wire(result)))
+                back = result_from_wire(wire)
+                assert back.fingerprint == result.fingerprint
+                assert back.throughput == result.throughput  # Fraction
+                assert type(back.solution) is type(result.solution)
+                if result.schedule is not None:
+                    assert (back.schedule.throughput
+                            == result.schedule.throughput)
+
+    def test_flags_survive(self):
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.star(2), master="M")
+        with Broker(executor="sync") as broker:
+            broker.solve(req)
+            hit = broker.solve(req)
+            back = result_from_wire(result_to_wire(hit))
+            assert back.cached and not back.warm and not back.coalesced
+
+    def test_packing_is_exact(self):
+        req = SolveRequest(problem="broadcast",
+                           platform=generators.paper_figure1(),
+                           source="P1")
+        with Broker(executor="sync") as broker:
+            result = broker.solve(req)
+        back = result_from_wire(
+            json.loads(json.dumps(result_to_wire(result)))
+        )
+        assert back.solution.packing == result.solution.packing
+        assert back.solution.lp_bound == result.solution.lp_bound
+
+    def test_unknown_solution_type_fails_at_encode_time(self):
+        with pytest.raises(WireCodecError, match="no wire encoding"):
+            solution_to_wire(object())
+
+    def test_newer_wire_version_fails_loudly(self):
+        req = SolveRequest(problem="master-slave",
+                           platform=generators.star(2), master="M")
+        with Broker(executor="sync") as broker:
+            wire = result_to_wire(broker.solve(req))
+        wire["version"] = 99
+        with pytest.raises(WireCodecError, match="newer"):
+            result_from_wire(wire)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip_over_a_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"op": "solve", "payload": ["ünïcode", 1, None]}
+            write_frame(a, message)
+            assert read_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_peer_is_a_transport_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\xff\xff\xff\xff garbage")
+            with pytest.raises(TransportError, match="frame"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_peer_is_a_transport_error(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(TransportError, match="closed"):
+                read_frame(b)
+        finally:
+            b.close()
+
+    def test_non_object_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            blob = json.dumps([1, 2, 3]).encode()
+            a.sendall(len(blob).to_bytes(4, "big") + blob)
+            with pytest.raises(TransportError, match="object"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAddressParsing:
+    def test_accepts_bare_and_scheme_forms(self):
+        assert parse_shard_address("example.org:8590") == ("example.org",
+                                                           8590)
+        assert parse_shard_address("tcp://10.0.0.7:1234") == ("10.0.0.7",
+                                                              1234)
+
+    @pytest.mark.parametrize("bad", ["nope", ":8590", "host:", "host:0",
+                                     "host:notaport", "host:70000"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard_address(bad)
+
+
+# ----------------------------------------------------------------------
+# pipe transport (local worker process)
+# ----------------------------------------------------------------------
+class TestPipeTransport:
+    def _spawn(self):
+        return spawn_pipe_shard(multiprocessing.get_context(), 64, None,
+                                True)
+
+    def test_solve_roundtrip_and_ping(self):
+        transport = self._spawn()
+        try:
+            assert transport.ping(timeout=10.0)
+            req = SolveRequest(problem="master-slave",
+                               platform=generators.paper_figure1(),
+                               master="P1")
+            reply = transport.request({
+                "op": "solve", "fp": req.fingerprint(),
+                "request": _request_wire(req),
+            })
+            assert reply["ok"]
+            assert result_from_wire(reply["result"]).throughput == Fraction(2)
+        finally:
+            transport.close(stop_timeout=2.0)
+        assert not transport.process.is_alive()
+
+    def test_request_timeout_poisons_the_transport(self):
+        transport = self._spawn()
+        try:
+            with pytest.raises(TransportTimeout):
+                transport.request({"op": "sleep", "seconds": 5.0},
+                                  timeout=0.2)
+            assert transport.closed
+            # a poisoned pipe refuses further use instead of pairing the
+            # stale in-flight reply with the next request
+            with pytest.raises(TransportError):
+                transport.request({"op": "ping"})
+        finally:
+            transport.close(stop_timeout=1.0)
+
+    def test_worker_death_is_a_transport_error(self):
+        transport = self._spawn()
+        transport.process.kill()
+        transport.process.join()
+        with pytest.raises(TransportError, match="died"):
+            transport.request({"op": "ping"})
+        transport.close()
+
+    def test_request_many_pipelines_in_order(self):
+        transport = self._spawn()
+        try:
+            replies = transport.request_many(
+                [{"op": "ping"}, {"op": "snapshot"}, {"op": "ping"}]
+            )
+            assert [("pong" in r, "snapshot" in r) for r in replies] == [
+                (True, False), (False, True), (True, False)
+            ]
+        finally:
+            transport.close(stop_timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# TCP transport + the standalone shard server
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def shard_server():
+    server = ShardServer(("127.0.0.1", 0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestTcpTransport:
+    def test_solve_is_exact_and_cache_stays_hot(self, shard_server):
+        transport = connect(f"127.0.0.1:{shard_server.port}")
+        try:
+            req = SolveRequest(problem="master-slave",
+                               platform=generators.paper_figure1(),
+                               master="P1")
+            msg = {"op": "solve", "fp": req.fingerprint(),
+                   "request": _request_wire(req)}
+            cold = result_from_wire(transport.request(msg)["result"])
+            warm = result_from_wire(transport.request(msg)["result"])
+            assert cold.throughput == Fraction(2) and not cold.cached
+            assert warm.cached  # the server's engine persists across calls
+        finally:
+            transport.close()
+
+    def test_ping_and_unknown_op(self, shard_server):
+        transport = connect(shard_server.address)
+        try:
+            assert transport.ping(timeout=5.0)
+            reply = transport.request({"op": "quantum"})
+            assert not reply["ok"] and reply["type"] == "SpecError"
+        finally:
+            transport.close()
+
+    def test_timeout_drops_the_connection_then_reconnects(self,
+                                                          shard_server):
+        transport = connect(shard_server.address)
+        try:
+            with pytest.raises(TransportTimeout):
+                transport.request({"op": "sleep", "seconds": 5.0},
+                                  timeout=0.2)
+            assert transport.closed
+            # lazy reconnect: the next request dials again — this is what
+            # lets an ejected remote shard rejoin without a new handle
+            assert transport.ping(timeout=10.0)
+        finally:
+            transport.close()
+
+    def test_unreachable_host_is_a_transport_error(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here any more
+        transport = connect(f"127.0.0.1:{port}", connect_timeout=0.5)
+        with pytest.raises(TransportError, match="connect"):
+            transport.request({"op": "ping"})
+
+    def test_request_many_pipelines_one_connection(self, shard_server):
+        transport = connect(shard_server.address)
+        try:
+            requests = _mixed_requests()[:4]
+            replies = transport.request_many([
+                {"op": "solve", "fp": r.fingerprint(),
+                 "request": _request_wire(r)}
+                for r in requests
+            ])
+            with Broker(executor="sync") as broker:
+                for request, reply in zip(requests, replies):
+                    assert reply["ok"]
+                    got = result_from_wire(reply["result"])
+                    assert got.throughput == broker.solve(request).throughput
+        finally:
+            transport.close()
+
+    def test_two_clients_share_one_engine(self, shard_server):
+        first = connect(shard_server.address)
+        second = connect(shard_server.address)
+        try:
+            req = SolveRequest(problem="master-slave",
+                               platform=generators.star(3), master="M")
+            msg = {"op": "solve", "fp": req.fingerprint(),
+                   "request": _request_wire(req)}
+            cold = result_from_wire(first.request(msg)["result"])
+            hit = result_from_wire(second.request(msg)["result"])
+            assert not cold.cached and hit.cached  # one shared cache
+            assert cold.throughput == hit.throughput
+        finally:
+            first.close()
+            second.close()
+
+    def test_stop_op_only_drops_the_connection(self, shard_server):
+        transport = connect(shard_server.address)
+        reply = transport.request({"op": "stop"})
+        assert reply["ok"]
+        transport.close()
+        # the server survives a client's stop: the operator owns its life
+        probe = connect(shard_server.address)
+        try:
+            assert probe.ping(timeout=5.0)
+        finally:
+            probe.close()
