@@ -1,0 +1,220 @@
+"""S5 — observability: tracing overhead, capture behaviour, exposition.
+
+Measures, on the BENCH_service mixed Zipf workload (the same request
+pool and distribution as ``bench_s1_service.py``):
+
+* per-request latency with tracing **off** (no trace store) vs **on**
+  (every request captured into a :class:`TraceStore`) — p50 overhead
+  must stay under 5%;
+* the raw cost of one trace skeleton (trace + three spans + capture),
+  i.e. the absolute price a request pays;
+* slow-trace capture: with a tight threshold the slow ring retains the
+  outliers while fast requests churn through the recent ring;
+* Prometheus text exposition latency for a populated snapshot.
+
+Overhead is measured with interleaved off/on repetitions (off, on, off,
+on, …) so clock drift and cache warm-up hit both modes equally, and the
+reported p50s are medians across repetitions.
+
+Emits ``BENCH_obs.json`` at the repo root.  Run standalone::
+
+    python benchmarks/bench_s5_observability.py [--smoke] [--out FILE]
+
+or through pytest (``pytest benchmarks/bench_s5_observability.py -s``).
+``--smoke`` shrinks the request counts for CI and relaxes the overhead
+assertion (tiny samples on shared runners are too noisy to gate on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import time
+from pathlib import Path
+
+from repro import Broker, SolveRequest, generators
+from repro.service import (
+    TraceStore,
+    handle_request,
+    render_prometheus,
+    request_to_dict,
+    span,
+    start_trace,
+)
+
+from bench_s1_service import _percentile, _zipf_request_pool
+
+
+def _zipf_envelopes(n_requests: int, seed: int = 1) -> list:
+    pool = [{"op": "solve", "request": request_to_dict(req)}
+            for req in _zipf_request_pool()]
+    rng = random.Random(seed)
+    weights = [1.0 / (r + 1) ** 1.1 for r in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=n_requests)
+
+
+def bench_overhead(smoke: bool) -> dict:
+    """Tracing off vs on, interleaved request by request on the Zipf mix.
+
+    Two identical brokers serve the same request stream; each request is
+    timed once untraced and once traced, back to back, so clock drift
+    and scheduler noise (which on shared runners dwarf the ~10us cost
+    of a span tree) cancel instead of biasing one mode.
+    """
+    n_requests = 150 if smoke else 600
+    repetitions = 2 if smoke else 5
+    envelopes = _zipf_envelopes(n_requests)
+
+    p50s = {"off": [], "on": []}
+    p99s = {"off": [], "on": []}
+    for _ in range(repetitions):
+        store = TraceStore(capacity=n_requests)
+        offs, ons = [], []
+        with Broker(executor="sync") as b_off, \
+                Broker(executor="sync") as b_on:
+            for env in envelopes:
+                start = time.perf_counter()
+                out_off = handle_request(b_off, env)
+                offs.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                out_on = handle_request(b_on, env, trace_store=store)
+                ons.append(time.perf_counter() - start)
+                assert out_off["ok"] and out_on["ok"]
+        assert store.captured == n_requests  # every request left a trace
+        p50s["off"].append(_percentile(offs, 50))
+        p50s["on"].append(_percentile(ons, 50))
+        p99s["off"].append(_percentile(offs, 99))
+        p99s["on"].append(_percentile(ons, 99))
+
+    off_p50 = statistics.median(p50s["off"])
+    on_p50 = statistics.median(p50s["on"])
+    overhead = on_p50 / off_p50 - 1
+
+    limit = 0.25 if smoke else 0.05
+    assert overhead < limit, (
+        f"tracing p50 overhead {overhead * 100:.1f}% (limit {limit:.0%})"
+    )
+    return {
+        "requests_per_run": n_requests,
+        "repetitions": repetitions,
+        "p50_off_us": off_p50 * 1e6,
+        "p50_on_us": on_p50 * 1e6,
+        "p99_off_us": statistics.median(p99s["off"]) * 1e6,
+        "p99_on_us": statistics.median(p99s["on"]) * 1e6,
+        "p50_overhead_percent": overhead * 100,
+        "limit_percent": limit * 100,
+    }
+
+
+def bench_trace_cost(smoke: bool) -> dict:
+    """Absolute price of one captured trace skeleton (no solving)."""
+    rounds = 5_000 if smoke else 20_000
+    store = TraceStore(capacity=64)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with start_trace("request.solve", store=store):
+            with span("engine.run") as sp:
+                with span("cache.lookup"):
+                    pass
+                sp.annotate(cached=True, warm=False)
+    per_trace = (time.perf_counter() - start) / rounds
+    assert store.captured == rounds
+    return {"rounds": rounds, "per_trace_us": per_trace * 1e6}
+
+
+def bench_slow_capture(smoke: bool) -> dict:
+    """A flood of fast requests cannot evict the slow outliers."""
+    fig1 = generators.paper_figure1()
+    req = SolveRequest(problem="master-slave", platform=fig1, master="P1")
+    env = {"op": "solve", "request": request_to_dict(req)}
+    flood = 100 if smoke else 400
+    store = TraceStore(capacity=8, slow_capacity=8, slow_threshold=0.0005)
+
+    with Broker(executor="sync", incremental=False) as broker:
+        # The cold solve is well over the (deliberately tiny) threshold …
+        cold = handle_request(broker, env, trace_store=store)
+        slow_id = cold["trace_id"]
+        # … then a flood of sub-threshold cache hits churns the ring.
+        fast_below = 0
+        for _ in range(flood):
+            out = handle_request(broker, env, trace_store=store)
+            trace = store.get(out["trace_id"])
+            if trace is not None and not trace.slow:
+                fast_below += 1
+    kept = store.get(slow_id)
+    assert kept is not None and kept.slow, "slow trace was evicted"
+    snap = store.snapshot()
+    assert snap["captured"] == flood + 1
+    return {
+        "flood_requests": flood,
+        "slow_trace_kept": True,
+        "slow_captured": snap["slow_captured"],
+        "recent_ring": snap["stored"],
+    }
+
+
+def bench_prometheus(smoke: bool) -> dict:
+    """Render latency of the Prometheus text view on a live snapshot."""
+    envelopes = _zipf_envelopes(100 if smoke else 300)
+    rounds = 200 if smoke else 1_000
+    store = TraceStore()
+    with Broker(executor="sync") as broker:
+        for env in envelopes:
+            handle_request(broker, env, trace_store=store)
+        snapshot = handle_request(broker, {"op": "metrics"},
+                                  trace_store=store)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        text = render_prometheus(snapshot)
+    per_render = (time.perf_counter() - start) / rounds
+    assert "repro_requests_total" in text
+    assert "repro_traces_captured_total" in text
+    return {
+        "render_p50_estimate_us": per_render * 1e6,
+        "exposition_bytes": len(text.encode()),
+        "exposition_lines": len(text.splitlines()),
+    }
+
+
+# ----------------------------------------------------------------------
+def run(smoke: bool = False) -> dict:
+    return {
+        "benchmark": "S5 observability",
+        "smoke": smoke,
+        "overhead": bench_overhead(smoke),
+        "trace_cost": bench_trace_cost(smoke),
+        "slow_capture": bench_slow_capture(smoke),
+        "prometheus": bench_prometheus(smoke),
+    }
+
+
+def test_s5_observability(capsys):
+    """Pytest entry point (smoke mode; run the script for full numbers)."""
+    report = run(smoke=True)
+    with capsys.disabled():
+        print("\n==== S5: observability ====")
+        print(json.dumps(report, indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller rounds + relaxed overhead gate (CI)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_obs.json)")
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -338,15 +338,22 @@ def _build_broker(args):
 
 def cmd_serve(args) -> int:
     from .service.api import ServiceServer, serve_stdio
+    from .service.tracing import TraceStore
 
     broker = _build_broker(args)
+    store = None
+    if not args.no_tracing:
+        store = TraceStore(capacity=args.trace_capacity,
+                          slow_threshold=args.slow_trace)
     if args.stdio:
         try:
-            return serve_stdio(broker, sys.stdin, sys.stdout)
+            return serve_stdio(broker, sys.stdin, sys.stdout,
+                               trace_store=store)
         finally:
             broker.close()
     server = ServiceServer((args.host, args.port), broker=broker,
-                           verbose=args.verbose)
+                           verbose=args.verbose, trace_store=store,
+                           tracing=not args.no_tracing)
     shards = getattr(args, "shards", 1)
     addresses = list(getattr(args, "shard", None) or [])
     if shards > 1 or addresses:
@@ -430,6 +437,9 @@ def cmd_submit(args) -> int:
             raise SystemExit(str(exc))
         envelope = {"op": "solve", "request": request_to_dict(request)}
 
+    if args.trace:
+        envelope["trace"] = True
+
     if args.url:
         import urllib.error
         import urllib.request
@@ -458,7 +468,13 @@ def cmd_submit(args) -> int:
         with Broker(executor="sync") as broker:
             response = handle_request(broker, envelope)
 
+    trace = response.pop("trace", None) if args.trace else None
     print(_json.dumps(response, indent=2))
+    if trace is not None:
+        from .service.tracing import render_waterfall
+
+        print()
+        print(render_waterfall(trace))
     return 0 if response.get("ok") else 1
 
 
@@ -552,6 +568,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request shard transport timeout in seconds "
                         "(0 = wait indefinitely); on expiry the request "
                         "fails over to the next live shard")
+    p.add_argument("--slow-trace", type=float, default=0.25,
+                   help="traces at least this slow (seconds) are always "
+                        "kept in the slow-trace ring")
+    p.add_argument("--trace-capacity", type=int, default=256,
+                   help="recent traces retained for GET /traces")
+    p.add_argument("--no-tracing", action="store_true",
+                   help="disable request tracing and the trace store")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_serve)
 
@@ -579,6 +602,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="exact")
     p.add_argument("--include-schedule", action="store_true")
     p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--trace", action="store_true",
+                   help="capture a span tree for this request and print "
+                        "it as a waterfall after the JSON response")
     p.set_defaults(func=cmd_submit)
 
     return parser

@@ -40,8 +40,9 @@ Standard-form conversion
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .model import (
     InfeasibleError,
@@ -484,6 +485,13 @@ class SimplexInstance:
         # how the most recent solve went (read by the incremental layer)
         self.last_restarted = False
         self.last_phase1_skipped = False
+        #: per-phase timing records of the most recent solve — raw dicts
+        #: ``{phase, start_seconds, duration_seconds, pivots}`` with
+        #: offsets relative to the start of :meth:`solve`.  The service
+        #: tracing layer turns these into spans; this module stays free
+        #: of any service import.
+        self.last_phases: List[Dict[str, Any]] = []
+        self._phase_clock = 0.0
 
     # ------------------------------------------------------------------
     def solve(self, warm: bool = False) -> LPSolution:
@@ -497,6 +505,8 @@ class SimplexInstance:
         key = sf.structure_key()
         self.last_restarted = False
         self.last_phase1_skipped = False
+        self.last_phases = []
+        self._phase_clock = time.perf_counter()
         outcome = None
         if warm:
             if self._basis is not None and key == self._structure:
@@ -553,6 +563,7 @@ class SimplexInstance:
 
         # ---------------- phase 1 ----------------
         if artificial_cols:
+            started, before = time.perf_counter(), tab.pivots
             cost1 = [ZERO] * tab.width
             for col in artificial_cols:
                 cost1[col] = ONE
@@ -564,9 +575,12 @@ class SimplexInstance:
                     f"(phase-1 optimum {phase1_value})"
                 )
             tab.drive_out_artificials()
+            self._record_phase("cold.phase1", started, before, tab)
 
         # ---------------- phase 2 ----------------
+        started, before = time.perf_counter(), tab.pivots
         z2 = tab.run_primal(self._phase2_cost(tab), n)
+        self._record_phase("cold.phase2", started, before, tab)
         return tab, z2
 
     def _phase2_cost(self, tab: _Tableau) -> List[Fraction]:
@@ -574,6 +588,15 @@ class SimplexInstance:
         for col, c in tab.sf.cost.items():
             cost2[col] = c
         return cost2
+
+    def _record_phase(self, name: str, started: float,
+                      pivots_before: int, tab: _Tableau) -> None:
+        self.last_phases.append({
+            "phase": name,
+            "start_seconds": started - self._phase_clock,
+            "duration_seconds": time.perf_counter() - started,
+            "pivots": tab.pivots - pivots_before,
+        })
 
     # ------------------------------------------------------------------
     def _warm_solve(
@@ -617,7 +640,9 @@ class SimplexInstance:
         cost2 = self._phase2_cost(tab)
         if all(row[-1] >= 0 for row in tab.rows):
             # old basis still primal feasible: no phase 1, no repair
+            started, before = time.perf_counter(), tab.pivots
             z2 = tab.run_primal(cost2, n)
+            self._record_phase("warm.phase2", started, before, tab)
             self.basis_restarts += 1
             self.phase1_skips += 1
             self.last_restarted = True
@@ -629,11 +654,15 @@ class SimplexInstance:
             # purpose — a drifted-but-close basis repairs in a handful of
             # pivots, and a repair that wanders past ~m/2 pivots is losing
             # to the cold solve it is supposed to undercut, so fall back.
+            started, before = time.perf_counter(), tab.pivots
             if not tab.run_dual(z, limit=tab.m // 2 + 8):
                 return None
+            self._record_phase("warm.dual_repair", started, before, tab)
             # z was maintained through every dual pivot: still the exact
             # reduced-cost row of cost2, so phase 2 needs no re-pricing
+            started, before = time.perf_counter(), tab.pivots
             z2 = tab.run_primal(cost2, n, z=z)
+            self._record_phase("warm.phase2", started, before, tab)
             self.basis_restarts += 1
             self.dual_repairs += 1
             self.last_restarted = True
@@ -655,6 +684,7 @@ class SimplexInstance:
         cost1 = [ZERO] * tab.width
         for col in artificial_cols:
             cost1[col] = ONE
+        started, before = time.perf_counter(), tab.pivots
         z1 = tab.run_primal(cost1, n)
         if -z1[-1] > 0:
             raise InfeasibleError(
@@ -662,7 +692,10 @@ class SimplexInstance:
                 f"(restricted phase-1 optimum {-z1[-1]})"
             )
         tab.drive_out_artificials()
+        self._record_phase("warm.phase1", started, before, tab)
+        started, before = time.perf_counter(), tab.pivots
         z2 = tab.run_primal(cost2, n)
+        self._record_phase("warm.phase2", started, before, tab)
         self.basis_restarts += 1
         self.primal_repairs += 1
         self.last_restarted = True

@@ -28,7 +28,12 @@ long-running scheduling service that amortises solves across requests:
   shard-serve``) and the exact JSON result codec they reply with;
 * :mod:`~repro.service.sharding` — :class:`ShardedBroker`: consistent-
   hash routing over mixed thread / pipe / TCP shards with health
-  supervision (auto-restart, ring ejection/rejoin, failover).
+  supervision (auto-restart, ring ejection/rejoin, failover);
+* :mod:`~repro.service.tracing` — request-scoped span trees threaded
+  through every layer above (broker, ring, transports, simplex), a
+  bounded slow-trace store behind ``GET /traces`` / ``GET /trace/<id>``,
+  structured JSON supervision events, and the Prometheus text view of
+  the metrics snapshot (``GET /metrics?format=prometheus``).
 
 Quickstart
 ----------
@@ -49,7 +54,26 @@ from .fingerprint import (
     topology_signature,
 )
 from .cache import CacheEntry, CacheStats, SolutionCache
-from .metrics import EndpointMetrics, MetricsRegistry, merge_snapshots
+from .metrics import (
+    EndpointMetrics,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
+from .tracing import (
+    EventLog,
+    Span,
+    Trace,
+    TraceStore,
+    activate,
+    annotate,
+    current_span,
+    current_trace,
+    log_event,
+    render_waterfall,
+    span,
+    start_trace,
+)
 from .broker import Broker, BrokerResult, SolveEngine, SolveRequest
 from .incremental import IncrementalSolver, WarmSolveStats
 from .api import (
@@ -95,6 +119,19 @@ __all__ = [
     "EndpointMetrics",
     "MetricsRegistry",
     "merge_snapshots",
+    "render_prometheus",
+    "EventLog",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "activate",
+    "annotate",
+    "current_span",
+    "current_trace",
+    "log_event",
+    "render_waterfall",
+    "span",
+    "start_trace",
     "Broker",
     "BrokerResult",
     "SolveEngine",

@@ -48,6 +48,7 @@ import copy
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
 
 from ..core.activities import SteadyStateSolution
 from ..core.broadcast import BroadcastSolution
@@ -66,6 +67,8 @@ from ..problems import (
     spec_from_wire,
 )
 from .broker import Broker, BrokerError, BrokerResult, SolveRequest
+from .metrics import render_prometheus
+from .tracing import EVENTS, TraceStore, start_trace
 
 
 # ----------------------------------------------------------------------
@@ -264,7 +267,36 @@ def _decode_or_error(data: Dict[str, Any]):
 # ----------------------------------------------------------------------
 # the dispatcher
 # ----------------------------------------------------------------------
-def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
+def _run_batch(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``batch`` op body: per-request error isolation — one
+    malformed/failing request must not discard its siblings' solves."""
+    decoded = [
+        _decode_or_error(raw) for raw in data.get("requests", [])
+    ]
+    with broker.metrics.timer("solve.batch"):
+        futures = [
+            broker.submit(item) if isinstance(item, SolveRequest)
+            else None
+            for item in decoded
+        ]
+        results = []
+        for item, fut in zip(decoded, futures):
+            if fut is None:
+                results.append(item)  # the decode error
+                continue
+            try:
+                results.append(response_to_dict(fut.result()))
+            except SpecError as exc:
+                results.append(_error_response(exc, status=422))
+            except Exception as exc:  # noqa: BLE001 — wire boundary
+                results.append(_error_response(exc, status=500))
+    return {"ok": True, "results": results}
+
+
+
+def handle_request(broker: Broker, data: Dict[str, Any],
+                   trace_store: Optional[TraceStore] = None,
+                   ) -> Dict[str, Any]:
     """Dispatch one decoded envelope; never raises.
 
     Error responses carry ``"type"`` (the exception class) and
@@ -272,6 +304,12 @@ def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
     invalid ones (:class:`SpecError`), 500 for unexpected solver/server
     failures — so clients can tell "fix your request" from "server bug"
     on any transport.
+
+    ``trace_store``, when given, turns tracing on for every solve/batch
+    (captured into the store, retrievable by the ``traces``/``trace``
+    ops); a request may also opt in per-call with ``"trace": true``,
+    which additionally inlines the full span tree on the response.
+    Traced responses always carry ``"trace_id"``.
     """
     try:
         op = data.get("op", "solve")
@@ -283,7 +321,34 @@ def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
                 return {"ok": True, "pong": True}
         if op == "metrics":
             with broker.metrics.timer("metrics"):
-                return {"ok": True, **broker.snapshot()}
+                out = {"ok": True, **broker.snapshot()}
+                if trace_store is not None:
+                    out["traces"] = trace_store.snapshot()
+                return out
+        if op == "traces":
+            with broker.metrics.timer("traces"):
+                if trace_store is None:
+                    return {"ok": True, "traces": [], "store": None}
+                return {
+                    "ok": True,
+                    "traces": trace_store.index(
+                        limit=int(data.get("limit", 100))),
+                    "store": trace_store.snapshot(),
+                }
+        if op == "trace":
+            with broker.metrics.timer("traces"):
+                trace_id = str(data.get("id", data.get("trace_id", "")))
+                trace = (trace_store.get(trace_id)
+                         if trace_store is not None else None)
+                if trace is None:
+                    return {"ok": False, "status": 404, "type": "KeyError",
+                            "error": f"no stored trace {trace_id!r}"}
+                return {"ok": True, "trace": trace.as_dict()}
+        if op == "events":
+            with broker.metrics.timer("events"):
+                return {"ok": True,
+                        "events": EVENTS.recent(
+                            limit=int(data.get("limit", 100)))}
         if op == "cache":
             with broker.metrics.timer("cache"):
                 return {"ok": True, "cache": broker.cache.snapshot()}
@@ -307,33 +372,29 @@ def handle_request(broker: Broker, data: Dict[str, Any]) -> Dict[str, Any]:
             request = _decode_or_error(data.get("request", data))
             if not isinstance(request, SolveRequest):
                 return request  # the decode-error response
+            inline = bool(data.get("trace"))
+            if inline or trace_store is not None:
+                with start_trace("request.solve", store=trace_store,
+                                 problem=request.problem) as tr:
+                    result = broker.submit(request).result()
+                out = response_to_dict(result)
+                out["trace_id"] = tr.trace_id
+                if inline:
+                    out["trace"] = tr.as_dict()
+                return out
             # submit() rather than solve(): concurrent identical requests
             # arriving on different transport threads coalesce into one LP
             return response_to_dict(broker.submit(request).result())
         if op == "batch":
-            # per-request error isolation: one malformed/failing request
-            # must not discard the other members' completed solves
-            decoded = [
-                _decode_or_error(raw) for raw in data.get("requests", [])
-            ]
-            with broker.metrics.timer("solve.batch"):
-                futures = [
-                    broker.submit(item) if isinstance(item, SolveRequest)
-                    else None
-                    for item in decoded
-                ]
-                results = []
-                for item, fut in zip(decoded, futures):
-                    if fut is None:
-                        results.append(item)  # the decode error
-                        continue
-                    try:
-                        results.append(response_to_dict(fut.result()))
-                    except SpecError as exc:
-                        results.append(_error_response(exc, status=422))
-                    except Exception as exc:  # noqa: BLE001 — wire boundary
-                        results.append(_error_response(exc, status=500))
-            return {"ok": True, "results": results}
+            inline = bool(data.get("trace"))
+            if inline or trace_store is not None:
+                with start_trace("request.batch", store=trace_store) as tr:
+                    out = _run_batch(broker, data)
+                out["trace_id"] = tr.trace_id
+                if inline:
+                    out["trace"] = tr.as_dict()
+                return out
+            return _run_batch(broker, data)
         raise BrokerError(f"unknown op {op!r}")
     except _BadRequest as exc:  # undecodable request (past the timer)
         return _error_response(exc.original, status=400)
@@ -357,16 +418,58 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(blob)
 
+    def _send_text(self, text: str, status: int = 200,
+                   content_type: str = "text/plain; version=0.0.4; "
+                                       "charset=utf-8") -> None:
+        blob = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    @staticmethod
+    def _query_int(query: Dict[str, list], key: str, default: int) -> int:
+        try:
+            return int(query[key][0])
+        except (KeyError, IndexError, ValueError):
+            return default
+
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
         broker = self.server.broker
-        if self.path in ("/healthz", "/"):
+        store = self.server.trace_store
+        parsed = urlparse(self.path)
+        path, query = parsed.path, parse_qs(parsed.query)
+        if path in ("/healthz", "/"):
             self._send_json({"ok": True, "service": "repro", "ready": True})
-        elif self.path == "/metrics":
-            self._send_json(handle_request(broker, {"op": "metrics"}))
-        elif self.path == "/cache":
+        elif path == "/metrics":
+            response = handle_request(broker, {"op": "metrics"},
+                                      trace_store=store)
+            if query.get("format", [""])[0] == "prometheus":
+                self._send_text(render_prometheus(response))
+            else:
+                self._send_json(response)
+        elif path == "/cache":
             self._send_json(handle_request(broker, {"op": "cache"}))
-        elif self.path == "/problems":
+        elif path == "/problems":
             self._send_json(handle_request(broker, {"op": "problems"}))
+        elif path == "/traces":
+            limit = self._query_int(query, "limit", 100)
+            self._send_json(handle_request(
+                broker, {"op": "traces", "limit": limit},
+                trace_store=store))
+        elif path.startswith("/trace/"):
+            response = handle_request(
+                broker, {"op": "trace", "id": path[len("/trace/"):]},
+                trace_store=store)
+            status = response.get("status",
+                                  200 if response.get("ok") else 404)
+            self._send_json(response, status=status)
+        elif path == "/events":
+            limit = self._query_int(query, "limit", 100)
+            self._send_json(handle_request(
+                broker, {"op": "events", "limit": limit},
+                trace_store=store))
         else:
             self._send_json({"ok": False, "error": "not found"}, status=404)
 
@@ -382,7 +485,8 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(_error_response(exc, status=400), status=400)
             return
-        response = handle_request(self.server.broker, data)
+        response = handle_request(self.server.broker, data,
+                                  trace_store=self.server.trace_store)
         # the dispatcher stamps every error with its status (400 bad
         # request / 422 invalid spec / 500 server bug); default defensively
         # for responses predating the field
@@ -409,9 +513,18 @@ class ServiceServer(ThreadingHTTPServer):
         address=("127.0.0.1", 8585),
         broker: Optional[Broker] = None,
         verbose: bool = False,
+        trace_store: Optional[TraceStore] = None,
+        tracing: bool = True,
     ) -> None:
         self.broker = broker if broker is not None else Broker()
         self.verbose = verbose
+        # every request is traced into the bounded store by default
+        # (slow ones protected from eviction); ``tracing=False`` turns
+        # the subsystem off entirely for this server
+        self.trace_store = (
+            trace_store if trace_store is not None
+            else (TraceStore() if tracing else None)
+        )
         super().__init__(address, _Handler)
 
     @property
@@ -419,7 +532,8 @@ class ServiceServer(ThreadingHTTPServer):
         return self.server_address[1]
 
 
-def serve_stdio(broker: Broker, stdin, stdout) -> int:
+def serve_stdio(broker: Broker, stdin, stdout,
+                trace_store: Optional[TraceStore] = None) -> int:
     """JSON-lines loop: one envelope per input line, one response per line."""
     for line in stdin:
         line = line.strip()
@@ -434,6 +548,6 @@ def serve_stdio(broker: Broker, stdin, stdout) -> int:
                 print(json.dumps({"ok": True, "bye": True}), file=stdout,
                       flush=True)
                 break
-            response = handle_request(broker, data)
+            response = handle_request(broker, data, trace_store=trace_store)
         print(json.dumps(response), file=stdout, flush=True)
     return 0

@@ -45,6 +45,7 @@ from .cache import CacheEntry, SolutionCache
 from .fingerprint import request_fingerprint
 from .incremental import IncrementalSolver
 from .metrics import MetricsRegistry
+from .tracing import activate, current_span, span
 
 #: Malformed request (unknown problem kind, missing fields, ...).  The
 #: historical broker-level error type is the spec-validation error of the
@@ -281,25 +282,38 @@ class SolveEngine:
     def run(self, request: SolveRequest, fp: str) -> BrokerResult:
         """Solve one request (cache -> warm -> cold), metered."""
         start = time.perf_counter()
-        try:
-            # captured before the lookup: a solution computed from here on
-            # is only storable if no invalidation arrives in the meantime
-            generation = self.cache.generation
-            entry = self.cache.get(fp)
-            if entry is not None:
-                result = self._from_cache(request, fp, entry)
-                self.metrics.observe("solve.hit", time.perf_counter() - start)
-            else:
-                result = self._solve_cold(request, fp, generation)
-                endpoint = "solve.warm" if result.warm else "solve.cold"
-                self.metrics.observe(endpoint, time.perf_counter() - start)
-            result.latency_seconds = time.perf_counter() - start
-            self.metrics.observe("solve", result.latency_seconds)
-            return result
-        except BaseException:
-            self.metrics.observe("solve", time.perf_counter() - start,
-                                 error=True)
-            raise
+        with span("engine.run") as sp:
+            try:
+                # captured before the lookup: a solution computed from here
+                # on is only storable if no invalidation arrives meanwhile
+                generation = self.cache.generation
+                lookup_started = time.perf_counter()
+                entry = self.cache.get(fp)
+                if entry is not None:
+                    # on a hit engine.run *is* the lookup — a child span
+                    # would only repeat it, so the hit path stays lean
+                    result = self._from_cache(request, fp, entry)
+                    self.metrics.observe("solve.hit",
+                                         time.perf_counter() - start)
+                else:
+                    if sp is not None:
+                        lookup = sp.trace.new_span(
+                            "cache.lookup", sp.span_id,
+                            start=lookup_started - sp.trace._t0)
+                        lookup.finish()
+                    result = self._solve_cold(request, fp, generation)
+                    endpoint = "solve.warm" if result.warm else "solve.cold"
+                    self.metrics.observe(endpoint,
+                                         time.perf_counter() - start)
+                if sp is not None:
+                    sp.annotate(cached=result.cached, warm=result.warm)
+                result.latency_seconds = time.perf_counter() - start
+                self.metrics.observe("solve", result.latency_seconds)
+                return result
+            except BaseException:
+                self.metrics.observe("solve", time.perf_counter() - start,
+                                     error=True)
+                raise
 
     def _from_cache(
         self, request: SolveRequest, fp: str, entry: CacheEntry
@@ -329,9 +343,11 @@ class SolveEngine:
         ):
             solution, warm = self.incremental.solve_spec_ex(request.spec)
         elif self.cold_executor is not None:
-            solution = self.cold_executor(request)
+            with span("solver.solve", path="cold_executor"):
+                solution = self.cold_executor(request)
         else:
-            solution = execute_request(request)
+            with span("solver.solve", path="registry"):
+                solution = execute_request(request)
         schedule = None
         if request.include_schedule:
             schedule = self._reconstruct(request, solution)
@@ -377,7 +393,8 @@ class SolveEngine:
             return None
         from ..schedule.reconstruction import reconstruct_schedule
 
-        return reconstruct_schedule(solution)
+        with span("schedule.reconstruct"):
+            return reconstruct_schedule(solution)
 
     # ------------------------------------------------------------------
     def invalidate_platform(self, platform: Platform) -> int:
@@ -510,10 +527,17 @@ class Broker:
             except BaseException as exc:  # noqa: BLE001 — future carries it
                 fut.set_exception(exc)
             return fut
+        # the caller's span (if any) must follow the request onto the pool
+        # thread; the leader future also remembers which trace it solves
+        # under so coalesced followers can link the two trees
+        parent = current_span()
         with self._inflight_lock:
             inflight = self._inflight.get(fp)
             if inflight is None:
-                fut = self._pool.submit(self.engine.run, request, fp)
+                fut = self._pool.submit(self._run_pooled, request, fp, parent)
+                fut._repro_trace_id = (  # type: ignore[attr-defined]
+                    parent.trace.trace_id if parent is not None else None
+                )
                 self._inflight[fp] = fut
                 fut.add_done_callback(
                     lambda _f, fp=fp: self._forget_inflight(fp)
@@ -527,7 +551,19 @@ class Broker:
         # thread, which must not stall other submitters.  The in-flight
         # request may not have asked for a schedule; honour this caller's
         # include_schedule on top of its result.
-        return self._chain_schedule(inflight, request, start)
+        follower_span = None
+        if parent is not None:
+            follower_span = parent.trace.new_span("coalesce.wait",
+                                                  parent.span_id)
+            leader_trace = getattr(inflight, "_repro_trace_id", None)
+            if leader_trace is not None:
+                follower_span.annotate(leader_trace=leader_trace)
+        return self._chain_schedule(inflight, request, start, follower_span)
+
+    def _run_pooled(self, request: SolveRequest, fp: str,
+                    parent) -> BrokerResult:
+        with activate(parent):
+            return self.engine.run(request, fp)
 
     def _forget_inflight(self, fp: str) -> None:
         with self._inflight_lock:
@@ -538,6 +574,7 @@ class Broker:
         fut: "Future[BrokerResult]",
         request: SolveRequest,
         start: float,
+        follower_span=None,
     ) -> "Future[BrokerResult]":
         """Resolve a coalesced follower on top of the leader's future.
 
@@ -546,17 +583,25 @@ class Broker:
         latency — the time *this* caller waited — and is flagged
         ``coalesced=True`` rather than echoing the leader's ``cached`` /
         ``warm`` flags, which describe how the *leader's* solve went.
+        ``follower_span``, when tracing, covers the wait-on-leader window
+        in the follower's own trace (annotated with the leader's trace id
+        — the cross-trace link).
         """
         out: "Future[BrokerResult]" = Future()
 
         def _relay(done: "Future[BrokerResult]") -> None:
             try:
-                tailored = self.engine.tailor_schedule(request, done.result())
+                with activate(follower_span):
+                    tailored = self.engine.tailor_schedule(request,
+                                                           done.result())
                 out.set_result(self._mark_coalesced(tailored, start))
             except BaseException as exc:  # noqa: BLE001 — future carries it
                 self.metrics.observe("solve", time.perf_counter() - start,
                                      error=True)
                 out.set_exception(exc)
+            finally:
+                if follower_span is not None:
+                    follower_span.finish()
 
         fut.add_done_callback(_relay)
         return out
@@ -588,7 +633,8 @@ class Broker:
         error isolation should :meth:`submit` individually (the JSON API's
         batch op does).
         """
-        with self.metrics.timer("solve.batch"):
+        with self.metrics.timer("solve.batch"), \
+                span("solve.batch", requests=len(requests)):
             start = time.perf_counter()
             fps = [r.fingerprint() for r in requests]
             futures: Dict[str, Future] = {}

@@ -52,6 +52,7 @@ from ..lp.simplex import SimplexInstance
 from ..platform.graph import NodeId, Platform
 from ..problems import MasterSlaveSpec, ProblemSpec, SpecError, resolve
 from .fingerprint import topology_signature
+from .tracing import span
 
 
 @dataclass
@@ -156,7 +157,8 @@ class IncrementalSolver:
             with self._lock:
                 cached = self._models.get(key)
             if cached is None:
-                lp, handles = model.build(spec)
+                with span("warm.build", problem=spec.problem):
+                    lp, handles = model.build(spec)
                 instance = (SimplexInstance(lp)
                             if self.backend == "exact" else None)
                 with self._lock:
@@ -172,7 +174,8 @@ class IncrementalSolver:
                                          instance)
             else:
                 lp, handles, _root, instance = cached
-                model.patch(lp, handles, spec)
+                with span("warm.patch", problem=spec.problem):
+                    model.patch(lp, handles, spec)
                 with self._lock:
                     self.stats.warm_solves += 1
             sol = self._solve_model(lp, instance, warm=cached is not None)
@@ -184,8 +187,22 @@ class IncrementalSolver:
         """Solve a (possibly just patched) hot model, preferring the
         basis-restart path of its :class:`SimplexInstance`."""
         if instance is None:
-            return lp.solve(backend=self.backend)
-        sol = instance.solve(warm=warm)
+            with span("lp.solve", backend=self.backend):
+                return lp.solve(backend=self.backend)
+        with span("simplex.solve", warm=warm) as sp:
+            sol = instance.solve(warm=warm)
+            if sp is not None:
+                sp.annotate(pivots=sol.pivots,
+                            restarted=instance.last_restarted,
+                            phase1_skipped=instance.last_phase1_skipped)
+                # re-publish the solver's raw phase records as child
+                # spans — :mod:`repro.lp.simplex` stays tracing-free
+                for ph in instance.last_phases:
+                    child = sp.trace.new_span(
+                        "simplex." + ph["phase"], sp.span_id,
+                        start=sp.start + ph["start_seconds"])
+                    child.duration_seconds = ph["duration_seconds"]
+                    child.annotations["pivots"] = ph["pivots"]
         with self._lock:
             if warm:
                 self.stats.warm_pivots += sol.pivots

@@ -20,6 +20,14 @@ from typing import Any, Callable, Dict, Iterable, Iterator, Optional
 from contextlib import contextmanager
 
 
+def _nearest_rank(ordered: list, p: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
 class EndpointMetrics:
     """Counters for one endpoint; not thread-safe on its own (the registry
     serialises access)."""
@@ -51,17 +59,16 @@ class EndpointMetrics:
         """Nearest-rank percentile over the recent-latency window."""
         if not self._window:
             return None
-        if not 0 <= p <= 100:
-            raise ValueError("percentile must be in [0, 100]")
-        ordered = sorted(self._window)
-        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
-        return ordered[int(rank) - 1]
+        return _nearest_rank(sorted(self._window), p)
 
     @property
     def mean_seconds(self) -> Optional[float]:
         return self.total_seconds / self.count if self.count else None
 
     def as_dict(self) -> Dict[str, Any]:
+        # one sort serves every percentile in the snapshot — percentile()
+        # used to be called per quantile, sorting the window each time
+        ordered = sorted(self._window)
         return {
             "count": self.count,
             "errors": self.errors,
@@ -69,9 +76,9 @@ class EndpointMetrics:
             "mean_seconds": self.mean_seconds,
             "min_seconds": self.min_seconds,
             "max_seconds": self.max_seconds,
-            "p50_seconds": self.percentile(50),
-            "p99_seconds": self.percentile(99),
-            "window": len(self._window),
+            "p50_seconds": _nearest_rank(ordered, 50) if ordered else None,
+            "p99_seconds": _nearest_rank(ordered, 99) if ordered else None,
+            "window": len(ordered),
         }
 
 
@@ -171,7 +178,8 @@ def _merge_endpoint_dicts(dicts: list) -> Dict[str, Any]:
     }
 
 
-def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]],
+                    uptime_seconds: Optional[float] = None) -> Dict[str, Any]:
     """Merge per-shard :meth:`MetricsRegistry.snapshot` dicts into one.
 
     Counts, errors and busy time are exact sums; min/max are exact;
@@ -179,17 +187,20 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     reconstructed from per-shard percentiles, so the merged p50/p99 are
     *count-weighted averages* of the shard values — a documented
     approximation (exact when shards see similar latency distributions,
-    which hash routing makes the common case).  Uptime is the maximum
-    across shards (they started together); requests/sec is re-derived
-    from the merged totals, so it reports aggregate service throughput.
+    which hash routing makes the common case).
 
-    Input dicts are JSON snapshots, which is what makes this work
-    uniformly for in-process shards and process shards reporting over a
-    pipe.
+    ``uptime_seconds`` should be the *caller registry's* uptime (the
+    front door every merged request passed through): remote shards start
+    — and restart, and rejoin — at their own times, so the max of shard
+    uptimes can be far longer than the service has been routing requests,
+    deflating the derived requests/sec.  Without it the max across
+    snapshots is used as a fallback (exact only when every shard started
+    with the caller).
     """
     snapshots = list(snapshots)
-    uptime = max((s.get("uptime_seconds", 0.0) for s in snapshots),
-                 default=0.0)
+    uptime = (uptime_seconds if uptime_seconds is not None
+              else max((s.get("uptime_seconds", 0.0) for s in snapshots),
+                       default=0.0))
     names: Dict[str, list] = {}
     for snap in snapshots:
         for name, ep in snap.get("endpoints", {}).items():
@@ -207,3 +218,124 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "requests_per_second": total / uptime if uptime > 0 else 0.0,
         "endpoints": endpoints,
     }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4) of a broker snapshot
+# ----------------------------------------------------------------------
+def _label_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a broker/sharded-broker :meth:`snapshot` dict as Prometheus
+    text exposition.
+
+    The snapshot stays the single source of truth — this is a *view* of
+    it, so every backend (single broker, sharded, remote shards) exposes
+    identical metric names.  Endpoint latencies come out as summary-style
+    quantile samples (pre-computed nearest-rank p50/p99, not client-side
+    aggregatable histograms — documented limitation).
+    """
+    metrics = snapshot.get("metrics", {})
+    lines: list = []
+
+    def emit(name: str, kind: str, help_text: str, samples: list) -> None:
+        real = [(labels, v) for labels, v in samples if v is not None]
+        if not real:
+            return
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in real:
+            label_text = ""
+            if labels:
+                inner = ",".join(
+                    f'{k}="{_label_escape(str(v))}"'
+                    for k, v in sorted(labels.items())
+                )
+                label_text = "{" + inner + "}"
+            lines.append(f"{name}{label_text} {value}")
+
+    emit("repro_uptime_seconds", "gauge",
+         "Seconds since the metrics registry started.",
+         [({}, metrics.get("uptime_seconds"))])
+    emit("repro_requests_total", "counter",
+         "Top-level requests observed (sub-timers excluded).",
+         [({}, metrics.get("total_requests"))])
+    emit("repro_requests_per_second", "gauge",
+         "Aggregate request rate over the service uptime.",
+         [({}, metrics.get("requests_per_second"))])
+    emit("repro_coalesced_total", "counter",
+         "Requests answered by piggybacking on an in-flight twin.",
+         [({}, snapshot.get("coalesced"))])
+
+    endpoints = metrics.get("endpoints", {})
+    emit("repro_request_duration_seconds", "summary",
+         "Per-endpoint request latency (nearest-rank quantiles over the "
+         "recent window).",
+         [({"endpoint": name, "quantile": q}, ep.get(f"p{p}_seconds"))
+          for name, ep in sorted(endpoints.items())
+          for q, p in (("0.5", 50), ("0.99", 99))])
+    emit("repro_request_duration_seconds_sum", "counter",
+         "Per-endpoint total busy time.",
+         [({"endpoint": name}, ep.get("total_seconds"))
+          for name, ep in sorted(endpoints.items())])
+    emit("repro_request_duration_seconds_count", "counter",
+         "Per-endpoint request count.",
+         [({"endpoint": name}, ep.get("count"))
+          for name, ep in sorted(endpoints.items())])
+    emit("repro_request_errors_total", "counter",
+         "Per-endpoint error count.",
+         [({"endpoint": name}, ep.get("errors"))
+          for name, ep in sorted(endpoints.items())])
+
+    cache = snapshot.get("cache", {})
+    for key, help_text in (
+        ("size", "Entries currently cached."),
+        ("hits", "Cache lookups served."),
+        ("misses", "Cache lookups missed."),
+        ("evictions", "Entries evicted by the size bound."),
+        ("expirations", "Entries expired by TTL."),
+        ("invalidations", "Entries dropped by platform invalidation."),
+    ):
+        kind = "gauge" if key == "size" else "counter"
+        suffix = "" if key == "size" else "_total"
+        emit(f"repro_cache_{key}{suffix}", kind, help_text,
+             [({}, cache.get(key))])
+    emit("repro_cache_hit_rate", "gauge",
+         "Fraction of cache lookups served.",
+         [({}, cache.get("hit_rate"))])
+
+    health = snapshot.get("shard_health", {})
+    for key in ("shard_failures", "shard_timeouts", "shard_restarts",
+                "failovers", "rejoins"):
+        emit(f"repro_{key}_total", "counter",
+             f"Supervision counter: {key.replace('_', ' ')}.",
+             [({}, health.get(key))])
+    emit("repro_shard_up", "gauge",
+         "Per-shard liveness (1 = on the ring, 0 = ejected or dead).",
+         [({"shard": s.get("shard"), "kind": s.get("kind", "?")},
+           1 if s.get("active") else 0)
+          for s in health.get("shards", [])])
+
+    incremental = snapshot.get("incremental", {})
+    emit("repro_warm_models", "gauge",
+         "Hot LP models retained for warm re-solves.",
+         [({}, incremental.get("hot_models"))])
+    for key in sorted(incremental):
+        if key == "hot_models":
+            continue
+        emit(f"repro_warm_{key}_total", "counter",
+             f"Warm-path counter: {key.replace('_', ' ')}.",
+             [({}, incremental.get(key))])
+
+    traces = snapshot.get("traces", {})
+    emit("repro_traces_captured_total", "counter",
+         "Traces captured by the in-memory store.",
+         [({}, traces.get("captured"))])
+    emit("repro_traces_slow_total", "counter",
+         "Captured traces over the slow threshold.",
+         [({}, traces.get("slow_captured"))])
+
+    return "\n".join(lines) + "\n"

@@ -82,6 +82,7 @@ from ..platform.serialization import platform_to_dict
 from .broker import Broker, BrokerError, BrokerResult, SolveRequest
 from .cache import SolutionCache
 from .metrics import MetricsRegistry, merge_snapshots
+from .tracing import activate, current_span, graft_remote, log_event, span
 from .transport import (
     TransportError,
     TransportTimeout,
@@ -559,27 +560,44 @@ class ShardedBroker:
             # deterministically "time out" a healthy shard and wipe its
             # warm state
             timeout *= max(1, len(msg.get("items", ())))
-        start = time.perf_counter()
-        try:
-            reply = shard.call(msg, timeout=timeout)
-        except TransportTimeout as exc:
-            self.metrics.observe(endpoint, time.perf_counter() - start,
-                                 error=True)
-            self._note_transport_failure(shard, epoch, timeout=True)
-            raise ShardTimeoutError(
-                f"shard {shard.index} ({shard.transport.address}): {exc}",
-                shard=shard.index,
-            ) from exc
-        except TransportError as exc:
-            self.metrics.observe(endpoint, time.perf_counter() - start,
-                                 error=True)
-            self._note_transport_failure(shard, epoch)
-            raise ShardUnavailableError(
-                f"shard {shard.index} ({shard.transport.address}): {exc}",
-                shard=shard.index,
-            ) from exc
-        self.metrics.observe(endpoint, time.perf_counter() - start)
-        return reply
+        with span(endpoint, shard=shard.index,
+                  address=shard.transport.address,
+                  op=msg.get("op")) as sp:
+            start = time.perf_counter()
+            try:
+                reply = shard.call(msg, timeout=timeout)
+            except TransportTimeout as exc:
+                self.metrics.observe(endpoint, time.perf_counter() - start,
+                                     error=True)
+                self._note_transport_failure(shard, epoch, timeout=True)
+                raise ShardTimeoutError(
+                    f"shard {shard.index} ({shard.transport.address}): "
+                    f"{exc}",
+                    shard=shard.index,
+                ) from exc
+            except TransportError as exc:
+                self.metrics.observe(endpoint, time.perf_counter() - start,
+                                     error=True)
+                self._note_transport_failure(shard, epoch)
+                raise ShardUnavailableError(
+                    f"shard {shard.index} ({shard.transport.address}): "
+                    f"{exc}",
+                    shard=shard.index,
+                ) from exc
+            rtt = time.perf_counter() - start
+            self.metrics.observe(endpoint, rtt)
+            if sp is not None:
+                # re-parent shard-side span trees (single replies and
+                # solve_many items alike) into this caller's trace
+                remote = reply.get("trace")
+                if remote:
+                    graft_remote(sp, remote.get("spans", []), rtt)
+                for item in reply.get("results", ()):
+                    item_trace = item.get("trace") if isinstance(item, dict) \
+                        else None
+                    if item_trace:
+                        graft_remote(sp, item_trace.get("spans", []), rtt)
+            return reply
 
     def _note_transport_failure(self, shard: _TransportShard, epoch: int,
                                 timeout: bool = False) -> None:
@@ -590,10 +608,16 @@ class ShardedBroker:
             shard.failures += 1
             if timeout:
                 shard.timeouts += 1
+        log_event("shard.timeout" if timeout else "shard.failure",
+                  shard=shard.index, kind=shard.transport.kind,
+                  address=shard.transport.address)
         if shard.restartable:
-            shard.restart(epoch)  # marks the shard dead if respawn fails
+            usable = shard.restart(epoch)  # marks dead if respawn fails
+            log_event("shard.restart", shard=shard.index, usable=usable)
         else:
             shard.ejected = True
+            log_event("shard.eject", shard=shard.index,
+                      address=shard.transport.address)
 
     def _inactive_ids(self) -> set:
         return {s.index for s in self._transport_shards if not s.active}
@@ -635,6 +659,12 @@ class ShardedBroker:
             tried.add(shard_id)
             with self._health_lock:
                 self.failovers += 1
+            log_event("shard.failover", from_shard=shard_id,
+                      fingerprint=fp[:12])
+            # a zero-length marker in the waterfall: the request left
+            # this shard and re-entered routing
+            with span("ring.failover", from_shard=shard_id):
+                pass
 
     # ------------------------------------------------------------------
     # the solve paths
@@ -643,7 +673,9 @@ class ShardedBroker:
         """Route one request to its shard and solve synchronously."""
         fp = request.fingerprint()
         if self._thread_shards:
-            return self._thread_shards[self.ring.route(fp)].solve(request)
+            shard_id = self.ring.route(fp)
+            with span("shard.solve", shard=shard_id, mode="thread"):
+                return self._thread_shards[shard_id].solve(request)
         return self._transport_solve(request, fp)
 
     def submit(self, request: SolveRequest) -> "Future[BrokerResult]":
@@ -659,7 +691,16 @@ class ShardedBroker:
         if self._thread_shards:
             return self._thread_shards[self.ring.route(fp)].submit(request)
         shard = self._transport_shards[self._queue_shard_id(fp)]
-        return shard.executor.submit(self._transport_solve, request, fp)
+        # the caller's span must follow the request onto the shard's
+        # dispatch thread (where the transport span is opened)
+        parent = current_span()
+        return shard.executor.submit(self._dispatch_solve, request, fp,
+                                     parent)
+
+    def _dispatch_solve(self, request: SolveRequest, fp: str,
+                        parent) -> BrokerResult:
+        with activate(parent):
+            return self._transport_solve(request, fp)
 
     def _queue_shard_id(self, fp: str) -> int:
         """The dispatch queue for an async solve: the fingerprint's live
@@ -676,11 +717,14 @@ class ShardedBroker:
 
         # the memoized read-only encoding: re-sends never re-encode the
         # platform, whichever shard (or failover stand-in) receives it
-        reply = self._routed_call(fp, {
+        msg = {
             "op": "solve",
             "fp": fp,
             "request": _request_wire(request),
-        })
+        }
+        if current_span() is not None:
+            msg["trace"] = True  # ask the shard for its span tree
+        reply = self._routed_call(fp, msg)
         return result_from_wire(reply["result"])
 
     def solve_batch(self, requests: List[SolveRequest]) -> List[BrokerResult]:
@@ -703,12 +747,19 @@ class ShardedBroker:
                 return [fut.result() for fut in futures]
             return self._transport_solve_batch(requests)
 
+    def _dispatch_call(self, shard: _TransportShard, msg: Dict[str, Any],
+                       parent) -> Dict[str, Any]:
+        with activate(parent):
+            return self._shard_call(shard, msg)
+
     def _transport_solve_batch(
         self, requests: List[SolveRequest]
     ) -> List[BrokerResult]:
         from .api import _request_wire  # deferred: avoid import cycle
 
         fps = [request.fingerprint() for request in requests]
+        parent = current_span()
+        traced = parent is not None
         inactive = self._inactive_ids()
         by_shard: Dict[Optional[int], List[int]] = {}
         for index, fp in enumerate(fps):
@@ -721,15 +772,17 @@ class ShardedBroker:
         # queue (ordered with its other work), all shards in parallel
         futures = {
             shard_id: self._transport_shards[shard_id].executor.submit(
-                self._shard_call,
+                self._dispatch_call,
                 self._transport_shards[shard_id],
                 {
                     "op": "solve_many",
                     "items": [
-                        {"fp": fps[i], "request": _request_wire(requests[i])}
+                        {"fp": fps[i], "request": _request_wire(requests[i]),
+                         **({"trace": True} if traced else {})}
                         for i in indices
                     ],
                 },
+                parent,
             )
             for shard_id, indices in by_shard.items()
             if shard_id is not None
@@ -877,8 +930,12 @@ class ShardedBroker:
         shard_snaps = self.shard_snapshots()
         present = [s for s in shard_snaps if s is not None]
         coalesced = sum(b.coalesced for b in self._thread_shards)
+        # the front-door registry's uptime is the service's routing age;
+        # remote shards start/restart/rejoin at their own times, so their
+        # uptimes must not dilate the derived requests/sec
         merged_metrics = merge_snapshots(
-            [self.metrics.snapshot()] + [s["metrics"] for s in present]
+            [self.metrics.snapshot()] + [s["metrics"] for s in present],
+            uptime_seconds=self.metrics.uptime_seconds,
         )
         per_shard = []
         for idx, s in enumerate(shard_snaps):
@@ -954,6 +1011,8 @@ class ShardedBroker:
             shard.ejected = False
             with self._health_lock:
                 self.rejoins += 1
+            log_event("shard.rejoin", shard=shard.index,
+                      address=shard.transport.address)
             return
         # a busy shard holds its lock mid-request: that is proof of life,
         # and probing through the same channel would interleave frames

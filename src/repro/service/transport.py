@@ -57,6 +57,7 @@ from ..platform.serialization import platform_from_dict
 from .broker import SolveEngine
 from .cache import SolutionCache
 from .incremental import IncrementalSolver
+from .tracing import start_trace
 from .wire import result_to_wire
 
 
@@ -439,6 +440,17 @@ def handle_shard_message(engine: SolveEngine,
             return {"ok": True, "pong": True}
         if op == "solve":
             request = request_from_dict(msg["request"])
+            if msg.get("trace"):
+                # the caller is tracing: record this shard's own span
+                # tree around the solve and ship it on the reply, to be
+                # grafted into the caller's trace.  Old peers without
+                # this field behave exactly as before — the protocol
+                # needs no version bump.
+                with start_trace("shard.solve") as tr:
+                    result = engine.run(request, msg["fp"])
+                return {"ok": True, "result": result_to_wire(result),
+                        "trace": {"trace_id": tr.trace_id,
+                                  "spans": tr.span_wire()}}
             result = engine.run(request, msg["fp"])
             return {"ok": True, "result": result_to_wire(result)}
         if op == "solve_many":
@@ -449,6 +461,16 @@ def handle_shard_message(engine: SolveEngine,
             for item in msg["items"]:
                 try:
                     request = request_from_dict(item["request"])
+                    if item.get("trace"):
+                        with start_trace("shard.solve") as tr:
+                            result = engine.run(request, item["fp"])
+                        replies.append({
+                            "ok": True,
+                            "result": result_to_wire(result),
+                            "trace": {"trace_id": tr.trace_id,
+                                      "spans": tr.span_wire()},
+                        })
+                        continue
                     result = engine.run(request, item["fp"])
                     replies.append({"ok": True,
                                     "result": result_to_wire(result)})

@@ -447,6 +447,45 @@ class TestMergeSnapshots:
         assert merged["total_requests"] == 2
         assert "solve.cold" in merged["endpoints"]
 
+    def test_all_none_percentiles_stay_none(self):
+        """Merging endpoints whose windows never filled keeps p50/p99 None
+        instead of raising or inventing zeros."""
+        from repro.service import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        # Simulate a shard that reports the endpoint but no latency window.
+        snap_a["endpoints"]["solve"] = ({
+            "count": 0, "errors": 0, "total_seconds": 0.0,
+            "mean_seconds": None, "min_seconds": None, "max_seconds": None,
+            "p50_seconds": None, "p99_seconds": None, "window": 0,
+        })
+        merged = merge_snapshots([snap_a, snap_b])
+        ep = merged["endpoints"]["solve"]
+        assert ep["p50_seconds"] is None
+        assert ep["p99_seconds"] is None
+        assert ep["min_seconds"] is None and ep["max_seconds"] is None
+
+    def test_caller_uptime_overrides_shard_max(self):
+        """requests_per_second derives from the caller's uptime, not the
+        max of shard uptimes (shards may have started long before the
+        router)."""
+        from repro.service import MetricsRegistry
+
+        fake_now = [100.0]
+        reg = MetricsRegistry(clock=lambda: fake_now[0])
+        fake_now[0] = 1100.0  # shard claims 1000s of uptime
+        reg.observe("solve", 0.001)
+        snap = reg.snapshot()
+        assert snap["uptime_seconds"] == pytest.approx(1000.0)
+
+        merged = merge_snapshots([snap], uptime_seconds=10.0)
+        assert merged["uptime_seconds"] == pytest.approx(10.0)
+        assert merged["requests_per_second"] == pytest.approx(0.1)
+
+        fallback = merge_snapshots([snap])
+        assert fallback["requests_per_second"] == pytest.approx(0.001)
+
 
 # ----------------------------------------------------------------------
 # HashRing properties (what failover's minimal disruption relies on)
