@@ -11,6 +11,8 @@ Commands
 ``problems``   list the solver registry (specs, capabilities; --check
                solves every registered problem end-to-end);
 ``export``     write a generator-built platform as JSON for editing;
+``lint``       run the AST-based invariant checkers (exactness, locks,
+               wire/registry drift, tracing discipline) over the tree;
 ``serve``      run the scheduling service (HTTP JSON API, or --stdio);
 ``shard-serve`` run one standalone TCP solve shard for a remote broker;
 ``submit``     send one solve request to a server (or solve locally).
@@ -283,6 +285,12 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def _build_broker(args):
     from .service.broker import Broker
     from .service.cache import SolutionCache
@@ -534,6 +542,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_options(p)
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("lint",
+                       help="run the repro invariant checkers "
+                            "(exactness, locks, drift, tracing)")
+    from .lint import cli as _lint_cli
+    _lint_cli.add_arguments(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("serve", help="run the scheduling service")
     p.add_argument("--host", default="127.0.0.1")

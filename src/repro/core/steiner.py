@@ -40,8 +40,11 @@ def _dijkstra_from_set(
     """Min-cost distances from a *set* of already-reached nodes."""
     dist: Dict[NodeId, Fraction] = {s: Fraction(0) for s in sources}
     parent: Dict[NodeId, Edge] = {}
-    heap: List[Tuple[float, int, NodeId]] = [
-        (0.0, k, s) for k, s in enumerate(sorted(sources))
+    # exact Fraction heap keys: float(nd) collapsed distances closer
+    # than one double ulp, so a node could be finalised before a truly
+    # shorter path relaxed it — its successors then kept stale distances
+    heap: List[Tuple[Fraction, int, NodeId]] = [
+        (Fraction(0), k, s) for k, s in enumerate(sorted(sources))
     ]
     heapq.heapify(heap)
     counter = len(heap)
@@ -56,7 +59,7 @@ def _dijkstra_from_set(
             if v not in dist or nd < dist[v]:
                 dist[v] = nd
                 parent[v] = (u, v)
-                heapq.heappush(heap, (float(nd), counter, v))
+                heapq.heappush(heap, (nd, counter, v))
                 counter += 1
     return dist, parent
 

@@ -266,7 +266,8 @@ def _residual_shortest_path_tree(
 
     dist: Dict[NodeId, Fraction] = {root: Fraction(0)}
     parent: Dict[NodeId, Edge] = {}
-    heap: List[Tuple[float, int, NodeId]] = [(0.0, 0, root)]
+    # exact Fraction heap keys — see _dijkstra_from_set in steiner.py
+    heap: List[Tuple[Fraction, int, NodeId]] = [(Fraction(0), 0, root)]
     counter = 1
     done: Set[NodeId] = set()
     while heap:
@@ -281,7 +282,7 @@ def _residual_shortest_path_tree(
             if v not in dist or nd < dist[v]:
                 dist[v] = nd
                 parent[v] = (u, v)
-                heapq.heappush(heap, (float(nd), counter, v))
+                heapq.heappush(heap, (nd, counter, v))
                 counter += 1
     if not terminals <= done:
         return None

@@ -1,0 +1,92 @@
+"""Rule ``tracing`` — context-managed spans, one monotonic clock.
+
+The tracing layer (PR 6) keeps every span on one monotonic clock per
+trace so cross-process grafting can re-base offsets exactly; span
+lifetimes are managed by context managers so an exception can never
+leave a span dangling open.  Two things quietly break that:
+
+* calling ``span(...)`` / ``start_trace(...)`` outside a ``with``
+  statement — the span is opened (or worse, never finished) without
+  the exception-safe closer.  The manual ``trace.new_span(...)`` /
+  ``.finish()`` API is exempt: it exists precisely for the hand-off
+  points (coalescing followers) that cannot use ``with``.
+* ``time.time()`` in traced code — wall clock, not the trace's
+  monotonic clock; NTP steps would corrupt span math.  The deliberate
+  wall-clock uses (human-facing trace timestamps, event-log records)
+  carry ``allow(tracing)`` pragmas.
+
+Scope: the service layer (``repro/service/``), the warm path's LP
+driver (``repro/lp/``), and any file opting in via ``scope(tracing)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import Checker, Finding, ModuleInfo, register_checker
+
+_SCOPE_DIRS = ("repro/service/", "repro/lp/")
+_CONTEXT_FACTORIES = frozenset({"span", "start_trace"})
+
+
+@register_checker
+class TracingChecker(Checker):
+    rule = "tracing"
+    description = (
+        "span()/start_trace() must be opened as 'with' context "
+        "managers, and traced paths (repro/service/, repro/lp/) must "
+        "not call time.time() (one monotonic clock per trace)"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        q = "/" + module.display_path
+        return (any("/" + d in q for d in _SCOPE_DIRS)
+                or module.scoped(self.rule))
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        # which of the factory names are actually the tracing ones here?
+        imported: Set[str] = set()
+        defined: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.split(".")[-1] == "tracing":
+                    for alias in node.names:
+                        if alias.name in _CONTEXT_FACTORIES:
+                            imported.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in _CONTEXT_FACTORIES:
+                    defined.add(node.name)
+        # a module *defining* span()/start_trace() (tracing.py itself,
+        # fixtures) gets its local calls checked too
+        factory_names = imported | defined
+
+        with_contexts: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in factory_names
+                    and id(node) not in with_contexts):
+                yield Finding(
+                    self.rule, module.display_path, node.lineno,
+                    node.col_offset,
+                    f"{node.func.id}(...) opened outside a 'with' "
+                    f"statement (spans must be context-managed)",
+                )
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "time"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "time"):
+                yield Finding(
+                    self.rule, module.display_path, node.lineno,
+                    node.col_offset,
+                    "time.time() in a traced path (wall clock; use "
+                    "time.perf_counter()/monotonic() — one monotonic "
+                    "clock per trace)",
+                )

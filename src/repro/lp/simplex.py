@@ -491,7 +491,9 @@ class SimplexInstance:
         #: tracing layer turns these into spans; this module stays free
         #: of any service import.
         self.last_phases: List[Dict[str, Any]] = []
-        self._phase_clock = 0.0
+        # phase timing metadata (perf_counter floats) — never touches
+        # the exact pivot arithmetic
+        self._phase_clock = 0.0  # repro-lint: allow(exactness)
 
     # ------------------------------------------------------------------
     def solve(self, warm: bool = False) -> LPSolution:

@@ -39,8 +39,10 @@ def hopcroft_karp(
         for v in vs:
             match_r.setdefault(v, None)
 
-    INF = float("inf")
-    dist: Dict[Vertex, float] = {}
+    # BFS layer distances are integers below 2*|left|; an unreachable
+    # integer sentinel keeps the module float-free
+    INF = 2 * len(left) + 1
+    dist: Dict[Vertex, int] = {}
 
     def bfs() -> bool:
         queue: deque = deque()

@@ -57,6 +57,8 @@ def default_group_count(n_tasks: int, throughput: Fraction) -> int:
     if n_tasks <= 0:
         return 1
     val = Fraction(n_tasks) / throughput
+    # repro-lint: allow(exactness) — isqrt/ceil are exact integer ops;
+    # they pick the (integer) group count, not a result weight
     return max(1, math.isqrt(math.ceil(val)))
 
 
@@ -161,7 +163,10 @@ def asymptotic_ratio_bound(
     )
     if n_tasks <= 0:
         return Fraction(1)
+    # sqrt is irrational; this is the documented float-backed Fraction
+    # approximation of the makespan *estimate* (section 4.2's
+    # asymptotic bound), not a solver result
     sqrt_term = Fraction(
-        math.sqrt(float(ntask) / float(n_tasks))
+        math.sqrt(float(ntask) / float(n_tasks))  # repro-lint: allow(exactness)
     ).limit_denominator(10**9)
     return 1 + sqrt_term * (a1 + a2 + overhead / T)

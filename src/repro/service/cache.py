@@ -114,9 +114,9 @@ class SolutionCache:
         self.ttl = ttl
         self._clock = clock
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
-        self._generation = 0
-        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()  # guarded-by: _lock
+        self._generation = 0  # guarded-by: _lock
+        self.stats = CacheStats()  # guarded-by: _lock
 
     @property
     def generation(self) -> int:

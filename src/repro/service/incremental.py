@@ -108,13 +108,13 @@ class IncrementalSolver:
             raise ValueError("max_models must be >= 1")
         self.backend = backend
         self.max_models = max_models
-        self.stats = WarmSolveStats()
         # registry lock: guards the two dicts and the stats, never held
         # across an LP solve
         self._lock = threading.Lock()
+        self.stats = WarmSolveStats()  # guarded-by: _lock
         # key -> (lp, handles, root node of the spec that built it,
         #         SimplexInstance or None for non-exact backends)
-        self._models: Dict[
+        self._models: Dict[  # guarded-by: _lock
             Tuple,
             Tuple[LinearProgram, Dict[str, object], Optional[NodeId],
                   Optional[SimplexInstance]],
@@ -125,7 +125,7 @@ class IncrementalSolver:
         # let a later arrival mint a second lock for the same key and
         # patch an LP mid-solve; a lock object per distinct structure ever
         # seen is a few dozen bytes and keeps the invariant airtight.
-        self._model_locks: Dict[Tuple, threading.Lock] = {}
+        self._model_locks: Dict[Tuple, threading.Lock] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     @staticmethod

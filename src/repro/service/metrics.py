@@ -94,7 +94,7 @@ class MetricsRegistry:
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self._lock = threading.Lock()
-        self._endpoints: Dict[str, EndpointMetrics] = {}
+        self._endpoints: Dict[str, EndpointMetrics] = {}  # guarded-by: _lock
         self._reservoir_size = reservoir_size
         self._clock = clock
         self._started = clock()

@@ -228,11 +228,15 @@ class _TransportShard:
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"repro-shard-{index}"
         )
-        self.calls = 0  # transport round-trips (one request+reply pair)
+        # transport round-trips (one request+reply pair)
+        self.calls = 0  # guarded-by: lock
+        # failures/timeouts are mutated by the owning ShardedBroker
+        # under ITS _health_lock (cross-object guarding the lock
+        # checker cannot express), so they stay unannotated here
         self.failures = 0
         self.timeouts = 0
-        self.restarts = 0
-        self.epoch = 0
+        self.restarts = 0  # guarded-by: lock
+        self.epoch = 0  # guarded-by: lock
         self.ejected = False  # remote: off the ring until health rejoin
         self.dead = False  # local: respawn itself failed (permanent)
 
@@ -263,10 +267,12 @@ class _TransportShard:
             "active": self.active,
             "ejected": self.ejected,
             "dead": self.dead,
-            "calls": self.calls,
+            # GIL-atomic int reads; taking self.lock here would block
+            # the health probe behind an in-flight solve
+            "calls": self.calls,  # repro-lint: allow(locks)
             "failures": self.failures,
             "timeouts": self.timeouts,
-            "restarts": self.restarts,
+            "restarts": self.restarts,  # repro-lint: allow(locks)
         }
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -466,9 +472,11 @@ class ShardedBroker:
         self.request_timeout = (request_timeout
                                 if request_timeout and request_timeout > 0
                                 else None)
-        self.failovers = 0  # requests that abandoned a shard mid-flight
-        self.rejoins = 0  # ejected remote shards re-admitted to the ring
         self._health_lock = threading.Lock()
+        # requests that abandoned a shard mid-flight
+        self.failovers = 0  # guarded-by: _health_lock
+        # ejected remote shards re-admitted to the ring
+        self.rejoins = 0  # guarded-by: _health_lock
         self._closed = False
         self._thread_shards: List[Broker] = []
         self._transport_shards: List[_TransportShard] = []

@@ -140,7 +140,8 @@ class Trace:
         self.trace_id = trace_id if trace_id is not None \
             else _next_trace_id()
         self.name = name
-        self.started_at = time.time()  # wall clock, for humans
+        # wall clock, for humans; span math uses _t0 (perf_counter)
+        self.started_at = time.time()  # repro-lint: allow(tracing)
         self._t0 = time.perf_counter()
         # Hot path is lock-free: ``next()`` on ``itertools.count`` and
         # ``list.append`` are both atomic under the GIL, which is all the
@@ -412,10 +413,10 @@ class TraceStore:
         self.slow_capacity = slow_capacity
         self.slow_threshold = slow_threshold
         self._lock = threading.Lock()
-        self._recent: "OrderedDict[str, Trace]" = OrderedDict()
-        self._slow: "OrderedDict[str, Trace]" = OrderedDict()
-        self.captured = 0
-        self.slow_captured = 0
+        self._recent: "OrderedDict[str, Trace]" = OrderedDict()  # guarded-by: _lock
+        self._slow: "OrderedDict[str, Trace]" = OrderedDict()  # guarded-by: _lock
+        self.captured = 0  # guarded-by: _lock
+        self.slow_captured = 0  # guarded-by: _lock
 
     def add(self, trace: Trace) -> None:
         duration = trace.duration_seconds or 0.0
@@ -479,11 +480,13 @@ class EventLog:
         self.capacity = max(1, capacity)
         self._logger = logger
         self._lock = threading.Lock()
-        self._events: List[Dict[str, Any]] = []
-        self.emitted = 0
+        self._events: List[Dict[str, Any]] = []  # guarded-by: _lock
+        self.emitted = 0  # guarded-by: _lock
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
-        record = {"ts": time.time(), "event": event}
+        # supervision events carry human-facing wall-clock timestamps;
+        # they are not spans and join no trace clock
+        record = {"ts": time.time(), "event": event}  # repro-lint: allow(tracing)
         record.update({k: _json_safe(v) for k, v in fields.items()})
         with self._lock:
             self.emitted += 1

@@ -596,6 +596,9 @@ class ShardServer(socketserver.ThreadingTCPServer):
         incremental: bool = True,
         engine: Optional[SolveEngine] = None,
     ) -> None:
+        # the engine is shared by every connection thread; connections
+        # serialise solves on engine_lock (see _ShardConnection — the
+        # cross-class use is beyond the lock checker's own-class model)
         self.engine = engine if engine is not None else SolveEngine(
             cache=SolutionCache(max_size=cache_size, ttl=ttl),
             incremental=IncrementalSolver() if incremental else None,

@@ -240,5 +240,7 @@ def result_from_wire(data: Dict[str, Any]) -> BrokerResult:
         cached=bool(data.get("cached", False)),
         warm=bool(data.get("warm", False)),
         coalesced=bool(data.get("coalesced", False)),
-        latency_seconds=float(data.get("latency_seconds", 0.0)),
+        # operational metadata (measured seconds), not part of the
+        # exact result; explicitly float on both sides of the wire
+        latency_seconds=float(data.get("latency_seconds", 0.0)),  # repro-lint: allow(exactness)
     )

@@ -1,0 +1,31 @@
+# repro-lint: scope(drift)
+"""Seeded wire drift: decoder drops a key, one kind has no decoder."""
+
+
+class Widget:
+    def __init__(self, a, b=None):
+        self.a = a
+        self.b = b
+
+
+class Gadget:
+    def __init__(self, x):
+        self.x = x
+
+
+def solution_to_wire(solution):
+    if isinstance(solution, Widget):
+        # encodes a AND b ...
+        return {"kind": "widget", "a": solution.a, "b": solution.b}
+    if isinstance(solution, Gadget):
+        # a kind with no decoder branch at all
+        return {"kind": "gadget", "x": solution.x}
+    raise ValueError("unknown solution")
+
+
+def solution_from_wire(data):
+    kind = data.get("kind")
+    if kind == "widget":
+        # ... but the decoder silently drops b
+        return Widget(a=data["a"])
+    raise ValueError("unknown kind")

@@ -1,0 +1,21 @@
+# repro-lint: scope(drift)
+"""A mini solution codec whose encoder and decoder agree: passes."""
+
+
+class Widget:
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+def solution_to_wire(solution):
+    if isinstance(solution, Widget):
+        return {"kind": "widget", "a": solution.a, "b": solution.b}
+    raise ValueError("unknown solution")
+
+
+def solution_from_wire(data):
+    kind = data.get("kind")
+    if kind == "widget":
+        return Widget(a=data["a"], b=data["b"])
+    raise ValueError("unknown kind")

@@ -1,0 +1,12 @@
+# repro-lint: scope(exactness)
+"""Seeded exactness violations: float literal, float(), math.*, 1e-."""
+
+import math
+
+
+def leaky(x):
+    half = 0.5  # float literal
+    coerced = float(x)  # float() coercion
+    root = math.sqrt(x)  # math.* float math
+    eps = 1e-9  # scientific-notation float literal
+    return half * coerced + root + eps

@@ -1,0 +1,15 @@
+# repro-lint: scope(exactness)
+"""Exact arithmetic only: Fractions and integers pass the rule."""
+
+from fractions import Fraction
+
+
+def harmonic(n: int) -> Fraction:
+    total = Fraction(0)
+    for k in range(1, n + 1):
+        total += Fraction(1, k)
+    return total
+
+
+def scaled(x: Fraction) -> Fraction:
+    return x * Fraction(3, 2) + 7

@@ -1,0 +1,20 @@
+"""Seeded lock-discipline violations: unlocked reads and writes."""
+
+import threading
+
+
+class Racy:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self) -> None:
+        self.count += 1  # write outside the lock
+
+    def peek(self) -> int:
+        return self.count  # read outside the lock
+
+    def deferred(self):
+        # the lock is NOT held when the closure later runs
+        with self._lock:
+            return lambda: self.count + 1

@@ -1,0 +1,29 @@
+"""Guarded attributes touched only under their lock: passes the rule."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self.events = []  # guarded-by: _lock
+
+    def bump(self) -> int:
+        with self._lock:
+            self.count += 1
+            self.events.append("bump")
+            return self.count
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"count": self.count, "events": list(self.events)}
+
+
+class SubCounter(Counter):
+    """Inherited guards are enforced (and honoured) in subclasses."""
+
+    def double_bump(self) -> int:
+        with self._lock:
+            self.count += 2
+            return self.count

@@ -1,0 +1,13 @@
+# repro-lint: scope(tracing)
+"""Seeded tracing violations: naked span call, wall clock in a trace."""
+
+import time
+
+from repro.service.tracing import span, start_trace
+
+
+def leaky_trace():
+    trace = start_trace("fixture.work")  # not context-managed
+    handle = span("fixture.step")  # not context-managed
+    stamp = time.time()  # wall clock in a traced path
+    return trace, handle, stamp

@@ -1,0 +1,14 @@
+# repro-lint: scope(tracing)
+"""Context-managed spans and monotonic clocks: passes the rule."""
+
+import time
+
+from repro.service.tracing import span, start_trace
+
+
+def traced_work():
+    with start_trace("fixture.work") as trace:
+        with span("fixture.step"):
+            t0 = time.perf_counter()
+            elapsed = time.perf_counter() - t0
+        return trace, elapsed

@@ -1,0 +1,408 @@
+"""The ``repro lint`` framework: registry, pragmas, baselines, reporters,
+the four rules against their fixture corpus, the repo-wide green gate,
+and regression tests for the real findings this gate surfaced and fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Checker,
+    Finding,
+    LintError,
+    REPORT_VERSION,
+    checker_descriptions,
+    load_baseline,
+    register_checker,
+    registered_rules,
+    run_lint,
+    unregister_checker,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+RULES = ("drift", "exactness", "locks", "tracing")
+
+
+def lint_file(path, **kwargs):
+    return run_lint([str(path)], root=str(REPO), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# framework: registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        assert set(RULES) <= set(registered_rules())
+
+    def test_descriptions_cover_every_rule(self):
+        descriptions = checker_descriptions()
+        for rule in RULES:
+            assert descriptions[rule]
+
+    def test_duplicate_rule_rejected(self):
+        class Dup(Checker):
+            rule = "exactness"
+
+        with pytest.raises(LintError, match="duplicate"):
+            register_checker(Dup)
+
+    def test_unnamed_checker_rejected(self):
+        class Nameless(Checker):
+            pass
+
+        with pytest.raises(LintError, match="no rule name"):
+            register_checker(Nameless)
+
+    def test_custom_checker_runs_and_unregisters(self, tmp_path):
+        class TodoChecker(Checker):
+            rule = "todo-test-rule"
+            description = "flags TODO comments"
+
+            def check(self, module):
+                for line, col, text in module.comments:
+                    if "TODO" in text:
+                        yield Finding(self.rule, module.display_path,
+                                      line, col, "TODO found")
+
+        register_checker(TodoChecker)
+        try:
+            target = tmp_path / "mod.py"
+            target.write_text("x = 1  # TODO: later\n")
+            report = run_lint([str(target)], rules=["todo-test-rule"])
+            assert [f.message for f in report.findings] == ["TODO found"]
+        finally:
+            unregister_checker("todo-test-rule")
+        with pytest.raises(LintError, match="unknown rule"):
+            run_lint([str(tmp_path)], rules=["todo-test-rule"])
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(LintError, match="no such file"):
+            run_lint([str(REPO / "does-not-exist")])
+
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = run_lint([str(bad)])
+        assert [f.rule for f in report.findings] == ["syntax"]
+
+
+# ----------------------------------------------------------------------
+# framework: suppression pragmas
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def violation(self):
+        return ("# repro-lint: scope(exactness)\n"
+                "x = 0.5\n")
+
+    def test_finding_without_pragma(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(self.violation())
+        report = run_lint([str(mod)], rules=["exactness"])
+        assert len(report.findings) == 1
+        assert not report.suppressed
+
+    def test_trailing_line_allow(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("# repro-lint: scope(exactness)\n"
+                       "x = 0.5  # repro-lint: allow(exactness) — why\n")
+        report = run_lint([str(mod)], rules=["exactness"])
+        assert not report.findings
+        assert len(report.suppressed) == 1
+
+    def test_trailing_allow_wrong_rule_does_not_suppress(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("# repro-lint: scope(exactness)\n"
+                       "x = 0.5  # repro-lint: allow(locks)\n")
+        report = run_lint([str(mod)], rules=["exactness"])
+        assert len(report.findings) == 1
+
+    def test_trailing_allow_star(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("# repro-lint: scope(exactness)\n"
+                       "x = 0.5  # repro-lint: allow(*)\n")
+        report = run_lint([str(mod)], rules=["exactness"])
+        assert not report.findings
+
+    def test_top_of_file_allow_covers_whole_file(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("# repro-lint: scope(exactness)\n"
+                       "# repro-lint: allow(exactness) — float module\n"
+                       "x = 0.5\n"
+                       "y = 1e-9\n")
+        report = run_lint([str(mod)], rules=["exactness"])
+        assert not report.findings
+        assert len(report.suppressed) == 2
+
+    def test_standalone_mid_file_allow_covers_next_code_line(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("# repro-lint: scope(exactness)\n"
+                       "a = 1\n"
+                       "# repro-lint: allow(exactness) — justified\n"
+                       "# (comment lines in between are skipped)\n"
+                       "x = 0.5\n"
+                       "y = 2.5\n")
+        report = run_lint([str(mod)], rules=["exactness"])
+        # the pragma covers x's line only; y still fails
+        assert [f.line for f in report.findings] == [6]
+        assert [f.line for f in report.suppressed] == [5]
+
+    def test_scope_pragma_opts_into_path_scoped_rule(self, tmp_path):
+        scoped = tmp_path / "scoped.py"
+        scoped.write_text("# repro-lint: scope(exactness)\nx = 0.5\n")
+        unscoped = tmp_path / "unscoped.py"
+        unscoped.write_text("x = 0.5\n")
+        assert len(run_lint([str(scoped)]).findings) == 1
+        assert not run_lint([str(unscoped)]).findings
+
+
+# ----------------------------------------------------------------------
+# framework: baselines
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_roundtrip_and_classification(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("# repro-lint: scope(exactness)\nx = 0.5\n")
+        first = run_lint([str(mod)], rules=["exactness"])
+        assert len(first.findings) == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(str(baseline_file), first.findings)
+        keys = load_baseline(str(baseline_file))
+        assert keys == {first.findings[0].baseline_key}
+
+        second = run_lint([str(mod)], rules=["exactness"], baseline=keys)
+        assert second.ok
+        assert len(second.baselined) == 1
+        assert not second.findings
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("# repro-lint: scope(exactness)\nx = 0.5\n")
+        keys = {f.baseline_key for f in run_lint([str(mod)]).findings}
+        # unrelated edit moves the finding down two lines
+        mod.write_text("# repro-lint: scope(exactness)\na = 1\nb = 2\nx = 0.5\n")
+        report = run_lint([str(mod)], baseline=keys)
+        assert report.ok and len(report.baselined) == 1
+
+    def test_unreadable_baseline_raises(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        bad.write_text("[]")
+        with pytest.raises(LintError, match="not a repro-lint baseline"):
+            load_baseline(str(bad))
+
+
+# ----------------------------------------------------------------------
+# framework: reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def test_json_schema(self):
+        report = lint_file(FIXTURES / "exactness_bad.py")
+        data = report.as_dict()
+        assert data["version"] == REPORT_VERSION
+        assert data["ok"] is False
+        assert data["files_checked"] == 1
+        assert set(data["rules"]) >= set(RULES)
+        assert isinstance(data["suppressed_count"], int)
+        assert isinstance(data["baselined_count"], int)
+        assert data["baselined"] == []
+        for finding in data["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message"}
+            assert finding["rule"] == "exactness"
+        assert json.loads(json.dumps(data)) == data
+
+    def test_text_render_mentions_counts(self):
+        ok = lint_file(FIXTURES / "exactness_ok.py")
+        assert "repro lint OK" in ok.render_text()
+        bad = lint_file(FIXTURES / "exactness_bad.py")
+        text = bad.render_text()
+        assert "repro lint FAILED" in text
+        assert "[exactness]" in text
+
+    def test_cli_exit_codes_and_json(self, capsys):
+        assert lint_main([str(FIXTURES / "exactness_ok.py")]) == 0
+        assert lint_main([str(FIXTURES / "exactness_bad.py")]) == 1
+        capsys.readouterr()
+        assert lint_main(["--json", str(FIXTURES / "exactness_bad.py")]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False and data["findings"]
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_cli_write_baseline_then_green(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        bad = str(FIXTURES / "exactness_bad.py")
+        assert lint_main(["--write-baseline", str(baseline), bad]) == 0
+        assert lint_main(["--baseline", str(baseline), bad]) == 0
+        capsys.readouterr()
+
+    def test_cli_bad_rule_is_usage_error(self, capsys):
+        assert lint_main(["--rules", "no-such-rule",
+                          str(FIXTURES / "exactness_ok.py")]) == 2
+
+
+# ----------------------------------------------------------------------
+# the four rules against their fixture corpus
+# ----------------------------------------------------------------------
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("rule", RULES)
+    def test_ok_fixture_is_clean(self, rule):
+        report = lint_file(FIXTURES / f"{rule}_ok.py")
+        assert report.ok, report.render_text()
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_bad_fixture_fails_with_its_rule(self, rule):
+        report = lint_file(FIXTURES / f"{rule}_bad.py")
+        assert not report.ok
+        assert {f.rule for f in report.findings} == {rule}
+
+    def test_exactness_catches_all_four_shapes(self):
+        report = lint_file(FIXTURES / "exactness_bad.py")
+        messages = "\n".join(f.message for f in report.findings)
+        assert "float literal 0.5" in messages
+        assert "float() coercion" in messages
+        assert "math.sqrt" in messages
+        assert "1e-09" in messages
+
+    def test_locks_catches_write_read_and_closure(self):
+        report = lint_file(FIXTURES / "locks_bad.py")
+        lines = {f.line for f in report.findings}
+        source = (FIXTURES / "locks_bad.py").read_text().splitlines()
+        flagged = {source[line - 1].strip() for line in lines}
+        assert any("self.count += 1" in text for text in flagged)
+        assert any("return self.count" in text for text in flagged)
+        assert any("lambda" in text for text in flagged)
+
+    def test_locks_inherited_guards_enforced(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import threading\n"
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # guarded-by: _lock\n"
+            "class Child(Base):\n"
+            "    def bad(self):\n"
+            "        return self.n\n")
+        report = run_lint([str(mod)], rules=["locks"])
+        assert len(report.findings) == 1
+        assert "Child.bad" in report.findings[0].message
+
+    def test_locks_dangling_annotation_flagged(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("import threading\n"
+                       "# guarded-by: _lock\n"
+                       "X = 3\n")
+        report = run_lint([str(mod)], rules=["locks"])
+        assert len(report.findings) == 1
+        assert "dangling" in report.findings[0].message
+
+    def test_drift_names_the_dropped_key_and_orphan_kind(self):
+        report = lint_file(FIXTURES / "drift_bad.py")
+        messages = "\n".join(f.message for f in report.findings)
+        assert "'widget'" in messages and "b" in messages
+        assert "'gadget'" in messages and "no decoder" in messages
+
+    def test_tracing_catches_naked_span_and_wall_clock(self):
+        report = lint_file(FIXTURES / "tracing_bad.py")
+        messages = "\n".join(f.message for f in report.findings)
+        assert "start_trace" in messages
+        assert "span(...)" in messages
+        assert "time.time()" in messages
+
+
+# ----------------------------------------------------------------------
+# the repo-wide gate (the acceptance criterion, as a test)
+# ----------------------------------------------------------------------
+class TestRepoGate:
+    def test_src_tree_is_green(self):
+        report = run_lint([str(REPO / "src")], root=str(REPO))
+        assert report.ok, report.render_text()
+
+    def test_no_baselined_debt_for_exactness_and_drift(self):
+        # acceptance: suppressions for these rules are justified pragmas
+        # in the code, never baseline entries
+        report = run_lint([str(REPO / "src")], root=str(REPO))
+        assert not report.baselined
+
+    def test_walk_skips_fixture_corpus(self):
+        report = run_lint([str(REPO / "tests")], root=str(REPO))
+        assert report.ok, report.render_text()
+        checked = {os.path.basename(p) for p in
+                   (str(REPO / "tests" / "lint_fixtures"),)}
+        assert checked  # fixtures directory exists ...
+        assert report.files_checked > 0
+        # ... but none of its deliberate violations leaked into the run
+        assert not any("lint_fixtures" in f.path for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# regression tests for the real findings this PR fixed
+# ----------------------------------------------------------------------
+class TestFixedFindings:
+    def test_dijkstra_heap_keys_are_exact(self):
+        # two path costs closer than one double ulp: float heap keys
+        # finalised 'a' before the truly shorter path through 'b'
+        # relaxed it, leaving a's successor 'c' with a stale distance
+        from repro.core.steiner import _dijkstra_from_set
+        from repro.platform.graph import Platform
+
+        eps = Fraction(1, 10**40)
+        delta = Fraction(1, 10**50)
+        p = Platform("tie")
+        for n in ("r", "a", "b", "c"):
+            p.add_node(n, w=1)
+        p.add_edge("r", "a", c=Fraction(1, 3) + eps)
+        p.add_edge("r", "b", c=Fraction(1, 3))
+        p.add_edge("b", "a", c=delta)
+        p.add_edge("a", "c", c=1)
+        dist, parent = _dijkstra_from_set(p, {"r"})
+        assert dist["a"] == Fraction(1, 3) + delta
+        assert parent["a"] == ("b", "a")
+        assert dist["c"] == Fraction(1, 3) + delta + 1
+
+    def test_residual_tree_heap_keys_are_exact(self):
+        from repro.core.trees import _residual_shortest_path_tree
+        from repro.platform.graph import Platform
+
+        eps = Fraction(1, 10**40)
+        p = Platform("tie")
+        for n in ("r", "a", "b", "t"):
+            p.add_node(n, w=1)
+        p.add_edge("r", "a", c=Fraction(1, 3) + eps)
+        p.add_edge("r", "b", c=Fraction(1, 3))
+        p.add_edge("a", "t", c=Fraction(1))
+        p.add_edge("b", "t", c=Fraction(1))
+        plenty = {n: Fraction(100) for n in ("r", "a", "b", "t")}
+        tree = _residual_shortest_path_tree(
+            p, "r", {"t"}, dict(plenty), dict(plenty))
+        # the truly cheaper branch must win despite the float tie
+        assert ("r", "b") in tree and ("b", "t") in tree
+
+    def test_hopcroft_karp_integer_sentinel(self):
+        from repro.schedule.matching import hopcroft_karp
+
+        # behaviour unchanged by the float("inf") -> int sentinel swap
+        adjacency = {i: [j for j in range(6) if (i + j) % 2 == 0]
+                     for i in range(6)}
+        matching = hopcroft_karp(adjacency)
+        assert len(matching) == 6
+        empty = hopcroft_karp({})
+        assert empty == {}
+
+    def test_matching_module_is_float_free(self):
+        report = run_lint(
+            [str(REPO / "src/repro/schedule/matching.py")], root=str(REPO))
+        assert report.ok and not report.suppressed
