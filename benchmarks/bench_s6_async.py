@@ -1,0 +1,332 @@
+"""S6 — async multiplexed transport: concurrent in-flight requests vs
+the sync one-request-per-socket path, and cross-broker coalescing.
+
+The paper's thesis is throughput over per-request latency; PR 8 rebuilt
+the service core on asyncio to make that real at the transport layer.
+Two measurements against a real ``shard-serve --async`` subprocess:
+
+* **in-flight scaling** — one warmed shard, one TCP connection, the
+  same zipf workload (the bench_s1 pool): the sync :class:`TcpTransport`
+  (one request in flight per socket — the pre-PR-8 semantics) vs the
+  multiplexed :class:`AsyncTcpTransport` at 1 / 8 / 64 concurrent
+  in-flight requests.  Reported: sustained req/s and per-request
+  p50/p99 (queueing included — the latency/throughput trade is the
+  point).  Every reply is decoded and asserted ``Fraction``-identical
+  to an unsharded reference broker.  The full run asserts the
+  64-in-flight throughput is at least 2x the sync transport.
+
+* **cross-broker coalescing** — two :class:`ShardedBroker`\\ s
+  (``async_transport=True``) hammer ONE fingerprint on one shared
+  shard whose single solve worker is parked behind a ``sleep`` op, so
+  every request is provably concurrent: the shard must run the engine
+  exactly once (counter-asserted), answer every broker
+  ``Fraction``-identically, and count the rest in ``shard_coalesced``.
+
+Emits ``BENCH_async.json`` at the repo root.  Run standalone::
+
+    python benchmarks/bench_s6_async.py [--smoke] [--out FILE]
+
+or through pytest (``pytest benchmarks/bench_s6_async.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.service import (
+    Broker,
+    ShardedBroker,
+    SolutionCache,
+    AsyncTcpTransport,
+    TcpTransport,
+    connect_async,
+)
+from repro.service.api import request_to_dict
+from repro.service.wire import result_from_wire
+
+from bench_s1_service import _zipf_request_pool
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# async shard-serve subprocess management
+# ----------------------------------------------------------------------
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def start_async_shard(port: int, solve_workers: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "shard-serve", "--async",
+         "--port", str(port), "--solve-workers", str(solve_workers)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+            return process
+        except OSError:
+            time.sleep(0.1)
+    process.kill()
+    raise RuntimeError(f"shard-serve --async on :{port} never came up")
+
+
+def stop(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            process.kill()
+            process.wait()
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+def build_workload(n_requests: int):
+    pool = list(_zipf_request_pool())
+    sequence = [pool[i % len(pool)] for i in range(n_requests)]
+    msgs = [({"op": "solve", "fp": r.fingerprint(),
+              "request": request_to_dict(r)}, r.fingerprint())
+            for r in sequence]
+    return pool, msgs
+
+
+def reference_throughputs(pool) -> dict:
+    with Broker(executor="sync",
+                cache=SolutionCache(max_size=4 * len(pool))) as broker:
+        return {r.fingerprint(): broker.solve(r).throughput for r in pool}
+
+
+def _check(reply, fp, reference, label: str) -> None:
+    assert reply.get("ok"), f"{label}: shard error {reply!r}"
+    result = result_from_wire(reply["result"])
+    assert result.throughput == reference[fp], (
+        f"{label}: {fp[:12]} returned {result.throughput}, "
+        f"reference {reference[fp]}"
+    )
+
+
+def _latency_row(label, in_flight, n, elapsed, latencies) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "transport": label,
+        "in_flight": in_flight,
+        "requests": n,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": n / elapsed,
+        "p50_ms": ordered[len(ordered) // 2] * 1e3,
+        "p99_ms": ordered[min(len(ordered) - 1,
+                              (len(ordered) * 99) // 100)] * 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
+# 1) in-flight scaling on one connection
+# ----------------------------------------------------------------------
+def run_sync_serial(port, msgs, reference) -> dict:
+    transport = TcpTransport("127.0.0.1", port)
+    try:
+        latencies = []
+        start = time.perf_counter()
+        for msg, fp in msgs:
+            t0 = time.perf_counter()
+            reply = transport.request(msg, timeout=60)
+            latencies.append(time.perf_counter() - t0)
+            _check(reply, fp, reference, "sync")
+        elapsed = time.perf_counter() - start
+    finally:
+        transport.close()
+    return _latency_row("sync", 1, len(msgs), elapsed, latencies)
+
+
+def run_async_window(port, msgs, window, reference) -> dict:
+    async def go():
+        transport = AsyncTcpTransport("127.0.0.1", port)
+        gate = asyncio.Semaphore(window)
+        latencies = []
+
+        async def one(msg, fp):
+            async with gate:
+                t0 = time.perf_counter()
+                reply = await transport.request(msg, timeout=120)
+                latencies.append(time.perf_counter() - t0)
+                return fp, reply
+
+        start = time.perf_counter()
+        replies = await asyncio.gather(
+            *(one(msg, fp) for msg, fp in msgs))
+        elapsed = time.perf_counter() - start
+        await transport.close()
+        return elapsed, latencies, replies
+
+    elapsed, latencies, replies = asyncio.run(go())
+    for fp, reply in replies:
+        _check(reply, fp, reference, f"async@{window}")
+    return _latency_row("async", window, len(msgs), elapsed, latencies)
+
+
+# ----------------------------------------------------------------------
+# 2) cross-broker coalescing dedup
+# ----------------------------------------------------------------------
+def run_coalescing(concurrent: int) -> dict:
+    pool, _msgs = build_workload(1)
+    request = pool[0]
+    reference = reference_throughputs([request])
+    port = _free_port()
+    server = start_async_shard(port, solve_workers=1)
+    address = f"127.0.0.1:{port}"
+    blocker = connect_async(address)
+    brokers = [ShardedBroker(shards=0, shard_addresses=[address],
+                             async_transport=True) for _ in range(2)]
+    try:
+        hold = threading.Thread(
+            target=lambda: blocker.request(
+                {"op": "sleep", "seconds": 1.0}, timeout=30))
+        hold.start()
+        time.sleep(0.25)
+
+        results = [None] * concurrent
+
+        def run_one(i):
+            results[i] = brokers[i % 2].solve(request)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=run_one, args=(i,))
+                   for i in range(concurrent)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        hold.join()
+
+        snap = blocker.request({"op": "snapshot"}, timeout=5)["snapshot"]
+        engine_solves = snap["metrics"]["endpoints"]["solve"]["count"]
+        coalesced = snap["async"]["shard_coalesced"]
+        assert engine_solves == 1, (
+            f"{concurrent} concurrent identical requests ran the engine "
+            f"{engine_solves} times — remote coalescing failed"
+        )
+        assert coalesced == concurrent - 1, (coalesced, concurrent)
+        for result in results:
+            assert result is not None
+            assert result.throughput == reference[request.fingerprint()]
+    finally:
+        for broker in brokers:
+            broker.close()
+        blocker.close()
+        stop(server)
+    return {
+        "brokers": 2,
+        "concurrent_requests": concurrent,
+        "engine_solves": engine_solves,
+        "shard_coalesced": coalesced,
+        "dedup_factor": concurrent / engine_solves,
+        "elapsed_seconds": elapsed,
+        "exact": True,
+    }
+
+
+# ----------------------------------------------------------------------
+def run(smoke: bool = False) -> dict:
+    n_requests = 150 if smoke else 1500
+    windows = (1, 8, 64)
+    min_speedup = 1.1 if smoke else 2.0
+
+    pool, msgs = build_workload(n_requests)
+    reference = reference_throughputs(pool)
+
+    port = _free_port()
+    server = start_async_shard(port, solve_workers=4)
+    try:
+        # warm the shard's cache once so every timed pass measures the
+        # transport and mux, not cold LP solves
+        warm = TcpTransport("127.0.0.1", port)
+        for request in pool:
+            _check(warm.request(
+                {"op": "solve", "fp": request.fingerprint(),
+                 "request": request_to_dict(request)}, timeout=120),
+                request.fingerprint(), reference, "warm")
+        warm.close()
+
+        sync_row = run_sync_serial(port, msgs, reference)
+        async_rows = [run_async_window(port, msgs, w, reference)
+                      for w in windows]
+    finally:
+        stop(server)
+
+    sync_rps = sync_row["requests_per_second"]
+    for row in async_rows:
+        row["rps_vs_sync"] = row["requests_per_second"] / sync_rps
+    speedup_64 = async_rows[-1]["rps_vs_sync"]
+    assert speedup_64 >= min_speedup, (
+        f"64 in-flight requests on one connection reached only "
+        f"{speedup_64:.2f}x the sync transport (minimum {min_speedup}x)"
+    )
+
+    coalescing = run_coalescing(concurrent=4 if smoke else 8)
+
+    return {
+        "benchmark": "S6 async multiplexed transport",
+        "quick": smoke,
+        "requests": n_requests,
+        "pool_size": len(pool),
+        "sync": sync_row,
+        "async_windows": async_rows,
+        "speedup_64_vs_sync": speedup_64,
+        "coalescing": coalescing,
+        "exactness": "every reply on every transport decoded and "
+                     "asserted Fraction-identical to the unsharded "
+                     "reference broker",
+    }
+
+
+def test_s6_async(capsys):
+    """Pytest entry point (smoke mode; run the script for full numbers)."""
+    report = run(smoke=True)
+    with capsys.disabled():
+        print("\n==== S6: async multiplexed transport ====")
+        print(json.dumps(report, indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small stream (CI smoke run)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_async.json)")
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    out = Path(args.out) if args.out else (REPO_ROOT / "BENCH_async.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

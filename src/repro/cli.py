@@ -323,6 +323,11 @@ def _build_broker(args):
                 "--shard-timeout applies to process/TCP shards only; "
                 "use --shard-mode process (or --shard host:port)"
             )
+        if getattr(args, "async_transport", False) and not addresses:
+            raise SystemExit(
+                "--async-transport multiplexes remote shard connections; "
+                "it needs at least one --shard host:port"
+            )
         return ShardedBroker(
             shards=shards,
             shard_mode=mode,
@@ -331,6 +336,12 @@ def _build_broker(args):
             ttl=ttl,
             shard_addresses=addresses,
             request_timeout=timeout if timeout > 0 else None,
+            async_transport=bool(getattr(args, "async_transport", False)),
+        )
+    if getattr(args, "async_transport", False):
+        raise SystemExit(
+            "--async-transport applies to remote shards only; add "
+            "--shard host:port"
         )
     if shards < 1:
         raise SystemExit("--shards 0 needs at least one --shard host:port")
@@ -359,9 +370,6 @@ def cmd_serve(args) -> int:
                                trace_store=store)
         finally:
             broker.close()
-    server = ServiceServer((args.host, args.port), broker=broker,
-                           verbose=args.verbose, trace_store=store,
-                           tracing=not args.no_tracing)
     shards = getattr(args, "shards", 1)
     addresses = list(getattr(args, "shard", None) or [])
     if shards > 1 or addresses:
@@ -369,10 +377,38 @@ def cmd_serve(args) -> int:
         layout = f"{shards} local {mode} shards x {args.cache_size} entries"
         if addresses:
             layout += f" + {len(addresses)} remote " + " ".join(addresses)
+            if getattr(args, "async_transport", False):
+                layout += " (multiplexed)"
         if mode == "thread":  # --workers is per-shard, thread only
             layout += f", {args.workers} workers/shard"
     else:
         layout = f"cache {args.cache_size} entries, {args.workers} workers"
+    if args.async_http:
+        import asyncio
+
+        from .service.api import AsyncServiceServer
+
+        aserver = AsyncServiceServer(
+            (args.host, args.port), broker=broker, trace_store=store,
+            tracing=not args.no_tracing)
+
+        async def _amain() -> None:
+            await aserver.start()
+            print(f"repro service listening on "
+                  f"http://{args.host}:{aserver.port} ({layout}, "
+                  f"async http)", flush=True)
+            await aserver.serve_forever()
+
+        try:
+            asyncio.run(_amain())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            broker.close()
+        return 0
+    server = ServiceServer((args.host, args.port), broker=broker,
+                           verbose=args.verbose, trace_store=store,
+                           tracing=not args.no_tracing)
     print(f"repro service listening on http://{args.host}:{server.port} "
           f"({layout})")
     try:
@@ -391,10 +427,47 @@ def cmd_shard_serve(args) -> int:
     Point any ``python -m repro serve`` at it with ``--shard host:port``
     to place it on that broker's hash ring; several brokers may share
     one shard (the engine lock serialises their ops).
+
+    With ``--async`` the shard runs the asyncio server instead: one
+    event loop multiplexes id-tagged requests from many brokers over
+    however many connections arrive, solves run on a bounded thread
+    pool (``--solve-workers``), pings are answered on the loop even
+    while the pool is saturated, and ``--op-deadline`` answers
+    overdue ops with a typed ``ShardTimeoutError`` reply.
     """
+    ttl = args.ttl if args.ttl and args.ttl > 0 else None
+    if args.use_async:
+        import asyncio
+
+        from .service.transport import AsyncShardServer
+
+        deadline = args.op_deadline if args.op_deadline > 0 else None
+        aserver = AsyncShardServer(
+            (args.host, args.port),
+            cache_size=args.cache_size,
+            ttl=ttl,
+            incremental=not args.no_incremental,
+            solve_workers=args.solve_workers,
+            op_deadline=deadline,
+        )
+
+        async def _amain() -> None:
+            await aserver.start()
+            print(f"repro shard listening on {aserver.address} "
+                  f"(async, {aserver.solve_workers} solve workers, "
+                  f"op deadline "
+                  f"{'none' if deadline is None else f'{deadline}s'}, "
+                  f"cache {args.cache_size} entries, warm path "
+                  f"{'off' if args.no_incremental else 'on'})", flush=True)
+            await aserver.serve_forever()
+
+        try:
+            asyncio.run(_amain())
+        except KeyboardInterrupt:
+            pass
+        return 0
     from .service.transport import ShardServer
 
-    ttl = args.ttl if args.ttl and args.ttl > 0 else None
     server = ShardServer(
         (args.host, args.port),
         cache_size=args.cache_size,
@@ -582,7 +655,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-timeout", type=float, default=0,
                    help="per-request shard transport timeout in seconds "
                         "(0 = wait indefinitely); on expiry the request "
-                        "fails over to the next live shard")
+                        "fails over to the next live shard (with "
+                        "--async-transport the shard enforces it "
+                        "server-side and answers promptly)")
+    p.add_argument("--async-transport", action="store_true",
+                   help="multiplex each remote --shard connection: many "
+                        "in-flight id-tagged requests share one socket "
+                        "(requires async or id-echoing shard-serve peers)")
+    p.add_argument("--async-http", action="store_true",
+                   help="serve HTTP on one asyncio event loop (idle "
+                        "keep-alive clients cost no threads; broker "
+                        "dispatch runs on a bounded executor)")
     p.add_argument("--slow-trace", type=float, default=0.25,
                    help="traces at least this slow (seconds) are always "
                         "kept in the slow-trace ring")
@@ -603,6 +686,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache TTL in seconds (0 = no expiry)")
     p.add_argument("--no-incremental", action="store_true",
                    help="disable the warm re-solve path for this shard")
+    p.add_argument("--async", dest="use_async", action="store_true",
+                   help="run the asyncio shard server: id-tagged frames "
+                        "are multiplexed per connection, pings answered "
+                        "on the loop, solves on a bounded thread pool")
+    p.add_argument("--solve-workers", type=int, default=2,
+                   help="async server only: threads in the bounded solve "
+                        "executor (the engine lock still serialises "
+                        "engine entry; the pool bounds queueing)")
+    p.add_argument("--op-deadline", type=float, default=0,
+                   help="async server only: default per-op server-side "
+                        "deadline in seconds (0 = none); overdue ops are "
+                        "answered with a typed ShardTimeoutError reply "
+                        "while the connection keeps serving other ids")
     p.set_defaults(func=cmd_shard_serve)
 
     p = sub.add_parser("submit", help="submit one solve request")

@@ -1,5 +1,5 @@
 """Built-in checkers; importing this package registers them all."""
 
-from . import drift, exactness, locks, tracing  # noqa: F401
+from . import asyncio_rules, drift, exactness, locks, tracing  # noqa: F401
 
-__all__ = ["drift", "exactness", "locks", "tracing"]
+__all__ = ["asyncio_rules", "drift", "exactness", "locks", "tracing"]

@@ -1,0 +1,155 @@
+"""Rule ``asyncio`` — no blocking calls on the event loop.
+
+The async service core (PR 8) runs framing, routing and coalescing on
+one event loop; anything that blocks inside an ``async def`` stalls
+*every* connection, not just its own — a busy shard stops answering
+pings, deadlines fire late, and the multiplexing win evaporates.  The
+convention is mechanical, so it is machine-checked:
+
+* no ``time.sleep(...)`` — use ``await asyncio.sleep(...)``;
+* no raw socket calls (``recv``/``recv_into``/``recvfrom``/``accept``/
+  ``sendall``, ``socket.create_connection``) — stream readers/writers
+  only;
+* no un-awaited ``.request(...)`` / ``.request_many(...)`` /
+  ``.ping(...)`` — calling a *sync* ``Transport`` from a coroutine
+  blocks the loop on network I/O (the bridge exists for the opposite
+  direction);
+* no ``.result()`` — a ``concurrent.futures`` wait parks the loop;
+  hand the future to ``asyncio.wrap_future`` or await the executor;
+* no sync ``with <...lock...>:`` — an engine/state lock held across a
+  blocking acquire convoys the loop; engine locks belong *inside*
+  executor jobs, loop-confined state needs no lock at all
+  (``async with`` on an ``asyncio.Lock`` is of course fine).
+
+Nested sync ``def``/``lambda`` bodies are exempt — they are exactly
+the functions handed to executors — and the deliberate exceptions
+carry ``allow(asyncio)`` pragmas.
+
+Scope: the service layer (``repro/service/``) and any file opting in
+via ``scope(asyncio)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import Checker, Finding, ModuleInfo, register_checker
+
+_SCOPE_DIRS = ("repro/service/",)
+_SOCKET_METHODS = frozenset(
+    {"recv", "recv_into", "recvfrom", "accept", "sendall"})
+_TRANSPORT_METHODS = frozenset({"request", "request_many", "ping"})
+
+
+def _iter_async_body(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body without crossing into nested functions —
+    a nested sync ``def`` runs on an executor thread, not the loop."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _terminal_name(expr: ast.AST) -> str:
+    """The rightmost identifier of a context expression."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return ""
+
+
+@register_checker
+class AsyncioChecker(Checker):
+    rule = "asyncio"
+    description = (
+        "async def bodies in repro/service/ must not block the event "
+        "loop: no time.sleep, raw socket calls, un-awaited sync "
+        "Transport request/ping, Future.result(), or sync 'with' on a "
+        "lock (engine locks belong inside executor jobs)"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        q = "/" + module.display_path
+        return (any("/" + d in q for d in _SCOPE_DIRS)
+                or module.scoped(self.rule))
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for outer in ast.walk(module.tree):
+            if not isinstance(outer, ast.AsyncFunctionDef):
+                continue
+            awaited: Set[int] = set()
+            for node in _iter_async_body(outer):
+                if isinstance(node, ast.Await):
+                    awaited.add(id(node.value))
+            for node in _iter_async_body(outer):
+                yield from self._check_node(module, outer, node, awaited)
+
+    def _check_node(self, module: ModuleInfo, outer: ast.AsyncFunctionDef,
+                    node: ast.AST, awaited: Set[int]) -> Iterator[Finding]:
+        where = f"in async def {outer.name}"
+        if isinstance(node, ast.With):
+            for item in node.items:
+                name = _terminal_name(item.context_expr)
+                if "lock" in name.lower():
+                    yield Finding(
+                        self.rule, module.display_path, node.lineno,
+                        node.col_offset,
+                        f"sync 'with {name}:' {where} blocks the event "
+                        f"loop on acquire (take engine locks inside "
+                        f"executor jobs; asyncio.Lock wants 'async with')",
+                    )
+            return
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)):
+            if func.value.id == "time" and func.attr == "sleep":
+                yield Finding(
+                    self.rule, module.display_path, node.lineno,
+                    node.col_offset,
+                    f"time.sleep() {where} stalls every connection on "
+                    f"the loop; use 'await asyncio.sleep(...)'",
+                )
+                return
+            if func.value.id == "socket" and func.attr == "create_connection":
+                yield Finding(
+                    self.rule, module.display_path, node.lineno,
+                    node.col_offset,
+                    f"socket.create_connection() {where} blocks the "
+                    f"loop; use 'await asyncio.open_connection(...)'",
+                )
+                return
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SOCKET_METHODS:
+                yield Finding(
+                    self.rule, module.display_path, node.lineno,
+                    node.col_offset,
+                    f".{func.attr}() {where} is a blocking socket call; "
+                    f"use the connection's StreamReader/StreamWriter",
+                )
+            elif (func.attr in _TRANSPORT_METHODS
+                    and id(node) not in awaited):
+                yield Finding(
+                    self.rule, module.display_path, node.lineno,
+                    node.col_offset,
+                    f"un-awaited .{func.attr}() {where}: a sync "
+                    f"Transport call blocks the loop on network I/O "
+                    f"(await the async transport instead)",
+                )
+            elif func.attr == "result" and id(node) not in awaited:
+                yield Finding(
+                    self.rule, module.display_path, node.lineno,
+                    node.col_offset,
+                    f".result() {where} parks the loop until the future "
+                    f"resolves; await it (asyncio.wrap_future for "
+                    f"concurrent.futures)",
+                )

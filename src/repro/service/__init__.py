@@ -25,7 +25,12 @@ long-running scheduling service that amortises solves across requests:
 * :mod:`~repro.service.transport` + :mod:`~repro.service.wire` — the
   shard wire protocol: framed-JSON transports with per-request timeouts
   (local pipe workers, remote TCP shards via ``python -m repro
-  shard-serve``) and the exact JSON result codec they reply with;
+  shard-serve``), the asyncio stack on the same frames —
+  :class:`AsyncTcpTransport` multiplexes many in-flight id-tagged
+  requests over one connection, :class:`AsyncShardServer`
+  (``shard-serve --async``) answers pings on the loop, enforces
+  server-side op deadlines and coalesces cross-broker solves by
+  fingerprint — and the exact JSON result codec they reply with;
 * :mod:`~repro.service.sharding` — :class:`ShardedBroker`: consistent-
   hash routing over mixed thread / pipe / TCP shards with health
   supervision (auto-restart, ring ejection/rejoin, failover);
@@ -77,11 +82,14 @@ from .tracing import (
 from .broker import Broker, BrokerResult, SolveEngine, SolveRequest
 from .incremental import IncrementalSolver, WarmSolveStats
 from .api import (
+    AsyncServiceServer,
     ServiceServer,
     handle_request,
     request_from_dict,
     request_to_dict,
     response_to_dict,
+    route_get,
+    route_post,
 )
 from .wire import (
     WireCodecError,
@@ -91,6 +99,9 @@ from .wire import (
     solution_to_wire,
 )
 from .transport import (
+    AsyncBridgeTransport,
+    AsyncShardServer,
+    AsyncTcpTransport,
     PipeTransport,
     ShardServer,
     TcpTransport,
@@ -98,7 +109,10 @@ from .transport import (
     TransportError,
     TransportTimeout,
     connect,
+    connect_async,
+    encode_frame,
     parse_shard_address,
+    read_frame_async,
 )
 from .sharding import (
     HashRing,
@@ -147,7 +161,13 @@ __all__ = [
     "PipeTransport",
     "TcpTransport",
     "ShardServer",
+    "AsyncTcpTransport",
+    "AsyncBridgeTransport",
+    "AsyncShardServer",
     "connect",
+    "connect_async",
+    "encode_frame",
+    "read_frame_async",
     "parse_shard_address",
     "WireCodecError",
     "result_to_wire",
@@ -157,8 +177,11 @@ __all__ = [
     "IncrementalSolver",
     "WarmSolveStats",
     "ServiceServer",
+    "AsyncServiceServer",
     "handle_request",
     "request_from_dict",
     "request_to_dict",
     "response_to_dict",
+    "route_get",
+    "route_post",
 ]

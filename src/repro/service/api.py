@@ -35,19 +35,28 @@ cache/warm flags, latency, the throughput and a problem-shaped
 registered problem with its spec fields and declared capabilities.
 
 Transport is pluggable: :func:`handle_request` is a pure
-dict-in/dict-out function; :class:`ServiceServer` wraps it in a
-threaded stdlib HTTP server (``POST /api``, ``GET /metrics`` /
-``/cache`` / ``/healthz``) for ``python -m repro serve``, and the same
-handler drives the ``--stdio`` JSON-lines mode used in tests and
-pipelines.
+dict-in/dict-out function, and the HTTP routing on top of it is a pair
+of pure functions (:func:`route_get`, :func:`route_post`) returning
+``(status, content-type, body)`` triples.  Two servers share them:
+:class:`ServiceServer` (threaded stdlib HTTP server, one thread per
+connection) and :class:`AsyncServiceServer` (asyncio HTTP/1.1
+keep-alive server — idle connections are parked coroutines, so
+thousands of keep-alive clients cost no threads; the blocking broker
+dispatch runs on a bounded executor).  Both serve ``POST /api`` and
+``GET /metrics`` / ``/cache`` / ``/healthz`` for
+``python -m repro serve``, and the same :func:`handle_request` drives
+the ``--stdio`` JSON-lines mode used in tests and pipelines.
 """
 
 from __future__ import annotations
 
+import asyncio
 import copy
 import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..core.activities import SteadyStateSolution
@@ -405,93 +414,111 @@ def handle_request(broker: Broker, data: Dict[str, Any],
 
 
 # ----------------------------------------------------------------------
-# HTTP transport
+# HTTP routing — pure functions shared by both servers
+# ----------------------------------------------------------------------
+_JSON_TYPE = "application/json"
+_PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: ``(status, content-type, body)`` — everything a transport needs to
+#: write one HTTP response.
+HttpResponse = Tuple[int, str, bytes]
+
+
+def _json_reply(payload: Dict[str, Any], status: int = 200) -> HttpResponse:
+    return status, _JSON_TYPE, json.dumps(payload).encode("utf-8")
+
+
+def _query_int(query: Dict[str, list], key: str, default: int) -> int:
+    try:
+        return int(query[key][0])
+    except (KeyError, IndexError, ValueError):
+        return default
+
+
+def route_get(broker: Broker, path: str, query: Dict[str, list],
+              trace_store: Optional[TraceStore] = None) -> HttpResponse:
+    """Route one GET; pure — no I/O beyond the broker dispatch."""
+    if path in ("/healthz", "/"):
+        return _json_reply({"ok": True, "service": "repro", "ready": True})
+    if path == "/metrics":
+        response = handle_request(broker, {"op": "metrics"},
+                                  trace_store=trace_store)
+        if query.get("format", [""])[0] == "prometheus":
+            return (200, _PROMETHEUS_TYPE,
+                    render_prometheus(response).encode("utf-8"))
+        return _json_reply(response)
+    if path == "/cache":
+        return _json_reply(handle_request(broker, {"op": "cache"}))
+    if path == "/problems":
+        return _json_reply(handle_request(broker, {"op": "problems"}))
+    if path == "/traces":
+        limit = _query_int(query, "limit", 100)
+        return _json_reply(handle_request(
+            broker, {"op": "traces", "limit": limit},
+            trace_store=trace_store))
+    if path.startswith("/trace/"):
+        response = handle_request(
+            broker, {"op": "trace", "id": path[len("/trace/"):]},
+            trace_store=trace_store)
+        status = response.get("status", 200 if response.get("ok") else 404)
+        return _json_reply(response, status=status)
+    if path == "/events":
+        limit = _query_int(query, "limit", 100)
+        return _json_reply(handle_request(
+            broker, {"op": "events", "limit": limit},
+            trace_store=trace_store))
+    return _json_reply({"ok": False, "error": "not found"}, status=404)
+
+
+def route_post(broker: Broker, path: str, body: bytes,
+               trace_store: Optional[TraceStore] = None) -> HttpResponse:
+    """Route one POST body; pure — no I/O beyond the broker dispatch."""
+    if path not in ("/api", "/"):
+        # mirror route_get: a POST to /metrics or a typo'd path is client
+        # misconfiguration, not a solve request
+        return _json_reply({"ok": False, "error": "not found"}, status=404)
+    try:
+        data = json.loads(body or b"{}")
+    except (ValueError, json.JSONDecodeError) as exc:
+        return _json_reply(_error_response(exc, status=400), status=400)
+    response = handle_request(broker, data, trace_store=trace_store)
+    # the dispatcher stamps every error with its status (400 bad
+    # request / 422 invalid spec / 500 server bug); default defensively
+    # for responses predating the field
+    status = response.get("status", 200 if response.get("ok") else 422)
+    return _json_reply(response, status=status)
+
+
+# ----------------------------------------------------------------------
+# HTTP transport — threaded
 # ----------------------------------------------------------------------
 class _Handler(BaseHTTPRequestHandler):
     server: "ServiceServer"  # type: ignore[assignment]
 
-    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
-        blob = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(blob)))
-        self.end_headers()
-        self.wfile.write(blob)
-
-    def _send_text(self, text: str, status: int = 200,
-                   content_type: str = "text/plain; version=0.0.4; "
-                                       "charset=utf-8") -> None:
-        blob = text.encode("utf-8")
+    def _send(self, response: HttpResponse) -> None:
+        status, content_type, blob = response
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)
 
-    @staticmethod
-    def _query_int(query: Dict[str, list], key: str, default: int) -> int:
-        try:
-            return int(query[key][0])
-        except (KeyError, IndexError, ValueError):
-            return default
-
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
-        broker = self.server.broker
-        store = self.server.trace_store
         parsed = urlparse(self.path)
-        path, query = parsed.path, parse_qs(parsed.query)
-        if path in ("/healthz", "/"):
-            self._send_json({"ok": True, "service": "repro", "ready": True})
-        elif path == "/metrics":
-            response = handle_request(broker, {"op": "metrics"},
-                                      trace_store=store)
-            if query.get("format", [""])[0] == "prometheus":
-                self._send_text(render_prometheus(response))
-            else:
-                self._send_json(response)
-        elif path == "/cache":
-            self._send_json(handle_request(broker, {"op": "cache"}))
-        elif path == "/problems":
-            self._send_json(handle_request(broker, {"op": "problems"}))
-        elif path == "/traces":
-            limit = self._query_int(query, "limit", 100)
-            self._send_json(handle_request(
-                broker, {"op": "traces", "limit": limit},
-                trace_store=store))
-        elif path.startswith("/trace/"):
-            response = handle_request(
-                broker, {"op": "trace", "id": path[len("/trace/"):]},
-                trace_store=store)
-            status = response.get("status",
-                                  200 if response.get("ok") else 404)
-            self._send_json(response, status=status)
-        elif path == "/events":
-            limit = self._query_int(query, "limit", 100)
-            self._send_json(handle_request(
-                broker, {"op": "events", "limit": limit},
-                trace_store=store))
-        else:
-            self._send_json({"ok": False, "error": "not found"}, status=404)
+        self._send(route_get(self.server.broker, parsed.path,
+                             parse_qs(parsed.query),
+                             trace_store=self.server.trace_store))
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
-        if self.path not in ("/api", "/"):
-            # mirror do_GET: a POST to /metrics or a typo'd path is client
-            # misconfiguration, not a solve request
-            self._send_json({"ok": False, "error": "not found"}, status=404)
-            return
         try:
             length = int(self.headers.get("Content-Length", "0"))
-            data = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(_error_response(exc, status=400), status=400)
+            body = self.rfile.read(length)
+        except ValueError as exc:
+            self._send(_json_reply(_error_response(exc, status=400),
+                                   status=400))
             return
-        response = handle_request(self.server.broker, data,
-                                  trace_store=self.server.trace_store)
-        # the dispatcher stamps every error with its status (400 bad
-        # request / 422 invalid spec / 500 server bug); default defensively
-        # for responses predating the field
-        status = response.get("status", 200 if response.get("ok") else 422)
-        self._send_json(response, status=status)
+        self._send(route_post(self.server.broker, self.path, body,
+                              trace_store=self.server.trace_store))
 
     def log_message(self, fmt: str, *args) -> None:  # quiet by default
         if self.server.verbose:
@@ -530,6 +557,222 @@ class ServiceServer(ThreadingHTTPServer):
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+
+# ----------------------------------------------------------------------
+# HTTP transport — asyncio
+# ----------------------------------------------------------------------
+class AsyncServiceServer:
+    """asyncio HTTP/1.1 keep-alive front-end over a :class:`Broker`.
+
+    The threaded :class:`ServiceServer` spends one thread per open
+    connection, so a thousand idle keep-alive clients cost a thousand
+    parked threads.  Here every connection is a coroutine: parsing and
+    framing happen on one event loop, and only the blocking broker
+    dispatch (:func:`route_get` / :func:`route_post`) is handed to a
+    bounded executor (``http_workers`` threads).  Idle connections cost
+    nothing; the executor bounds concurrent *dispatch*, not clients.
+
+    In-flight dispatch is published on the broker's metrics as the
+    ``http_inflight`` / ``http_inflight_max`` gauges (merged into
+    ``/metrics`` and the Prometheus view), so saturation of the HTTP
+    tier is observable next to the shard-side queue gauges.
+    """
+
+    def __init__(
+        self,
+        address=("127.0.0.1", 0),
+        broker: Optional[Broker] = None,
+        trace_store: Optional[TraceStore] = None,
+        tracing: bool = True,
+        http_workers: int = 8,
+    ) -> None:
+        self.broker = broker if broker is not None else Broker()
+        self.trace_store = (
+            trace_store if trace_store is not None
+            else (TraceStore() if tracing else None)
+        )
+        self.http_workers = max(1, int(http_workers))
+        self._requested_address = address
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.http_workers, thread_name_prefix="repro-http")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        # loop-confined gauge state (event loop only, no locks)
+        self._inflight = 0
+        self._max_inflight = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (mirrors AsyncShardServer)
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncServiceServer":
+        """Bind the listener on the running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self._requested_address[0],
+            self._requested_address[1],
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def host(self) -> str:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    def start_in_thread(self) -> "AsyncServiceServer":
+        """Run the server on a dedicated daemon loop thread (tests,
+        embedding); returns once the port is bound."""
+        started = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.start())
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self._shutdown_on_loop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-http-serve", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=10):  # pragma: no cover — bind hang
+            raise RuntimeError("async HTTP server failed to start")
+        return self
+
+    async def _shutdown_on_loop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def shutdown(self) -> None:
+        """Stop a :meth:`start_in_thread` server (thread-safe)."""
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # the per-connection coroutine
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, target, version, headers, body = request
+                parsed = urlparse(target)
+                self._inflight += 1
+                self._max_inflight = max(self._max_inflight, self._inflight)
+                self._publish_gauges()
+                try:
+                    if method == "GET":
+                        response = await self._loop.run_in_executor(
+                            self._executor, route_get, self.broker,
+                            parsed.path, parse_qs(parsed.query),
+                            self.trace_store)
+                    elif method == "POST":
+                        response = await self._loop.run_in_executor(
+                            self._executor, route_post, self.broker,
+                            parsed.path, body, self.trace_store)
+                    else:
+                        response = _json_reply(
+                            {"ok": False,
+                             "error": f"method {method} not allowed"},
+                            status=405)
+                finally:
+                    self._inflight -= 1
+                    self._publish_gauges()
+                close = (headers.get("connection", "").lower() == "close"
+                         or (version == "HTTP/1.0"
+                             and headers.get("connection", "").lower()
+                             != "keep-alive"))
+                await self._write_response(writer, response, close=close)
+                if close:
+                    return
+        except (ConnectionError, OSError):
+            pass  # client went away mid-exchange
+        finally:
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One request head + body; ``None`` when the client is done.
+
+        Malformed heads are answered by returning ``None`` (drop the
+        connection) — a client that cannot frame HTTP cannot be sent a
+        response it will parse either.
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None  # clean close between requests, or mid-head drop
+        except asyncio.LimitOverrunError:
+            return None  # absurd header block: drop it
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, target, version = lines[0].split(" ", 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, _, value = line.partition(":")
+                headers[key.strip().lower()] = value.strip()
+        body = b""
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return None
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return None
+        return method.upper(), target, version, headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              response: HttpResponse, close: bool) -> None:
+        status, content_type, blob = response
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + blob)
+        await writer.drain()
+
+    def _publish_gauges(self) -> None:
+        metrics = getattr(self.broker, "metrics", None)
+        if metrics is not None:
+            metrics.set_gauge("http_inflight", float(self._inflight))
+            metrics.set_gauge("http_inflight_max", float(self._max_inflight))
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
 
 
 def serve_stdio(broker: Broker, stdin, stdout,

@@ -95,6 +95,7 @@ class MetricsRegistry:
     ) -> None:
         self._lock = threading.Lock()
         self._endpoints: Dict[str, EndpointMetrics] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, float] = {}  # guarded-by: _lock
         self._reservoir_size = reservoir_size
         self._clock = clock
         self._started = clock()
@@ -118,6 +119,21 @@ class MetricsRegistry:
             raise
         self.observe(endpoint, self._clock() - start)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time level (queue depth, in-flight requests).
+
+        Gauges are last-write-wins, not accumulated; when snapshots from
+        several registries are merged the convention is: names ending in
+        ``_max`` merge by max, everything else sums (depths and in-flight
+        counts across shards add up).
+        """
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
     def endpoint(self, name: str) -> Optional[EndpointMetrics]:
         with self._lock:
             return self._endpoints.get(name)
@@ -138,6 +154,7 @@ class MetricsRegistry:
             endpoints = {
                 name: em.as_dict() for name, em in self._endpoints.items()
             }
+            gauges = dict(self._gauges)
         total = sum(
             e["count"] for name, e in endpoints.items() if "." not in name
         )
@@ -146,6 +163,7 @@ class MetricsRegistry:
             "total_requests": total,
             "requests_per_second": total / uptime if uptime > 0 else 0.0,
             "endpoints": endpoints,
+            "gauges": gauges,
         }
 
 
@@ -209,6 +227,17 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]],
         name: _merge_endpoint_dicts(dicts)
         for name, dicts in sorted(names.items())
     }
+    # gauges are levels, not rates: in-flight/depth gauges sum across
+    # shards, high-water marks (``*_max``) take the max
+    gauges: Dict[str, float] = {}
+    for snap in snapshots:
+        for name, value in snap.get("gauges", {}).items():
+            if name in gauges:
+                gauges[name] = (max(gauges[name], value)
+                                if name.endswith("_max")
+                                else gauges[name] + value)
+            else:
+                gauges[name] = value
     total = sum(
         e["count"] for name, e in endpoints.items() if "." not in name
     )
@@ -217,6 +246,7 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]],
         "total_requests": total,
         "requests_per_second": total / uptime if uptime > 0 else 0.0,
         "endpoints": endpoints,
+        "gauges": gauges,
     }
 
 
@@ -269,6 +299,16 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
     emit("repro_coalesced_total", "counter",
          "Requests answered by piggybacking on an in-flight twin.",
          [({}, snapshot.get("coalesced"))])
+    emit("repro_shard_coalesced_total", "counter",
+         "Solves coalesced at a shard across brokers (same fingerprint "
+         "already in flight).",
+         [({}, snapshot.get("shard_coalesced"))])
+
+    gauges = metrics.get("gauges", {})
+    emit("repro_gauge", "gauge",
+         "Point-in-time service levels (queue depth, in-flight requests; "
+         "*_max names are high-water marks).",
+         [({"name": name}, value) for name, value in sorted(gauges.items())])
 
     endpoints = metrics.get("endpoints", {})
     emit("repro_request_duration_seconds", "summary",

@@ -87,6 +87,7 @@ from .transport import (
     TransportError,
     TransportTimeout,
     connect,
+    connect_async,
     spawn_pipe_shard,
 )
 from .wire import result_from_wire
@@ -94,6 +95,11 @@ from .wire import result_from_wire
 
 class ShardError(RuntimeError):
     """A shard failed; ``shard`` carries the shard id when known."""
+
+    #: True when the *shard itself* reported the failure on a healthy
+    #: channel (e.g. a server-side deadline) — the shard is alive, so
+    #: the routing layer must not eject it or fail the request over.
+    server_reported = False
 
     def __init__(self, message: str, shard: Optional[int] = None) -> None:
         super().__init__(message)
@@ -108,7 +114,10 @@ class ShardUnavailableError(ShardError):
 
 
 class ShardTimeoutError(ShardUnavailableError):
-    """The shard sent no reply within the per-request timeout."""
+    """The shard sent no reply within the per-request timeout — or, on
+    the multiplexed transport, the shard itself answered that the op
+    missed its server-side deadline (``server_reported`` is then True
+    and the shard stays on the ring)."""
 
 
 #: dynamically minted ShardError subclasses named after the worker-side
@@ -130,13 +139,25 @@ def _remote_error(type_name: str, message: str) -> ShardError:
     return cls(message)
 
 
-def _raise_worker_error(reply: Dict[str, Any]) -> Exception:
+def _raise_worker_error(reply: Dict[str, Any],
+                        shard: Optional[int] = None) -> Exception:
     """The exception for a worker-side ``{"ok": False, ...}`` reply —
-    :class:`BrokerError` for spec validation, a relayed
-    :class:`ShardError` subclass otherwise (shared by single-solve
-    replies and per-item ``solve_many`` replies)."""
+    :class:`BrokerError` for spec validation, a genuine
+    :class:`ShardTimeoutError` for a shard-reported deadline miss, a
+    relayed :class:`ShardError` subclass otherwise (shared by
+    single-solve replies and per-item ``solve_many`` replies)."""
     if reply.get("type") == "SpecError":
         return BrokerError(reply.get("error", "shard error"))
+    if reply.get("type") == "ShardTimeoutError":
+        # the async shard server answered — promptly, on a healthy
+        # channel — that the op missed its server-side deadline.  Mint
+        # the real class (not a dynamic relay) so callers catch it like
+        # a client-side timeout, and flag it so routing does not treat
+        # a live, honest shard as dead.
+        exc = ShardTimeoutError(reply.get("error", "shard deadline"),
+                                shard=shard)
+        exc.server_reported = True
+        return exc
     return _remote_error(reply.get("type", "ShardError"),
                          reply.get("error", ""))
 
@@ -220,13 +241,19 @@ class _TransportShard:
     """
 
     restartable = False
+    #: True when the transport multiplexes many in-flight requests on
+    #: one connection (calls then bypass the serialising lock and the
+    #: dispatch queue gets real width)
+    muxed = False
 
-    def __init__(self, index: int, transport) -> None:
+    def __init__(self, index: int, transport,
+                 queue_width: int = 1) -> None:
         self.index = index
         self.transport = transport
         self.lock = threading.Lock()
         self.executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+            max_workers=max(1, queue_width),
+            thread_name_prefix=f"repro-shard-{index}",
         )
         # transport round-trips (one request+reply pair)
         self.calls = 0  # guarded-by: lock
@@ -251,7 +278,7 @@ class _TransportShard:
             self.calls += 1
             reply = self.transport.request(msg, timeout=timeout)
         if not reply.get("ok"):
-            raise _raise_worker_error(reply)
+            raise _raise_worker_error(reply, shard=self.index)
         return reply
 
     def restart(self, expected_epoch: int) -> bool:
@@ -333,6 +360,42 @@ class _RemoteShard(_TransportShard):
     def __init__(self, index: int, address: str,
                  connect_timeout: float = 5.0) -> None:
         super().__init__(index, connect(address, connect_timeout))
+
+
+#: dispatch-queue width for a multiplexed shard: how many of one
+#: shard's requests this broker keeps in flight on the shared
+#: connection at once (the shard server bounds actual engine work with
+#: its own solve executor, so this only caps wire-level concurrency)
+ASYNC_SHARD_WIDTH = 8
+
+
+class _AsyncRemoteShard(_TransportShard):
+    """A TCP shard reached over the multiplexed async bridge.
+
+    Calls do **not** serialise on the shard lock: the bridge transport
+    is thread-safe and demultiplexes replies by request id, so many of
+    this broker's threads keep requests in flight on one connection
+    concurrently.  The lock still guards the counters and the health
+    prober's rejoin handshake.
+    """
+
+    muxed = True
+
+    def __init__(self, index: int, address: str,
+                 connect_timeout: float = 5.0) -> None:
+        super().__init__(index, connect_async(address, connect_timeout),
+                         queue_width=ASYNC_SHARD_WIDTH)
+
+    def call(self, msg: Dict[str, Any],
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        with self.lock:
+            self.calls += 1
+        # the round-trip happens OUTSIDE the lock — that is the whole
+        # point of the multiplexed transport
+        reply = self.transport.request(msg, timeout=timeout)
+        if not reply.get("ok"):
+            raise _raise_worker_error(reply, shard=self.index)
+        return reply
 
 
 # ----------------------------------------------------------------------
@@ -426,6 +489,17 @@ class ShardedBroker:
         without a prober), disabled otherwise; ``0`` disables
         explicitly.  Local-shard restart and remote ejection also
         happen reactively on request failures, prober or not.
+    async_transport:
+        Reach remote shards over the multiplexed async transport
+        (:class:`~repro.service.transport.AsyncBridgeTransport`): many
+        requests in flight per connection, request-id demultiplexing,
+        and — when ``request_timeout`` is set — server-side deadlines
+        (the shard answers a deadline miss itself, promptly, and stays
+        on the ring instead of being ejected for being busy).  Requires
+        ``shard_addresses``; local pipe shards are unaffected.  Solving
+        against an async ``shard-serve --async`` server with the
+        default sync transport also works (the wire is compatible) but
+        serialises per connection.
     """
 
     def __init__(
@@ -441,8 +515,15 @@ class ShardedBroker:
         shard_addresses: Optional[List[str]] = None,
         request_timeout: Optional[float] = None,
         health_interval: Optional[float] = None,
+        async_transport: bool = False,
     ) -> None:
         addresses = list(shard_addresses or [])
+        if async_transport and not addresses:
+            raise ValueError(
+                "async_transport multiplexes remote shard connections; "
+                "it requires shard_addresses"
+            )
+        self.async_transport = bool(async_transport)
         if shard_mode is None:
             shard_mode = "process" if addresses else "thread"
         if shard_mode not in ("thread", "process"):
@@ -493,11 +574,13 @@ class ShardedBroker:
         else:
             ctx = (multiprocessing.get_context(mp_start_method)
                    if mp_start_method else multiprocessing.get_context())
+            remote_cls = (_AsyncRemoteShard if self.async_transport
+                          else _RemoteShard)
             self._transport_shards = [
                 _LocalShard(index, ctx, cache_size, ttl, incremental)
                 for index in range(local_count)
             ] + [
-                _RemoteShard(local_count + offset, address)
+                remote_cls(local_count + offset, address)
                 for offset, address in enumerate(addresses)
             ]
         if health_interval is None:
@@ -568,12 +651,33 @@ class ShardedBroker:
             # deterministically "time out" a healthy shard and wipe its
             # warm state
             timeout *= max(1, len(msg.get("items", ())))
+        if timeout is not None and shard.muxed:
+            # multiplexed shard: ship the budget as a server-side
+            # deadline and wait a little longer client-side, so the
+            # *shard* answers the deadline miss (promptly, channel
+            # intact) rather than this end guessing and abandoning a
+            # healthy connection
+            msg = {**msg, "deadline": timeout}
+            timeout = timeout + max(1.0, timeout * 0.5)
         with span(endpoint, shard=shard.index,
                   address=shard.transport.address,
                   op=msg.get("op")) as sp:
             start = time.perf_counter()
             try:
                 reply = shard.call(msg, timeout=timeout)
+            except ShardTimeoutError as exc:
+                # server-reported deadline miss (shard.call minted it
+                # from the reply): the shard is alive and the channel is
+                # fine — count the timeout, never eject or restart
+                self.metrics.observe(endpoint, time.perf_counter() - start,
+                                     error=True)
+                with self._health_lock:
+                    shard.timeouts += 1
+                log_event("shard.deadline", shard=shard.index,
+                          kind=shard.transport.kind,
+                          address=shard.transport.address,
+                          op=msg.get("op"))
+                raise
             except TransportTimeout as exc:
                 self.metrics.observe(endpoint, time.perf_counter() - start,
                                      error=True)
@@ -655,6 +759,12 @@ class ShardedBroker:
                 try:
                     return self._shard_call(shard, msg)
                 except ShardUnavailableError as exc:
+                    if exc.server_reported:
+                        # the shard is alive and answered within budget
+                        # that the op itself blew its deadline; failing
+                        # over would just run the same slow solve again
+                        # somewhere colder
+                        raise
                     if first_error is None:
                         first_error = exc
                     if (shard.restartable and shard.active
@@ -802,7 +912,9 @@ class ShardedBroker:
                 continue
             try:
                 reply = futures[shard_id].result()
-            except ShardUnavailableError:
+            except ShardUnavailableError as exc:
+                if exc.server_reported:
+                    raise  # the shard is alive; see _routed_call
                 # the shard died holding this whole sub-batch: fail its
                 # members over individually (recovery already ran)
                 retry.extend(indices)
@@ -962,6 +1074,9 @@ class ShardedBroker:
                 # models, evictions, basis restarts, pivots, ...)
                 **({"incremental": s["incremental"]}
                    if "incremental" in s else {}),
+                # async shard servers report their loop state (in-flight
+                # ops, queue depth, cross-broker coalescing)
+                **({"async": s["async"]} if "async" in s else {}),
             })
         out: Dict[str, Any] = {
             "executor": f"sharded-{self.shard_mode}",
@@ -969,6 +1084,12 @@ class ShardedBroker:
             "shard_mode": self.shard_mode,
             "workers": self.workers,
             "coalesced": coalesced,
+            # solves coalesced ON the shards across all their brokers
+            # (this broker's view is whatever its shards report)
+            "shard_coalesced": sum(
+                s.get("async", {}).get("shard_coalesced", 0)
+                for s in present
+            ),
             "cache": _merge_cache_snapshots([s["cache"] for s in present]),
             "metrics": merged_metrics,
             "shard_health": self.shard_health(),

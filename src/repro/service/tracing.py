@@ -9,10 +9,15 @@ consistent-hash ring (shard chosen, failover hops), the shard
 transports (pipe / TCP round-trips) and the exact simplex (phase
 timings, pivot counts).  The design goals, in order:
 
-1. **Zero cost when off.**  :func:`span` consults one thread-local; with
-   no active trace it returns a shared no-op context manager — no
-   allocation, no timestamps.  Layers instrument unconditionally and the
-   price is one ``getattr`` per instrumentation point.
+1. **Zero cost when off.**  :func:`span` consults one
+   :class:`contextvars.ContextVar`; with no active trace it returns a
+   shared no-op context manager — no allocation, no timestamps.  Layers
+   instrument unconditionally and the price is one ``ContextVar.get``
+   per instrumentation point.  Context variables propagate both across
+   threads (each thread sees its own value, exactly like the previous
+   thread-local) *and* into asyncio tasks (``create_task`` snapshots the
+   spawning context), so the async transport/server layers inherit the
+   active span for free where a thread-local would silently drop it.
 2. **Crosses every process/host boundary we have.**  The shard protocol
    of :mod:`repro.service.transport` carries an optional ``trace`` flag;
    a shard that sees it records its own span tree around the solve and
@@ -38,6 +43,7 @@ This module imports only the standard library, on purpose: any layer
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import logging
@@ -64,7 +70,14 @@ __all__ = [
     "render_waterfall",
 ]
 
-_state = threading.local()
+# The active span.  A ContextVar behaves like the thread-local it
+# replaced on plain threads (fresh threads start empty) while also
+# flowing into asyncio tasks; exits restore the *remembered* previous
+# span via ``set`` rather than a ``Token`` reset so a context manager
+# entered in one task context and exited in another (the cross-thread
+# ``activate`` hand-off) keeps today's semantics.
+_current_span: "contextvars.ContextVar[Optional[Span]]" = \
+    contextvars.ContextVar("repro_current_span", default=None)
 
 # Trace ids are a random per-process prefix plus a counter: unique across
 # processes (shards) with high probability, and allocation stays off the
@@ -205,21 +218,21 @@ class Trace:
 
 
 # ----------------------------------------------------------------------
-# the thread-local context
+# the context-variable span state (threads and asyncio tasks)
 # ----------------------------------------------------------------------
 def current_span() -> Optional[Span]:
-    """The innermost active span on this thread (None when not tracing)."""
-    return getattr(_state, "span", None)
+    """The innermost active span in this context (None when not tracing)."""
+    return _current_span.get()
 
 
 def current_trace() -> Optional[Trace]:
-    sp = getattr(_state, "span", None)
+    sp = _current_span.get()
     return sp.trace if sp is not None else None
 
 
 def annotate(**fields: Any) -> None:
     """Annotate the current span; a no-op when no trace is active."""
-    sp = getattr(_state, "span", None)
+    sp = _current_span.get()
     if sp is not None:
         sp.annotations.update(fields)
 
@@ -253,8 +266,8 @@ class _SpanContext:
         if self._annotations:
             sp.annotations.update(self._annotations)
         self.span = sp
-        self._prev = getattr(_state, "span", None)
-        _state.span = sp
+        self._prev = _current_span.get()
+        _current_span.set(sp)
         return sp
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -262,7 +275,7 @@ class _SpanContext:
             self.span.annotations.setdefault(
                 "error", f"{exc_type.__name__}: {exc}")
         self.span.finish()
-        _state.span = self._prev
+        _current_span.set(self._prev)
         return False
 
 
@@ -272,7 +285,7 @@ def span(name: str, **annotations: Any):
     Yields the :class:`Span` (or ``None`` when inactive) — guard direct
     use with ``if sp is not None`` or use :func:`annotate`.
     """
-    parent = getattr(_state, "span", None)
+    parent = _current_span.get()
     if parent is None:
         return _NULL
     return _SpanContext(parent, name, annotations)
@@ -291,12 +304,12 @@ class _ActivateContext:
         self._span = sp
 
     def __enter__(self) -> Span:
-        self._prev = getattr(_state, "span", None)
-        _state.span = self._span
+        self._prev = _current_span.get()
+        _current_span.set(self._span)
         return self._span
 
     def __exit__(self, *exc: Any) -> bool:
-        _state.span = self._prev
+        _current_span.set(self._prev)
         return False
 
 
@@ -321,8 +334,8 @@ class _TraceContext:
         if self._annotations:
             tr.root.annotations.update(self._annotations)
         self.trace = tr
-        self._prev = getattr(_state, "span", None)
-        _state.span = tr.root
+        self._prev = _current_span.get()
+        _current_span.set(tr.root)
         return tr
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -330,7 +343,7 @@ class _TraceContext:
             self.trace.root.annotations.setdefault(
                 "error", f"{exc_type.__name__}: {exc}")
         self.trace.finish()
-        _state.span = self._prev
+        _current_span.set(self._prev)
         if self._store is not None:
             self._store.add(self.trace)
         return False

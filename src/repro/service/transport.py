@@ -38,19 +38,48 @@ host returns.)
 
 The shape follows the ``comm/`` layer of Dask ``distributed`` (see the
 related file set): an abstract message-oriented channel, concrete
-in-process and socket backends, and explicit closed-channel errors —
-minus the async machinery, because shard calls are strictly
-one-in-one-out per connection.
+in-process and socket backends, and explicit closed-channel errors.
+
+**Multiplexing (the asyncio stack).**  The sync transports are strictly
+one-in-one-out per connection; the async stack lifts that.  Frames may
+carry a client-chosen ``id`` field; a host always echoes ``id`` back on
+the reply (see :func:`handle_shard_message`), which is the *entire*
+wire change — no version bump, and old peers interoperate both ways:
+
+* a message **without** ``id`` is answered strictly in the order
+  received (what a sync :class:`TcpTransport` pipelining
+  ``request_many`` depends on);
+* a message **with** ``id`` may be answered out of order — the client
+  pairs replies to requests by id, so many requests can be in flight
+  on one connection at once.
+
+:class:`AsyncTcpTransport` implements the client side (a future per id,
+one background read loop demultiplexing replies); a per-request
+deadline abandons only its own id — the channel keeps serving every
+other in-flight request, instead of the sync transports' close-on-
+timeout rule.  :class:`AsyncShardServer` implements the host side: ops
+execute on a bounded thread pool (the simplex is CPU-bound and exact —
+it stays off the loop), pings are answered on the loop itself so a busy
+shard never looks dead to a health probe, a server-side per-op deadline
+answers ``ShardTimeoutError`` promptly instead of letting clients
+guess, and in-flight solves are keyed by fingerprint so brokers sharing
+a hot shard coalesce onto one engine run.  :class:`AsyncBridgeTransport`
+is the sync facade (``asyncio.run_coroutine_threadsafe`` onto a shared
+background loop) that lets :class:`~repro.service.sharding.
+ShardedBroker` ride the multiplexed wire unchanged.
 """
 
 from __future__ import annotations
 
+import asyncio
+import itertools
 import json
 import socket
 import socketserver
 import struct
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..platform.serialization import platform_from_dict
@@ -81,15 +110,24 @@ MAX_SLEEP_SECONDS = 30.0
 _HEADER = struct.Struct(">I")
 
 
-def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
-    """Serialise one message onto a socket (length-prefixed JSON)."""
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One message as its wire bytes (length prefix + UTF-8 JSON).
+
+    Shared by the sync socket path and the asyncio writers — one
+    encoder, so the two stacks cannot drift.
+    """
     blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(blob) > MAX_FRAME_BYTES:
         raise TransportError(
             f"frame of {len(blob)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
-    sock.sendall(_HEADER.pack(len(blob)) + blob)
+    return _HEADER.pack(len(blob)) + blob
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialise one message onto a socket (length-prefixed JSON)."""
+    sock.sendall(encode_frame(message))
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -104,6 +142,30 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
+def _check_frame_length(length: int) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"peer announced a {length}-byte frame (limit "
+            f"{MAX_FRAME_BYTES}); not a shard protocol peer?"
+        )
+    return length
+
+
+def _decode_frame_body(blob: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(blob)
+    except ValueError as exc:
+        # JSONDecodeError, and UnicodeDecodeError for non-UTF-8 bytes —
+        # both mean "not a protocol peer", never an unhandled escape
+        raise TransportError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise TransportError(
+            f"frame decodes to {type(message).__name__}, expected an "
+            f"object"
+        )
+    return message
+
+
 def read_frame(sock: socket.socket) -> Dict[str, Any]:
     """Read one length-prefixed JSON message from a socket.
 
@@ -112,22 +174,27 @@ def read_frame(sock: socket.socket) -> Dict[str, Any]:
     knows whether a timeout is fatal.
     """
     (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    if length > MAX_FRAME_BYTES:
-        raise TransportError(
-            f"peer announced a {length}-byte frame (limit "
-            f"{MAX_FRAME_BYTES}); not a shard protocol peer?"
-        )
-    blob = _recv_exact(sock, length)
+    _check_frame_length(length)
+    return _decode_frame_body(_recv_exact(sock, length))
+
+
+async def read_frame_async(reader: "asyncio.StreamReader") -> Dict[str, Any]:
+    """Asyncio twin of :func:`read_frame` over a ``StreamReader``.
+
+    Same framing, same typed failures: a peer that hangs up mid-frame,
+    announces an absurd length or ships undecodable bytes raises
+    :class:`TransportError` — never a hang, never a silent partial read.
+    """
     try:
-        message = json.loads(blob)
-    except json.JSONDecodeError as exc:
-        raise TransportError(f"undecodable frame: {exc}") from exc
-    if not isinstance(message, dict):
-        raise TransportError(
-            f"frame decodes to {type(message).__name__}, expected an "
-            f"object"
-        )
-    return message
+        header = await reader.readexactly(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        _check_frame_length(length)
+        blob = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError("connection closed mid-frame") from exc
+    except (ConnectionError, OSError) as exc:
+        raise TransportError(f"connection broke mid-frame: {exc}") from exc
+    return _decode_frame_body(blob)
 
 
 def parse_shard_address(address: str) -> Tuple[str, int]:
@@ -431,7 +498,20 @@ def handle_shard_message(engine: SolveEngine,
     any request).  ``stop`` is *not* handled here — its meaning is
     host-specific (a pipe worker exits, a TCP server only drops the
     connection), so each host intercepts it before dispatching.
+
+    A message carrying an ``id`` gets it echoed on the reply — every
+    host (pipe worker, threaded TCP server, async server) does this
+    uniformly, which is what lets :class:`AsyncTcpTransport` pair
+    out-of-order replies to requests.
     """
+    reply = _handle_shard_op(engine, msg)
+    if "id" in msg:
+        reply["id"] = msg["id"]
+    return reply
+
+
+def _handle_shard_op(engine: SolveEngine,
+                     msg: Dict[str, Any]) -> Dict[str, Any]:
     from .api import request_from_dict  # deferred: avoid import cycle
 
     op = msg.get("op")
@@ -617,3 +697,611 @@ class ShardServer(socketserver.ThreadingTCPServer):
     @property
     def address(self) -> str:
         return f"tcp://{self.host}:{self.port}"
+
+
+# ----------------------------------------------------------------------
+# the asyncio stack: multiplexed client, sync bridge, async shard server
+# ----------------------------------------------------------------------
+class AsyncTcpTransport:
+    """Multiplexing asyncio client for the shard protocol.
+
+    One TCP connection carries many in-flight requests: each request is
+    tagged with a fresh ``id``, registered in a future-per-id dispatch
+    map, and a single background read loop pairs every reply frame back
+    to its waiter.  All state is loop-confined — every coroutine here
+    runs on one event loop, so no locks guard ``_pending``.
+
+    Timeout semantics deliberately differ from the sync transports: a
+    per-request timeout abandons *only its own id* (the read loop drops
+    the late reply if it ever lands) and the connection keeps serving
+    every other in-flight request.  Only a broken channel (peer died,
+    read loop failed) fails the map wholesale — and like
+    :class:`TcpTransport`, the next request redials.
+    """
+
+    kind = "async"
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._read_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}  # loop-confined
+        self._ids = itertools.count(1)
+        self._conn_lock = asyncio.Lock()
+        self._write_lock = asyncio.Lock()
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    @property
+    def closed(self) -> bool:
+        return self._writer is None
+
+    async def _ensure_connected(self) -> None:
+        async with self._conn_lock:
+            if self._writer is not None:
+                return
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                raise TransportError(
+                    f"cannot connect to shard {self.address}: {exc}"
+                ) from exc
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._reader, self._writer = reader, writer
+            self._read_task = asyncio.ensure_future(self._read_loop(reader))
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                reply = await read_frame_async(reader)
+                fut = self._pending.pop(reply.pop("id", None), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(reply)
+                # else: a reply for an id whose deadline already expired
+                # (or an id-less frame) — dropped by design
+        except TransportError as exc:
+            self._channel_broke(exc)
+        except asyncio.CancelledError:
+            self._channel_broke(TransportError(
+                f"transport to shard {self.address} closed"))
+            raise
+
+    def _channel_broke(self, exc: TransportError) -> None:
+        """Fail every in-flight request; the next request redials."""
+        writer, self._writer = self._writer, None
+        self._reader = None
+        self._read_task = None
+        if writer is not None:
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover
+                pass
+        pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(TransportError(str(exc)))
+
+    async def request(self, message: Dict[str, Any],
+                      timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Send one message; many callers may be awaiting concurrently."""
+        await self._ensure_connected()
+        rid = next(self._ids)
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        frame = encode_frame({**message, "id": rid})
+        try:
+            async with self._write_lock:
+                assert self._writer is not None
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, OSError, AssertionError) as exc:
+            self._pending.pop(rid, None)
+            self._channel_broke(TransportError(
+                f"shard {self.address} connection failed: {exc}"))
+            raise TransportError(
+                f"shard {self.address} connection failed: {exc}"
+            ) from exc
+        try:
+            return await asyncio.wait_for(fut, timeout)
+        except asyncio.TimeoutError as exc:
+            # abandon THIS id only: the channel stays open and every
+            # other in-flight request keeps its future
+            self._pending.pop(rid, None)
+            raise TransportTimeout(
+                f"shard {self.address} sent no reply to request {rid} "
+                f"within {timeout}s (other in-flight requests unaffected)"
+            ) from exc
+
+    async def request_many(self, messages: List[Dict[str, Any]],
+                           timeout: Optional[float] = None,
+                           ) -> List[Dict[str, Any]]:
+        """All messages in flight at once; replies in message order."""
+        results = await asyncio.gather(
+            # repro-lint: allow(asyncio) — coroutines handed to gather,
+            # which awaits them; nothing runs before the await
+            *(self.request(message, timeout=timeout)
+              for message in messages),
+            return_exceptions=True,
+        )
+        for item in results:
+            if isinstance(item, BaseException):
+                raise item
+        return list(results)
+
+    async def ping(self, timeout: float = 1.0) -> bool:
+        """Health probe; never raises."""
+        try:
+            reply = await self.request({"op": "ping"}, timeout=timeout)
+        except TransportError:
+            return False
+        return bool(reply.get("ok"))
+
+    async def close(self) -> None:
+        task = self._read_task
+        self._channel_broke(TransportError(
+            f"transport to shard {self.address} closed"))
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, TransportError):
+                pass
+
+
+# ----------------------------------------------------------------------
+# the shared background loop + the sync bridge the broker rides
+# ----------------------------------------------------------------------
+_bridge_lock = threading.Lock()
+# only read/written under _bridge_lock
+_bridge_loop_singleton: Optional[asyncio.AbstractEventLoop] = None
+
+
+def bridge_event_loop() -> asyncio.AbstractEventLoop:
+    """The process-wide background event loop for sync→async bridging.
+
+    Started lazily on a daemon thread and shared by every
+    :class:`AsyncBridgeTransport` in the process — all multiplexed
+    connections cost one thread total, which is the point.
+    """
+    global _bridge_loop_singleton
+    with _bridge_lock:
+        loop = _bridge_loop_singleton
+        if loop is None or loop.is_closed():
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever,
+                name="repro-async-bridge",
+                daemon=True,
+            )
+            thread.start()
+            _bridge_loop_singleton = loop
+    return loop
+
+
+class AsyncBridgeTransport(Transport):
+    """Sync :class:`Transport` facade over :class:`AsyncTcpTransport`.
+
+    Calls are submitted to the shared background loop with
+    ``asyncio.run_coroutine_threadsafe`` and awaited synchronously, so
+    :class:`~repro.service.sharding.ShardedBroker` works unchanged —
+    but because the underlying channel demultiplexes by request id,
+    *concurrent* callers genuinely share one connection instead of
+    serialising on it.  Unlike the raw sync transports this class is
+    thread-safe by construction: all channel state lives on the loop.
+    """
+
+    kind = "async"
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 5.0) -> None:
+        self._loop = bridge_event_loop()
+        self._transport = AsyncTcpTransport(
+            host, port, connect_timeout=connect_timeout)
+
+    @property
+    def address(self) -> str:
+        return self._transport.address
+
+    @property
+    def closed(self) -> bool:
+        return self._transport.closed
+
+    def _run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def request(self, message: Dict[str, Any],
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._run(self._transport.request(message, timeout=timeout))
+
+    def request_many(self, messages: List[Dict[str, Any]],
+                     timeout: Optional[float] = None,
+                     ) -> List[Dict[str, Any]]:
+        return self._run(
+            self._transport.request_many(messages, timeout=timeout))
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        try:
+            return self._run(self._transport.ping(timeout=timeout))
+        except TransportError:  # pragma: no cover — ping never raises
+            return False
+
+    def close(self) -> None:
+        if not self._loop.is_closed():
+            self._run(self._transport.close())
+
+
+def connect_async(address: str,
+                  connect_timeout: float = 5.0) -> AsyncBridgeTransport:
+    """An :class:`AsyncBridgeTransport` for ``host:port`` addresses."""
+    host, port = parse_shard_address(address)
+    return AsyncBridgeTransport(host, port, connect_timeout=connect_timeout)
+
+
+# ----------------------------------------------------------------------
+# the async shard server (python -m repro shard-serve --async)
+# ----------------------------------------------------------------------
+class AsyncShardServer:
+    """One event loop from socket to shard engine.
+
+    The asyncio counterpart of :class:`ShardServer`.  Every connection
+    is a coroutine on one loop; engine work runs on a bounded thread
+    pool (``solve_workers``) because the exact simplex is CPU-bound —
+    the loop itself only frames, routes, and answers.  What that buys
+    over the threaded server:
+
+    * **pings on the loop** — a health probe is answered immediately
+      even while every executor thread is busy, so a *busy* shard never
+      looks *dead* to a prober (the PR 5 busy-shard ping-miss leftover);
+    * **server-side deadlines** — an op carrying ``deadline`` (or the
+      server-wide ``op_deadline`` default) that cannot finish in time is
+      answered promptly with a ``ShardTimeoutError``-typed reply; the
+      connection keeps serving its other in-flight ids, and an
+      abandoned solve still completes on its thread and warms the cache;
+    * **cross-broker coalescing** — in-flight solves are keyed by
+      fingerprint, so several brokers hammering one hot shard await the
+      same engine run (counted in ``shard_coalesced``, traced as
+      ``coalesce.remote`` spans on follower replies);
+    * **old peers keep working** — frames without an ``id`` are
+      answered strictly in order (the sync :class:`TcpTransport`
+      contract); only id-tagged frames are answered out of order.
+
+    All mutable coordination state (the in-flight map, the counters) is
+    loop-confined: it is only ever touched from the event loop, which is
+    the async replacement for the threaded server's ``engine_lock`` —
+    the engine itself is still guarded by a real lock *inside* the
+    executor jobs, never on the loop.
+    """
+
+    def __init__(
+        self,
+        address=("127.0.0.1", 0),
+        cache_size: int = 256,
+        ttl: Optional[float] = None,
+        incremental: bool = True,
+        engine: Optional[SolveEngine] = None,
+        solve_workers: int = 2,
+        op_deadline: Optional[float] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else SolveEngine(
+            cache=SolutionCache(max_size=cache_size, ttl=ttl),
+            incremental=IncrementalSolver() if incremental else None,
+        )
+        self.solve_workers = max(1, int(solve_workers))
+        self.op_deadline = op_deadline
+        self._requested_address = address
+        # the engine is single-threaded by contract; executor jobs take
+        # this lock, so the pool bounds *queueing*, not engine reentry
+        self._engine_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.solve_workers,
+            thread_name_prefix="repro-ashard",
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        # ---- loop-confined state (event loop only, no locks) ----
+        self._inflight_solves: Dict[str, asyncio.Future] = {}
+        self.shard_coalesced = 0
+        self.inflight_ops = 0
+        self.max_inflight = 0
+        self.queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncShardServer":
+        """Bind the listener on the running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self._requested_address[0],
+            self._requested_address[1],
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def host(self) -> str:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"tcp://{self.host}:{self.port}"
+
+    def start_in_thread(self) -> "AsyncShardServer":
+        """Run the server on a dedicated daemon loop thread (tests,
+        embedding); returns once the port is bound."""
+        started = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.start())
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self._shutdown_on_loop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-ashard-serve", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=10):  # pragma: no cover — bind hang
+            raise TransportError("async shard server failed to start")
+        return self
+
+    async def _shutdown_on_loop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def shutdown(self) -> None:
+        """Stop a :meth:`start_in_thread` server (thread-safe)."""
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # the per-connection coroutine
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    msg = await read_frame_async(reader)
+                except TransportError:
+                    return  # client went away / spoke garbage: drop it
+                op = msg.get("op")
+                if op == "stop":
+                    # the operator stops a server; a client only drops
+                    # its own connection (same rule as ShardServer)
+                    await self._send(writer, write_lock,
+                                     self._echo(msg, {"ok": True,
+                                                      "closing": True}))
+                    return
+                if op == "ping":
+                    # answered on the loop: never queued behind solves,
+                    # so a saturated shard still proves it is alive
+                    await self._send(writer, write_lock,
+                                     self._echo(msg, {"ok": True,
+                                                      "pong": True}))
+                    continue
+                if "id" in msg:
+                    task = asyncio.ensure_future(
+                        self._serve_op(msg, writer, write_lock))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                else:
+                    # legacy sync peer: replies strictly in order, one
+                    # op at a time on this connection
+                    await self._serve_op(msg, writer, write_lock)
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+
+    @staticmethod
+    def _echo(msg: Dict[str, Any],
+              reply: Dict[str, Any]) -> Dict[str, Any]:
+        if "id" in msg:
+            reply["id"] = msg["id"]
+        return reply
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock,
+                    reply: Dict[str, Any]) -> None:
+        frame = encode_frame(reply)
+        try:
+            async with write_lock:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; its loss
+
+    # ------------------------------------------------------------------
+    # op execution
+    # ------------------------------------------------------------------
+    async def _serve_op(self, msg: Dict[str, Any],
+                        writer: asyncio.StreamWriter,
+                        write_lock: asyncio.Lock) -> None:
+        self.inflight_ops += 1
+        self.max_inflight = max(self.max_inflight, self.inflight_ops)
+        self._publish_gauges()
+        try:
+            deadline = msg.get("deadline", self.op_deadline)
+            try:
+                reply = await self._dispatch(msg, deadline)
+            except asyncio.TimeoutError:
+                reply = {
+                    "ok": False,
+                    "type": "ShardTimeoutError",
+                    "error": (f"op {msg.get('op')!r} missed its "
+                              f"{deadline}s server-side deadline "
+                              f"(executor saturated or solve too slow)"),
+                }
+        finally:
+            self.inflight_ops -= 1
+            self._publish_gauges()
+        await self._send(writer, write_lock, self._echo(msg, reply))
+
+    async def _dispatch(self, msg: Dict[str, Any],
+                        deadline: Optional[float]) -> Dict[str, Any]:
+        op = msg.get("op")
+        if op == "solve":
+            return await self._solve_one(
+                msg.get("fp"), msg.get("request"), bool(msg.get("trace")),
+                deadline)
+        if op == "solve_many":
+            replies = []
+            for item in msg.get("items", ()):
+                replies.append(await self._solve_one(
+                    item.get("fp"), item.get("request"),
+                    bool(item.get("trace")), deadline))
+            return {"ok": True, "results": replies}
+        if op == "snapshot":
+            # served on the loop: reads loop-confined counters plus the
+            # engine's own (briefly) locked snapshot — microseconds, and
+            # it must not queue behind saturated solve workers
+            return {"ok": True, "snapshot": self._snapshot_with_async()}
+        # invalidate / clear / sleep / unknown: the shared op handler,
+        # on a thread, under the engine lock
+        assert self._loop is not None
+        future = self._loop.run_in_executor(
+            self._executor, self._locked_message, msg)
+        return await asyncio.wait_for(future, deadline)
+
+    async def _solve_one(self, fp: Any, request_wire: Any, trace: bool,
+                         deadline: Optional[float]) -> Dict[str, Any]:
+        if not isinstance(fp, str) or request_wire is None:
+            return {"ok": False, "type": "SpecError",
+                    "error": "solve op requires 'fp' and 'request'"}
+        shared = self._inflight_solves.get(fp)
+        if shared is None:
+            # leader: start the engine run; the shared future is
+            # resolved by the executor-future's done callback (on the
+            # loop), never by a waiter — a waiter's deadline cancels
+            # only its own wait
+            assert self._loop is not None
+            shared = self._loop.create_future()
+            self._inflight_solves[fp] = shared
+            self.queue_depth += 1
+            self._publish_gauges()
+            job = self._loop.run_in_executor(
+                self._executor, self._solve_job, fp, request_wire, trace)
+            job.add_done_callback(
+                lambda done, fp=fp, shared=shared:
+                self._solve_finished(fp, shared, done))
+            follower = False
+        else:
+            follower = True
+            self.shard_coalesced += 1
+        started = time.perf_counter()
+        reply = dict(await asyncio.wait_for(asyncio.shield(shared),
+                                            deadline))
+        if follower:
+            waited = time.perf_counter() - started
+            # metered like any endpoint so /metrics and the Prometheus
+            # view surface remote coalescing without a new schema
+            self.engine.metrics.observe("coalesce.remote", waited)
+            leader_trace = reply.pop("trace", None)
+            if trace:
+                reply["trace"] = self._follower_trace(
+                    fp, waited, leader_trace)
+        return reply
+
+    def _solve_finished(self, fp: str, shared: "asyncio.Future",
+                        done: "asyncio.Future") -> None:
+        # runs on the loop (run_in_executor future callback)
+        self._inflight_solves.pop(fp, None)
+        self.queue_depth = max(0, self.queue_depth - 1)
+        self._publish_gauges()
+        if shared.done():  # pragma: no cover — defensive
+            return
+        exc = done.exception()
+        if exc is not None:
+            shared.set_result({"ok": False, "error": str(exc),
+                               "type": type(exc).__name__})
+        else:
+            shared.set_result(done.result())
+
+    def _solve_job(self, fp: str, request_wire: Any,
+                   trace: bool) -> Dict[str, Any]:
+        """Executor thread: the only place engine.run happens."""
+        msg = {"op": "solve", "fp": fp, "request": request_wire}
+        if trace:
+            msg["trace"] = True
+        with self._engine_lock:
+            return _handle_shard_op(self.engine, msg)
+
+    def _locked_message(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        with self._engine_lock:
+            return _handle_shard_op(self.engine, msg)
+
+    def _follower_trace(self, fp: str, waited: float,
+                        leader_trace: Optional[Dict[str, Any]],
+                        ) -> Dict[str, Any]:
+        """A follower's span tree: one ``coalesce.remote`` span standing
+        in for the engine run it never made."""
+        from .tracing import Trace  # deferred: keep module import light
+        tr = Trace("shard.solve")
+        sp = tr.new_span("coalesce.remote", tr.root.span_id, start=0.0)
+        sp.annotations.update({
+            "fingerprint": fp[:12],
+            "coalesced": True,
+            "leader_trace": (leader_trace or {}).get("trace_id"),
+        })
+        sp.duration_seconds = waited
+        tr.finish()
+        return {"trace_id": tr.trace_id, "spans": tr.span_wire()}
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _publish_gauges(self) -> None:
+        metrics = self.engine.metrics
+        metrics.set_gauge("mux_inflight", self.inflight_ops)
+        metrics.set_gauge("mux_inflight_max", self.max_inflight)
+        metrics.set_gauge("solve_queue_depth", self.queue_depth)
+
+    def _snapshot_with_async(self) -> Dict[str, Any]:
+        self._publish_gauges()
+        snap = self.engine.snapshot()
+        snap["async"] = {
+            "solve_workers": self.solve_workers,
+            "inflight": self.inflight_ops,
+            "max_inflight": self.max_inflight,
+            "queue_depth": self.queue_depth,
+            "shard_coalesced": self.shard_coalesced,
+        }
+        return snap

@@ -1,0 +1,30 @@
+# repro-lint: scope(asyncio)
+"""Violation fixture for the ``asyncio`` rule: every way to block the
+event loop from inside an ``async def``."""
+
+import socket
+import threading
+import time
+
+
+class BadServer:
+    def __init__(self):
+        self._engine_lock = threading.Lock()
+
+    async def nap(self):
+        time.sleep(0.5)  # blocking sleep on the loop
+
+    async def dial(self, host, port):
+        sock = socket.create_connection((host, port))  # blocking connect
+        return sock.recv(4)  # blocking socket read
+
+    async def relay(self, transport, message):
+        transport.ping(timeout=1.0)  # sync transport call, not awaited
+        return transport.request(message, timeout=1.0)
+
+    async def wait(self, fut):
+        return fut.result()  # parks the loop until the future resolves
+
+    async def convoy(self, engine, message):
+        with self._engine_lock:  # sync lock acquire on the loop
+            return engine.handle(message)

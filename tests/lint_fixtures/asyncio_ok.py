@@ -1,0 +1,51 @@
+# repro-lint: scope(asyncio)
+"""Clean fixture for the ``asyncio`` rule: coroutines that keep the
+event loop free, plus the sanctioned escape hatches."""
+
+import asyncio
+import time
+
+
+class GoodServer:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._loop = asyncio.get_event_loop()
+
+    async def pause(self):
+        await asyncio.sleep(0.1)  # the async sleep, not time.sleep
+
+    async def relay(self, transport, message):
+        # awaited transport calls are the async API — fine
+        reply = await transport.request(message, timeout=1.0)
+        await transport.ping(timeout=1.0)
+        return reply
+
+    async def guarded(self):
+        async with self._lock:  # asyncio.Lock under async with
+            return 1
+
+    async def offloaded(self, job):
+        # blocking work belongs on the executor; awaiting it is the point
+        return await self._loop.run_in_executor(None, job)
+
+    async def dispatch(self, engine_lock, handler, message):
+        def job():
+            # nested sync def: runs on an executor thread, so the
+            # blocking lock and sleep are exempt by design
+            with engine_lock:
+                time.sleep(0)
+                return handler(message)
+
+        return await self._loop.run_in_executor(None, job)
+
+    def sync_path(self, transport, message):
+        # not an async def: the sync transport API is the right tool
+        transport.ping(timeout=1.0)
+        return transport.request(message, timeout=1.0).get("ok")
+
+    async def sanctioned(self, fut):
+        # a done future's result() cannot block; the pragma records why
+        return fut.result()  # repro-lint: allow(asyncio) — done-callback hand-off
+
+    async def deadline(self, coro):
+        return await asyncio.wait_for(coro, timeout=2.0)

@@ -1,5 +1,5 @@
 """The ``repro lint`` framework: registry, pragmas, baselines, reporters,
-the four rules against their fixture corpus, the repo-wide green gate,
+the five rules against their fixture corpus, the repo-wide green gate,
 and regression tests for the real findings this gate surfaced and fixed.
 """
 
@@ -29,7 +29,7 @@ from repro.lint.cli import main as lint_main
 
 REPO = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
-RULES = ("drift", "exactness", "locks", "tracing")
+RULES = ("asyncio", "drift", "exactness", "locks", "tracing")
 
 
 def lint_file(path, **kwargs):
@@ -254,7 +254,7 @@ class TestReporters:
 
 
 # ----------------------------------------------------------------------
-# the four rules against their fixture corpus
+# the five rules against their fixture corpus
 # ----------------------------------------------------------------------
 class TestFixtureCorpus:
     @pytest.mark.parametrize("rule", RULES)
@@ -321,6 +321,24 @@ class TestFixtureCorpus:
         assert "start_trace" in messages
         assert "span(...)" in messages
         assert "time.time()" in messages
+
+    def test_asyncio_catches_every_blocking_shape(self):
+        report = lint_file(FIXTURES / "asyncio_bad.py")
+        messages = "\n".join(f.message for f in report.findings)
+        assert "time.sleep()" in messages
+        assert "socket.create_connection()" in messages
+        assert ".recv()" in messages
+        assert ".ping()" in messages and ".request()" in messages
+        assert ".result()" in messages
+        assert "sync 'with _engine_lock:'" in messages
+
+    def test_asyncio_exempts_nested_sync_defs_and_awaits(self):
+        # the ok fixture's executor jobs hold locks and sleep — exempt
+        # because they run on threads; its one .result() carries an
+        # allow pragma, so it lands in suppressed, never in findings
+        report = lint_file(FIXTURES / "asyncio_ok.py")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["asyncio"]
 
 
 # ----------------------------------------------------------------------
