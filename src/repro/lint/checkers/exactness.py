@@ -22,6 +22,7 @@ from ..engine import Checker, Finding, ModuleInfo, register_checker
 #: Exact-path files (suffix match on the repo-relative path).
 EXACT_FILES = (
     "repro/lp/simplex.py",
+    "repro/lp/factor.py",
     "repro/lp/model.py",
     "repro/service/wire.py",
 )
@@ -51,8 +52,8 @@ class ExactnessChecker(Checker):
     rule = "exactness"
     description = (
         "no float literals, float() calls or math.* in the exact paths "
-        "(lp/simplex.py, lp/model.py, core/, schedule/, problems/, "
-        "service/wire.py; lp/scipy_backend.py exempt)"
+        "(lp/simplex.py, lp/factor.py, lp/model.py, core/, schedule/, "
+        "problems/, service/wire.py; lp/scipy_backend.py exempt)"
     )
 
     def applies_to(self, module: ModuleInfo) -> bool:

@@ -5,6 +5,7 @@ the paper's period construction requires; the scipy backend
 (:mod:`repro.lp.scipy_backend`) provides fast cross-checks.
 """
 
+from .factor import BasisFactor, SingularBasisError, SparseLU
 from .model import (
     Constraint,
     InfeasibleError,
@@ -16,11 +17,15 @@ from .model import (
     Variable,
     lp_sum,
 )
-from .simplex import SimplexInstance, solve_exact
+from .simplex import DEFAULT_ENGINE, SimplexInstance, solve_exact
 from .scipy_backend import solve_scipy
 
 __all__ = [
+    "BasisFactor",
+    "DEFAULT_ENGINE",
     "SimplexInstance",
+    "SingularBasisError",
+    "SparseLU",
     "Constraint",
     "InfeasibleError",
     "LinearProgram",

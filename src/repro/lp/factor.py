@@ -1,0 +1,316 @@
+"""Exact sparse LU factorisation of a simplex basis, with eta-file updates.
+
+This module is the linear-algebra core of the revised simplex in
+:mod:`repro.lp.simplex`.  It answers exactly two questions about the
+current basis matrix ``B`` (an ``m x m`` selection of standard-form
+columns), both over exact :class:`~fractions.Fraction` arithmetic:
+
+* **FTRAN** — solve ``B x = a`` (the update direction of an entering
+  column, and the basic solution ``x_B = B^{-1} b``);
+* **BTRAN** — solve ``y^T B = c`` (the simplex multipliers used to price
+  reduced costs).
+
+:class:`SparseLU` performs one Gaussian elimination of ``B`` with
+**Markowitz pivot selection**: at each step the pivot ``(i, j)``
+minimising ``(r_i - 1) * (c_j - 1)`` (row nonzeros times column
+nonzeros) among the sparsest candidate columns, so fill-in stays small
+on the near-triangular bases the steady-state LPs produce.  Exact
+arithmetic means *any* nonzero pivot is numerically perfect — the
+ordering is purely a fill-in (and therefore speed) decision, never a
+stability one.
+
+:class:`BasisFactor` wraps one :class:`SparseLU` with a **product-form
+eta file**: each simplex pivot appends one eta vector (the FTRAN'd
+entering column and its pivot slot) instead of re-eliminating anything,
+so a pivot costs O(nnz) where the dense tableau paid O(m*n).  FTRAN
+applies the etas forward after the LU solves; BTRAN applies them in
+reverse before.  The simplex layer refactorises (a fresh
+:class:`SparseLU` of the current basis) when the eta file grows past its
+length or fill thresholds — see ``_RevisedCore.maybe_refactor``.
+
+No floats anywhere: this file is on the ``repro lint`` exactness
+allowlist and must stay coercion-free.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+#: A sparse column: ``{row: value}`` with no explicit zeros.
+SparseColumn = Dict[int, Fraction]
+
+
+class SingularBasisError(Exception):
+    """The proposed basis columns are linearly dependent.
+
+    Raised only by :meth:`BasisFactor.refactor` when a basis that *must*
+    be nonsingular (it was reached by valid pivots) fails to factor —
+    which would be a bug, not an input condition.  Callers testing a
+    *candidate* basis (warm restarts) use :meth:`SparseLU.factor`, which
+    returns ``None`` instead of raising.
+    """
+
+
+class SparseLU:
+    """One Markowitz-ordered sparse LU of an ``m x m`` basis matrix.
+
+    Construction is through :meth:`factor`, which returns ``None`` for a
+    singular matrix.  The factorisation is stored as the elimination
+    sequence itself:
+
+    * ``_perm[k] = (p_k, q_k, piv_k)`` — the pivot row, pivot column
+      (basis *slot*) and pivot value of elimination step ``k``;
+    * ``_lops[k]`` — the multipliers ``(row, mult)`` that eliminated the
+      sub-diagonal of step ``k`` (unit lower-triangular L);
+    * ``_urows[k]`` — the pivot row's surviving entries ``(slot, value)``
+      over columns eliminated *later* (strict upper-triangular U).
+
+    ``nnz`` (L + U + diagonal) over ``basis_nnz`` (the input columns) is
+    the fill ratio the service metrics report.
+    """
+
+    __slots__ = ("m", "_perm", "_lops", "_urows", "_rowpos",
+                 "nnz", "basis_nnz")
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+        self._perm: List[Tuple[int, int, Fraction]] = []
+        self._lops: List[List[Tuple[int, Fraction]]] = []
+        self._urows: List[List[Tuple[int, Fraction]]] = []
+        self._rowpos: List[int] = []
+        self.nnz = 0
+        self.basis_nnz = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def factor(cls, m: int,
+               columns: List[SparseColumn]) -> Optional["SparseLU"]:
+        """Factor the matrix whose ``j``-th column is ``columns[j]``.
+
+        Returns ``None`` when the columns are singular (structurally —
+        an empty active column — or numerically, which with exact
+        arithmetic means genuinely dependent columns).
+        """
+        if len(columns) != m:
+            return None
+        self = cls(m)
+        self.basis_nnz = sum(len(col) for col in columns)
+        # Active submatrix, mirrored row-wise and column-wise so both the
+        # Markowitz scan and the elimination updates stay O(touched).
+        colmap: List[SparseColumn] = [dict(col) for col in columns]
+        rowmap: List[Dict[int, Fraction]] = [dict() for _ in range(m)]
+        for j, col in enumerate(colmap):
+            if not col:
+                return None
+            for i, v in col.items():
+                if v == 0:
+                    return None  # explicit zeros are a caller bug
+                rowmap[i][j] = v
+        # Column-nnz buckets drive the candidate scan: examining columns
+        # sparsest-first lets the search stop as soon as no later bucket
+        # can beat the best Markowitz cost found so far.
+        buckets: Dict[int, set] = {}
+        for j in range(m):
+            buckets.setdefault(len(colmap[j]), set()).add(j)
+
+        def move_bucket(j: int, old: int, new: int) -> None:
+            buckets[old].discard(j)
+            if new:
+                buckets.setdefault(new, set()).add(j)
+
+        for _step in range(m):
+            pi, pj = self._select_pivot(colmap, rowmap, buckets)
+            if pj < 0:
+                return None
+            piv = colmap[pj][pi]
+            # Pivot row entries over still-active columns (minus pivot).
+            urow = [(j, v) for j, v in rowmap[pi].items() if j != pj]
+            lops: List[Tuple[int, Fraction]] = []
+            for i, below in list(colmap[pj].items()):
+                if i == pi:
+                    continue
+                mult = below / piv
+                lops.append((i, mult))
+                target = rowmap[i]
+                del target[pj]
+                for j, v in urow:
+                    old_len = len(colmap[j])
+                    cur = target.get(j)
+                    if cur is None:
+                        nv = -mult * v
+                        target[j] = nv
+                        colmap[j][i] = nv
+                        move_bucket(j, old_len, old_len + 1)
+                    else:
+                        nv = cur - mult * v
+                        if nv == 0:
+                            del target[j]
+                            del colmap[j][i]
+                            move_bucket(j, old_len, old_len - 1)
+                        else:
+                            target[j] = nv
+                            colmap[j][i] = nv
+            # Retire the pivot row and column from the active submatrix.
+            for j, _v in urow:
+                old_len = len(colmap[j])
+                del colmap[j][pi]
+                move_bucket(j, old_len, old_len - 1)
+            move_bucket(pj, len(colmap[pj]), 0)
+            colmap[pj].clear()
+            rowmap[pi].clear()
+            self._perm.append((pi, pj, piv))
+            self._lops.append(lops)
+            self._urows.append(urow)
+            self.nnz += len(lops) + len(urow) + 1
+        self._rowpos = [0] * m
+        for k, (p_k, _q, _piv) in enumerate(self._perm):
+            self._rowpos[p_k] = k
+        return self
+
+    @staticmethod
+    def _select_pivot(colmap: List[SparseColumn],
+                      rowmap: List[Dict[int, Fraction]],
+                      buckets: Dict[int, set]) -> Tuple[int, int]:
+        """Markowitz selection: minimise ``(row_nnz-1)*(col_nnz-1)``.
+
+        Scans column buckets sparsest-first; a bucket of column-nnz
+        ``c`` cannot yield a cost below ``c - 1`` (every active row has
+        nnz >= 1), so the scan stops once the best found cost is that
+        low.  Returns ``(-1, -1)`` when no active entry exists.
+        """
+        best_cost = -1
+        best = (-1, -1)
+        for c in sorted(k for k, b in buckets.items() if k and b):
+            if best_cost >= 0 and best_cost <= c - 1:
+                break
+            for j in buckets[c]:
+                for i in colmap[j]:
+                    cost = (len(rowmap[i]) - 1) * (c - 1)
+                    if best_cost < 0 or cost < best_cost:
+                        best_cost = cost
+                        best = (i, j)
+                        if cost == 0:
+                            return best
+        return best
+
+    # ------------------------------------------------------------------
+    def ftran(self, rhs: List[Fraction]) -> List[Fraction]:
+        """Solve ``B x = rhs``; ``x`` is indexed by basis *slot*."""
+        work = list(rhs)
+        for k, (p_k, _q, _piv) in enumerate(self._perm):
+            val = work[p_k]
+            if val != 0:
+                for i, mult in self._lops[k]:
+                    work[i] -= mult * val
+        x = [ZERO] * self.m
+        for k in range(self.m - 1, -1, -1):
+            p_k, q_k, piv = self._perm[k]
+            acc = work[p_k]
+            for j, v in self._urows[k]:
+                xj = x[j]
+                if xj != 0:
+                    acc -= v * xj
+            if acc != 0:
+                x[q_k] = acc / piv
+        return x
+
+    def btran(self, cost: List[Fraction]) -> List[Fraction]:
+        """Solve ``y^T B = cost`` (``cost`` indexed by basis slot)."""
+        m = self.m
+        v = [ZERO] * m
+        contrib = [ZERO] * m  # scattered U^T partial sums, by slot
+        for k, (_p, q_k, piv) in enumerate(self._perm):
+            acc = cost[q_k]
+            ck = contrib[q_k]
+            if ck != 0:
+                acc = acc - ck
+            if acc != 0:
+                vk = acc / piv
+                v[k] = vk
+                for j, u in self._urows[k]:
+                    contrib[j] += u * vk
+        y = [ZERO] * m
+        for k in range(m - 1, -1, -1):
+            acc = v[k]
+            for i, mult in self._lops[k]:
+                yi = y[i]
+                if yi != 0:
+                    acc -= mult * yi
+            y[self._perm[k][0]] = acc
+        return y
+
+
+class BasisFactor:
+    """A basis representation ``B = B0 * E1 * ... * Ek``: one
+    :class:`SparseLU` of ``B0`` plus the product-form eta file.
+
+    Each :meth:`push_eta` records a simplex pivot: the entering column's
+    FTRAN'd direction ``w`` and the basis slot ``r`` it replaced.  The
+    file is applied forward after the LU solves in :meth:`ftran` and in
+    reverse before them in :meth:`btran` — the textbook product-form
+    update, exact because every operation is a Fraction operation.
+
+    ``ftran_ops`` / ``btran_ops`` count solver calls (the revised
+    simplex's unit of linear-algebra work); ``eta_nnz`` tracks the
+    file's total fill for the refactorisation trigger.
+    """
+
+    __slots__ = ("lu", "etas", "eta_nnz", "ftran_ops", "btran_ops")
+
+    def __init__(self, lu: SparseLU) -> None:
+        self.lu = lu
+        # eta = (slot, pivot value, [(other slot, value), ...])
+        self.etas: List[Tuple[int, Fraction, List[Tuple[int, Fraction]]]] = []
+        self.eta_nnz = 0
+        self.ftran_ops = 0
+        self.btran_ops = 0
+
+    @property
+    def eta_len(self) -> int:
+        return len(self.etas)
+
+    def push_eta(self, slot: int, direction: List[Fraction]) -> None:
+        """Record a pivot: ``direction`` is the entering column's FTRAN
+        image (``B^{-1} a_q``), ``slot`` the basis position it enters."""
+        piv = direction[slot]
+        if piv == 0:
+            raise SingularBasisError(
+                f"eta pivot at slot {slot} is zero — the exchange would "
+                f"make the basis singular"
+            )
+        rest = [(i, v) for i, v in enumerate(direction)
+                if v != 0 and i != slot]
+        self.etas.append((slot, piv, rest))
+        self.eta_nnz += len(rest) + 1
+
+    # ------------------------------------------------------------------
+    def ftran(self, rhs: List[Fraction]) -> List[Fraction]:
+        """Solve ``B x = rhs`` through the LU and the eta file."""
+        self.ftran_ops += 1
+        x = self.lu.ftran(rhs)
+        for slot, piv, rest in self.etas:
+            xr = x[slot]
+            if xr == 0:
+                continue
+            xr = xr / piv
+            x[slot] = xr
+            for i, v in rest:
+                x[i] -= v * xr
+        return x
+
+    def btran(self, cost: List[Fraction]) -> List[Fraction]:
+        """Solve ``y^T B = cost`` through the eta file and the LU."""
+        self.btran_ops += 1
+        v = list(cost)
+        for slot, piv, rest in reversed(self.etas):
+            acc = v[slot]
+            for i, w in rest:
+                vi = v[i]
+                if vi != 0:
+                    acc -= vi * w
+            v[slot] = acc / piv
+        return self.lu.btran(v)

@@ -67,6 +67,16 @@ class WarmSolveStats:
     how the retained simplex basis fared on warm solves, and
     ``warm_pivots`` / ``cold_pivots`` accumulate the exact-simplex pivot
     counts of each path (the benchmark's headline comparison).
+
+    The revised-simplex factorisation adds its own telemetry:
+    ``refactorisations`` (fresh sparse LUs — on the warm path this is
+    the count to compare against ``warm_pivots``: eta updates make it a
+    small fraction), ``ftran_ops`` / ``btran_ops`` (forward/backward
+    solves, the engine's unit of linear-algebra work),
+    ``lu_fill_nnz`` / ``lu_basis_nnz`` (accumulated L+U fill vs basis
+    nonzeros — their ratio is the Markowitz fill ratio the metrics
+    endpoint derives), and ``eta_len_max``, a high-water mark (merged by
+    ``max``, not sum, across shards).
     """
 
     warm_solves: int = 0
@@ -77,6 +87,12 @@ class WarmSolveStats:
     basis_fallbacks: int = 0
     warm_pivots: int = 0
     cold_pivots: int = 0
+    refactorisations: int = 0
+    eta_len_max: int = 0
+    ftran_ops: int = 0
+    btran_ops: int = 0
+    lu_fill_nnz: int = 0
+    lu_basis_nnz: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -214,6 +230,14 @@ class IncrementalSolver:
                     self.stats.basis_fallbacks += 1
             else:
                 self.stats.cold_pivots += sol.pivots
+            fs = instance.last_factor_stats
+            self.stats.refactorisations += fs["refactorisations"]
+            self.stats.ftran_ops += fs["ftran_ops"]
+            self.stats.btran_ops += fs["btran_ops"]
+            self.stats.lu_fill_nnz += fs["lu_nnz"]
+            self.stats.lu_basis_nnz += fs["lu_basis_nnz"]
+            if fs["eta_len_max"] > self.stats.eta_len_max:
+                self.stats.eta_len_max = fs["eta_len_max"]
         return sol
 
     # ------------------------------------------------------------------

@@ -366,9 +366,22 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
     for key in sorted(incremental):
         if key == "hot_models":
             continue
+        if key.endswith("_max"):
+            # high-water marks (eta-file length, ...) are gauges: they
+            # can reset with their SimplexInstance and merge by max
+            emit(f"repro_warm_{key}", "gauge",
+                 f"Warm-path high-water mark: {key.replace('_', ' ')}.",
+                 [({}, incremental.get(key))])
+            continue
         emit(f"repro_warm_{key}_total", "counter",
              f"Warm-path counter: {key.replace('_', ' ')}.",
              [({}, incremental.get(key))])
+    basis_nnz = incremental.get("lu_basis_nnz")
+    if basis_nnz:
+        emit("repro_warm_lu_fill_ratio", "gauge",
+             "Sparse-LU fill ratio: accumulated L+U nonzeros over basis "
+             "nonzeros (1.0 = no fill-in).",
+             [({}, incremental.get("lu_fill_nnz", 0) / basis_nnz)])
 
     traces = snapshot.get("traces", {})
     emit("repro_traces_captured_total", "counter",

@@ -1100,10 +1100,12 @@ class ShardedBroker:
         if incremental:
             # sum over the union of counters so new WarmSolveStats fields
             # (evictions, basis_restarts, pivot counts, ...) surface in
-            # /metrics without this list needing maintenance
+            # /metrics without this list needing maintenance; *_max keys
+            # are high-water marks and merge by max, not sum
             keys = sorted({key for snap in incremental for key in snap})
             out["incremental"] = {
-                key: sum(snap.get(key, 0) for snap in incremental)
+                key: (max if key.endswith("_max") else sum)(
+                    snap.get(key, 0) for snap in incremental)
                 for key in keys
             }
         return out

@@ -1,0 +1,21 @@
+# repro-lint: scope(exactness)
+"""Seeded factorisation anti-patterns: float pivot tolerances and
+float-coerced fill estimates have no place in an exact LU."""
+
+import math
+
+
+def select_pivot(colmap, rowmap):
+    best = None
+    for j, col in enumerate(colmap):
+        for i, v in col.items():
+            if abs(float(v)) < 1e-12:  # float() + tolerance literal
+                continue
+            cost = math.log(len(rowmap[i]))  # math.* on exact data
+            if best is None or cost < best[0]:
+                best = (cost, i, j)
+    return best
+
+
+def fill_ratio(lu_nnz, basis_nnz):
+    return lu_nnz / (basis_nnz + 0.0)  # float coercion by arithmetic

@@ -1,0 +1,26 @@
+# repro-lint: scope(exactness)
+"""Factorisation-shaped exact code: Fraction elimination passes the rule."""
+
+from fractions import Fraction
+
+
+def eliminate(colmap, pivot_row, pivot_col):
+    """One exact Gaussian elimination step over sparse Fraction columns."""
+    piv = colmap[pivot_col][pivot_row]
+    for col, entries in enumerate(colmap):
+        if col == pivot_col:
+            continue
+        val = entries.get(pivot_row)
+        if val is None:
+            continue
+        mult = val / piv
+        for row, v in list(entries.items()):
+            if row == pivot_row:
+                del entries[row]
+            else:
+                entries[row] = v - mult * v
+    return Fraction(piv)
+
+
+def markowitz_cost(row_nnz: int, col_nnz: int) -> int:
+    return (row_nnz - 1) * (col_nnz - 1)

@@ -276,6 +276,30 @@ class TestFixtureCorpus:
         assert "math.sqrt" in messages
         assert "1e-09" in messages
 
+    def test_exactness_factor_ok_fixture_is_clean(self):
+        report = lint_file(FIXTURES / "exactness_factor_ok.py")
+        assert report.ok, report.render_text()
+
+    def test_exactness_factor_bad_fixture_fails(self):
+        report = lint_file(FIXTURES / "exactness_factor_bad.py")
+        assert not report.ok
+        assert {f.rule for f in report.findings} == {"exactness"}
+        messages = "\n".join(f.message for f in report.findings)
+        assert "float() coercion" in messages
+        assert "math.log" in messages
+        assert "1e-12" in messages
+        assert "float literal 0.0" in messages
+
+    def test_factor_module_in_exact_path_without_pragma(self, tmp_path):
+        # repro/lp/factor.py is on the EXACT_FILES allowlist: a float
+        # leaking into it must be flagged with no scope pragma needed
+        target = tmp_path / "repro" / "lp"
+        target.mkdir(parents=True)
+        mod = target / "factor.py"
+        mod.write_text("PIVOT_TOL = 1e-9\n")
+        report = run_lint([str(mod)], root=str(tmp_path))
+        assert [f.rule for f in report.findings] == ["exactness"]
+
     def test_locks_catches_write_read_and_closure(self):
         report = lint_file(FIXTURES / "locks_bad.py")
         lines = {f.line for f in report.findings}
