@@ -328,6 +328,7 @@ def _build_broker(args):
                 "--async-transport multiplexes remote shard connections; "
                 "it needs at least one --shard host:port"
             )
+        replication = getattr(args, "replication_factor", 1)
         return ShardedBroker(
             shards=shards,
             shard_mode=mode,
@@ -337,11 +338,25 @@ def _build_broker(args):
             shard_addresses=addresses,
             request_timeout=timeout if timeout > 0 else None,
             async_transport=bool(getattr(args, "async_transport", False)),
+            replication_factor=max(1, replication),
+            near_cache_size=getattr(args, "near_cache_size", 64),
+            hot_threshold=getattr(args, "hot_threshold", 8),
         )
     if getattr(args, "async_transport", False):
         raise SystemExit(
             "--async-transport applies to remote shards only; add "
             "--shard host:port"
+        )
+    if getattr(args, "replication_factor", 1) > 1:
+        raise SystemExit(
+            "--replication-factor replicates hot keys across ring "
+            "shards; it needs --shards > 1 (or --shard host:port)"
+        )
+    if getattr(args, "near_cache_size", 64) != 64:
+        raise SystemExit(
+            "--near-cache-size configures the sharded broker's "
+            "near-cache; the unsharded broker's own cache already "
+            "fronts everything (use --cache-size)"
         )
     if shards < 1:
         raise SystemExit("--shards 0 needs at least one --shard host:port")
@@ -381,6 +396,11 @@ def cmd_serve(args) -> int:
                 layout += " (multiplexed)"
         if mode == "thread":  # --workers is per-shard, thread only
             layout += f", {args.workers} workers/shard"
+        if getattr(args, "replication_factor", 1) > 1:
+            layout += f", hot-key R={args.replication_factor}"
+        near = getattr(args, "near_cache_size", 64)
+        if near > 0:
+            layout += f", near-cache {near}"
     else:
         layout = f"cache {args.cache_size} entries, {args.workers} workers"
     if args.async_http:
@@ -662,6 +682,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multiplex each remote --shard connection: many "
                         "in-flight id-tagged requests share one socket "
                         "(requires async or id-echoing shard-serve peers)")
+    p.add_argument("--replication-factor", type=int, default=1,
+                   help="replica count for HOT fingerprints: reads "
+                        "rotate over the key's first R live ring "
+                        "successors and solutions fan out to them with "
+                        "generation-checked puts (1 = classic "
+                        "single-owner routing; sharded broker only)")
+    p.add_argument("--near-cache-size", type=int, default=64,
+                   help="broker-side near-cache entries for the hottest "
+                        "fingerprints, generation-revalidated so stale "
+                        "serves are impossible (0 disables; sharded "
+                        "broker only)")
+    p.add_argument("--hot-threshold", type=int, default=8,
+                   help="lookup count at which a fingerprint counts as "
+                        "hot (replicated + near-cached)")
     p.add_argument("--async-http", action="store_true",
                    help="serve HTTP on one asyncio event loop (idle "
                         "keep-alive clients cost no threads; broker "

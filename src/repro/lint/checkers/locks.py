@@ -17,6 +17,19 @@ unlocked accesses (GIL-atomic counter reads in snapshots, single-
 threaded shutdown paths) carry a line ``allow(locks)`` pragma with the
 justification.
 
+Private helpers that a lock-holding method factors its work into (the
+heat sketch's lazy-heap eviction, for example) are declared with a
+method-level annotation on the ``def`` line::
+
+    def _evict_min(self):  # caller-holds: _lock
+
+The helper's body is then checked as if ``with self._lock:`` enclosed
+it — guarded attributes may be touched freely — and, in exchange,
+**every call** ``self._evict_min()`` elsewhere in the class must itself
+sit inside a ``with self._lock:`` block (or another method making the
+same declaration).  The annotation moves the obligation to the call
+site instead of silencing it.
+
 Known model limits (documented, not checked): attributes guarded by a
 *different object's* lock (e.g. shard failure counters mutated under
 the owning broker's health lock) and locks acquired with explicit
@@ -32,6 +45,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..engine import Checker, Finding, ModuleInfo, register_checker
 
 _GUARD_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_CALLER_HOLDS_RE = re.compile(r"caller-holds:\s*([A-Za-z_][A-Za-z0-9_]*)")
 
 #: Methods where unlocked access is allowed by construction.
 _EXEMPT_METHODS = frozenset({"__init__", "__new__"})
@@ -53,6 +67,7 @@ class _ClassInfo:
             b.id for b in node.bases if isinstance(b, ast.Name)
         ]
         self.guards: Dict[str, str] = {}  # attr -> lock attr
+        self.caller_holds: Dict[str, str] = {}  # method -> lock attr
 
 
 @register_checker
@@ -69,17 +84,43 @@ class LockChecker(Checker):
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         guard_lines: Dict[int, str] = {}
+        holds_lines: Dict[int, str] = {}
         for line, _col, text in module.comments:
             match = _GUARD_RE.search(text)
             if match:
                 guard_lines[line] = match.group(1)
-        if not guard_lines:
+            match = _CALLER_HOLDS_RE.search(text)
+            if match:
+                holds_lines[line] = match.group(1)
+        if not guard_lines and not holds_lines:
             return
 
         classes: Dict[str, _ClassInfo] = {}
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ClassDef):
                 classes[node.name] = _ClassInfo(node)
+
+        holds_claimed: Set[int] = set()
+        for info in classes.values():
+            for item in info.node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                # the annotation may sit on any line of the def header
+                # (signatures wrap); the body's first line ends it
+                header_end = (item.body[0].lineno if item.body
+                              else item.lineno + 1)
+                for ln in range(item.lineno, header_end):
+                    if ln in holds_lines:
+                        info.caller_holds[item.name] = holds_lines[ln]
+                        holds_claimed.add(ln)
+                        break
+        for line in sorted(set(holds_lines) - holds_claimed):
+            yield Finding(
+                self.rule, module.display_path, line, 0,
+                "dangling caller-holds annotation (not on a method's "
+                "'def' header)",
+            )
 
         claimed: Set[int] = set()
         for info in classes.values():
@@ -111,7 +152,8 @@ class LockChecker(Checker):
 
         for name, info in classes.items():
             effective = self._effective_guards(name, classes, set())
-            if not effective:
+            holds = self._effective_caller_holds(name, classes, set())
+            if not effective and not holds:
                 continue
             for item in info.node.body:
                 if not isinstance(item, (ast.FunctionDef,
@@ -120,7 +162,7 @@ class LockChecker(Checker):
                 if item.name in _EXEMPT_METHODS:
                     continue
                 yield from self._check_method(
-                    module, name, item, effective)
+                    module, name, item, effective, holds)
 
     def _effective_guards(
         self, name: str, classes: Dict[str, _ClassInfo], seen: Set[str]
@@ -135,9 +177,23 @@ class LockChecker(Checker):
         merged.update(info.guards)
         return merged
 
+    def _effective_caller_holds(
+        self, name: str, classes: Dict[str, _ClassInfo], seen: Set[str]
+    ) -> Dict[str, str]:
+        if name in seen or name not in classes:
+            return {}
+        seen.add(name)
+        info = classes[name]
+        merged: Dict[str, str] = {}
+        for base in info.bases:
+            merged.update(self._effective_caller_holds(base, classes, seen))
+        merged.update(info.caller_holds)
+        return merged
+
     def _check_method(
         self, module: ModuleInfo, cls_name: str,
         method: ast.AST, guards: Dict[str, str],
+        caller_holds: Dict[str, str],
     ) -> Iterator[Finding]:
         method_name = method.name  # type: ignore[attr-defined]
 
@@ -162,6 +218,19 @@ class LockChecker(Checker):
                 for child in ast.iter_child_nodes(node):
                     yield from walk(child, set())
                 return
+            if isinstance(node, ast.Call):
+                callee = _self_attr(node.func)
+                if callee is not None and callee in caller_holds:
+                    lock = caller_holds[callee]
+                    if lock not in held:
+                        yield Finding(
+                            self.rule, module.display_path, node.lineno,
+                            node.col_offset,
+                            f"self.{callee}() called without holding "
+                            f"'with self.{lock}:' in "
+                            f"{cls_name}.{method_name} "
+                            f"(caller-holds: {lock})",
+                        )
             attr = _self_attr(node)
             if attr is not None and attr in guards:
                 lock = guards[attr]
@@ -176,5 +245,10 @@ class LockChecker(Checker):
             for child in ast.iter_child_nodes(node):
                 yield from walk(child, held)
 
+        # a caller-holds method runs with its declared lock already
+        # held — its body is checked as if the with-block enclosed it
+        initial: Set[str] = set()
+        if method_name in caller_holds:
+            initial.add(caller_holds[method_name])
         for stmt in method.body:  # type: ignore[attr-defined]
-            yield from walk(stmt, set())
+            yield from walk(stmt, initial)

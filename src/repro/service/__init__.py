@@ -58,7 +58,7 @@ from .fingerprint import (
     spec_signature,
     topology_signature,
 )
-from .cache import CacheEntry, CacheStats, SolutionCache
+from .cache import CacheEntry, CacheStats, HeatSketch, SolutionCache
 from .metrics import (
     EndpointMetrics,
     MetricsRegistry,
@@ -129,6 +129,7 @@ __all__ = [
     "request_fingerprint",
     "CacheEntry",
     "CacheStats",
+    "HeatSketch",
     "SolutionCache",
     "EndpointMetrics",
     "MetricsRegistry",

@@ -41,7 +41,7 @@ from ..problems import (
     reconstructable_problems,
     resolve,
 )
-from .cache import CacheEntry, SolutionCache
+from .cache import CacheEntry, HeatSketch, SolutionCache
 from .fingerprint import request_fingerprint
 from .incremental import IncrementalSolver
 from .metrics import MetricsRegistry
@@ -272,16 +272,23 @@ class SolveEngine:
         metrics: Optional[MetricsRegistry] = None,
         incremental: Optional[IncrementalSolver] = None,
         cold_executor=None,
+        heat_capacity: int = 128,
     ) -> None:
         self.cache = cache if cache is not None else SolutionCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.incremental = incremental
         self.cold_executor = cold_executor
+        # per-fingerprint lookup frequencies (space-saving top-K): what
+        # the sharding layer's hot-key replication keys off, and an
+        # operator's view of the request skew in `snapshot` either way
+        self.heat = HeatSketch(heat_capacity) if heat_capacity > 0 else None
 
     # ------------------------------------------------------------------
     def run(self, request: SolveRequest, fp: str) -> BrokerResult:
         """Solve one request (cache -> warm -> cold), metered."""
         start = time.perf_counter()
+        if self.heat is not None:
+            self.heat.record(fp)
         with span("engine.run") as sp:
             try:
                 # captured before the lookup: a solution computed from here
@@ -404,12 +411,23 @@ class SolveEngine:
             self.incremental.forget(platform)
         return removed
 
-    def snapshot(self) -> Dict[str, Any]:
-        """JSON-safe operational state of this shard."""
+    def snapshot(self, include_keys: bool = False) -> Dict[str, Any]:
+        """JSON-safe operational state of this shard.
+
+        ``include_keys`` adds the cache's live fingerprints to the
+        ``cache`` sub-dict — the sharding layer asks for them so merged
+        snapshots can report a *deduplicated* unique-key count under
+        hot-key replication (a plain broker's snapshot stays compact).
+        """
+        cache = self.cache.snapshot()
+        if include_keys:
+            cache["keys"] = self.cache.keys()
         out: Dict[str, Any] = {
-            "cache": self.cache.snapshot(),
+            "cache": cache,
             "metrics": self.metrics.snapshot(),
         }
+        if self.heat is not None:
+            out["heat"] = self.heat.snapshot()
         if self.incremental is not None:
             out["incremental"] = {
                 "hot_models": len(self.incremental),

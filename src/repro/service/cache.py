@@ -29,11 +29,12 @@ The clock is injectable for deterministic TTL tests.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..platform.graph import Platform
 from .fingerprint import Signature, topology_signature
@@ -67,6 +68,119 @@ class CacheStats:
             "invalidations": self.invalidations,
             "stale_puts": self.stale_puts,
             "hit_rate": self.hit_rate,
+        }
+
+
+class HeatSketch:
+    """Bounded per-key frequency sketch (*space-saving* top-K).
+
+    Counts lookups per fingerprint in O(``capacity``) memory: a tracked
+    key increments exactly; an untracked key, once the sketch is full,
+    **replaces the coldest tracked key** and inherits its count plus one
+    (the classic space-saving over-estimate, so a genuinely hot key can
+    never be missed — estimates only ever err high, by at most the
+    evicted minimum).  The hot head of a skewed distribution therefore
+    stabilises in the sketch after one pass, which is what the
+    replication and near-cache layers key off.
+
+    The coldest key is found through a lazily rebuilt min-heap: stale
+    heap entries (whose count moved since they were pushed) are popped
+    and re-pushed on demand, giving amortised ``O(log K)`` evictions
+    instead of an ``O(K)`` scan per cold-tail request.
+
+    Thread-safe; every public method takes the internal lock.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}  # guarded-by: _lock
+        # (count-at-push, key) pairs; may lag _counts (lazily repaired)
+        self._heap: List[Tuple[int, str]] = []  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counts)
+
+    def record(self, key: str) -> int:
+        """Count one lookup; returns the key's (estimated) total."""
+        with self._lock:
+            count = self._counts.get(key)
+            if count is not None:
+                count += 1
+                self._counts[key] = count
+                heapq.heappush(self._heap, (count, key))
+                if len(self._heap) > 4 * self.capacity:
+                    self._compact()
+                return count
+            if len(self._counts) < self.capacity:
+                self._counts[key] = 1
+                heapq.heappush(self._heap, (1, key))
+                return 1
+            floor = self._evict_min()
+            count = floor + 1
+            self._counts[key] = count
+            heapq.heappush(self._heap, (count, key))
+            self.evictions += 1
+            return count
+
+    def _evict_min(self) -> int:  # caller-holds: _lock
+        """Drop the coldest tracked key; returns its count (the
+        space-saving error floor inherited by the replacement)."""
+        while True:
+            count, key = heapq.heappop(self._heap)
+            current = self._counts.get(key)
+            if current == count:
+                del self._counts[key]
+                return count
+            if current is not None:
+                # stale entry: the key was bumped since this push; its
+                # fresher pair is (or will be) elsewhere in the heap
+                continue
+
+    def _compact(self) -> None:  # caller-holds: _lock
+        """Rebuild the heap from live counts (bounds stale growth)."""
+        self._heap = [(count, key) for key, count in self._counts.items()]
+        heapq.heapify(self._heap)
+
+    def count(self, key: str) -> int:
+        """Estimated lookups for a key (0 when untracked)."""
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def hot_keys(self, top: Optional[int] = None,
+                 min_count: int = 1) -> List[Tuple[str, int]]:
+        """Tracked keys with at least ``min_count`` lookups, hottest
+        first, at most ``top`` of them (all when ``None``)."""
+        with self._lock:
+            ranked = sorted(
+                ((key, count) for key, count in self._counts.items()
+                 if count >= min_count),
+                key=lambda pair: (-pair[1], pair[0]),
+            )
+        return ranked[:top] if top is not None else ranked
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._heap.clear()
+
+    def snapshot(self, top: int = 10) -> Dict[str, Any]:
+        """JSON-safe view: config, occupancy and the current hot head."""
+        with self._lock:
+            tracked = len(self._counts)
+            evictions = self.evictions
+        return {
+            "capacity": self.capacity,
+            "tracked": tracked,
+            "evictions": evictions,
+            "hot_keys": [
+                {"fingerprint": key, "count": count}
+                for key, count in self.hot_keys(top=top)
+            ],
         }
 
 
@@ -190,6 +304,17 @@ class SolutionCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
             return entry
+
+    def keys(self) -> List[str]:
+        """The live fingerprints, LRU-first (no counters touched).
+
+        Sharded deployments union these across shards to report a
+        *deduplicated* cache size: hot-key replication stores the same
+        fingerprint on several shards on purpose, so the raw per-shard
+        sum over-counts the distinct solutions held.
+        """
+        with self._lock:
+            return list(self._entries)
 
     def peek(self, key: str) -> Optional[CacheEntry]:
         """Look up without touching counters, recency or TTL eviction.

@@ -74,13 +74,14 @@ import hashlib
 import multiprocessing
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from ..platform.graph import Platform
 from ..platform.serialization import platform_to_dict
 from .broker import Broker, BrokerError, BrokerResult, SolveRequest
-from .cache import SolutionCache
+from .cache import HeatSketch, SolutionCache
 from .metrics import MetricsRegistry, merge_snapshots
 from .tracing import activate, current_span, graft_remote, log_event, span
 from .transport import (
@@ -216,6 +217,42 @@ class HashRing:
             if owner not in skip:
                 return owner
         raise ValueError("every shard is excluded from routing")
+
+    def successors(self, fingerprint: str, count: int,
+                   skip: Iterable[int] = ()) -> List[int]:
+        """The first ``count`` *distinct* live shards clockwise from the
+        fingerprint's ring point — the replica set of a hot key.
+
+        The walk is the same one :meth:`route` takes, so
+        ``successors(fp, 1, skip)[0] == route(fp, skip)`` always, and the
+        list is a prefix-stable ordering of the live shards: asking for
+        ``count + 1`` appends one shard without reshuffling the first
+        ``count`` (what lets a replication factor be raised without
+        moving existing replicas), and ejecting one shard removes only
+        *that shard* from every key's walk — the minimal-disruption
+        invariant, extended from single owners to replica sets.
+
+        Returns fewer than ``count`` shards when fewer are live; raises
+        :class:`ValueError` when every shard is excluded.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        point = int(fingerprint[:16], 16)
+        idx = bisect.bisect_right(self._keys, point)
+        skip = frozenset(skip)
+        out: List[int] = []
+        seen: set = set()
+        for step in range(len(self._owners)):
+            owner = self._owners[(idx + step) % len(self._owners)]
+            if owner in seen or owner in skip:
+                continue
+            seen.add(owner)
+            out.append(owner)
+            if len(out) == count:
+                break
+        if not out:
+            raise ValueError("every shard is excluded from routing")
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -400,7 +437,14 @@ class _AsyncRemoteShard(_TransportShard):
 
 # ----------------------------------------------------------------------
 def _merge_cache_snapshots(snaps: List[Dict[str, Any]]) -> Dict[str, Any]:
-    """Aggregate per-shard cache snapshots: counters sum, rate re-derives."""
+    """Aggregate per-shard cache snapshots: counters sum, rate re-derives.
+
+    ``size`` stays the raw per-shard sum (what the shards actually hold);
+    when the snapshots carry their key lists, ``unique_size`` reports the
+    *deduplicated* fingerprint count alongside it — under hot-key
+    replication the same fingerprint lives on several shards on purpose,
+    so the raw sum over-counts the distinct solutions cached.
+    """
     summed = {
         key: sum(s.get(key, 0) for s in snaps)
         for key in ("size", "max_size", "hits", "misses", "evictions",
@@ -408,12 +452,19 @@ def _merge_cache_snapshots(snaps: List[Dict[str, Any]]) -> Dict[str, Any]:
                     "generation")
     }
     lookups = summed["hits"] + summed["misses"]
-    return {
+    merged = {
         **summed,
         "ttl": snaps[0].get("ttl") if snaps else None,
         "hit_rate": summed["hits"] / lookups if lookups else 0.0,
         "shards": len(snaps),
     }
+    key_lists = [s.get("keys") for s in snaps]
+    if snaps and all(keys is not None for keys in key_lists):
+        unique: Set[str] = set()
+        for keys in key_lists:
+            unique.update(keys)
+        merged["unique_size"] = len(unique)
+    return merged
 
 
 class _AggregateCacheView:
@@ -437,6 +488,30 @@ class _AggregateCacheView:
 #: health-probe request budget: pings and rejoin clears are cheap ops,
 #: so a shard that cannot answer within this is treated as down
 _PING_TIMEOUT = 2.0
+
+
+@dataclass
+class _HotContext:
+    """Everything captured *before* a hot request is dispatched.
+
+    The generations are the PR 3 race discipline extended to fan-out:
+    each replica's cache generation (and the near-cache's) is captured
+    at solve start, and every replicated/near put passes its captured
+    value back — a racing ``invalidate_platform`` bumps the counter in
+    between and the late put is refused instead of reinstating a stale
+    solution.  ``replicas`` is ``None`` when only the near-cache is in
+    play (replication factor 1).
+    """
+
+    replicas: Optional[List[int]] = None
+    #: the replica chosen to serve this request (rotation over replicas)
+    target: Optional[int] = None
+    #: shard id -> that replica's cache generation at solve start; in
+    #: transport mode a monotone lower bound learned from shard replies
+    #: (an entry may be absent when nothing was learned yet — the put is
+    #: then skipped shard-side and the reply seeds the bound)
+    generations: Dict[int, Optional[int]] = field(default_factory=dict)
+    near_generation: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -500,6 +575,31 @@ class ShardedBroker:
         against an async ``shard-serve --async`` server with the
         default sync transport also works (the wire is compatible) but
         serialises per connection.
+    replication_factor:
+        Replica count for **hot** fingerprints.  With ``R >= 2`` a
+        fingerprint whose heat (lookup count in the broker's
+        :class:`~repro.service.cache.HeatSketch`) reaches
+        ``hot_threshold`` is served by rotating over its first R live
+        ring successors (:meth:`HashRing.successors`), and solutions
+        are fanned to the replicas that miss them — generation-checked
+        puts piggybacked on the solve reply path, so a racing
+        invalidation can never be undone by a replica write.  The
+        default ``1`` keeps classic single-owner routing.
+    near_cache_size:
+        Entry budget of a tiny broker-side cache in front of the ring
+        for the very head of the key distribution (``0`` disables).
+        Hot entries (heat >= ``hot_threshold``) are admitted with the
+        generation captured at solve start and revalidated the same
+        way shard caches are — :meth:`invalidate_platform`/:meth:`clear`
+        bump its generation, so serving a stale near-cache entry is
+        structurally impossible.
+    hot_threshold:
+        Lookup count (per the heat sketch) at which a fingerprint is
+        treated as hot — replicated and near-cached.
+    heat_capacity:
+        Tracked-key budget of the broker's space-saving heat sketch
+        (``0`` disables heat tracking, and with it replication and the
+        near-cache).
     """
 
     def __init__(
@@ -516,6 +616,10 @@ class ShardedBroker:
         request_timeout: Optional[float] = None,
         health_interval: Optional[float] = None,
         async_transport: bool = False,
+        replication_factor: int = 1,
+        near_cache_size: int = 64,
+        hot_threshold: int = 8,
+        heat_capacity: int = 512,
     ) -> None:
         addresses = list(shard_addresses or [])
         if async_transport and not addresses:
@@ -559,6 +663,37 @@ class ShardedBroker:
         # ejected remote shards re-admitted to the ring
         self.rejoins = 0  # guarded-by: _health_lock
         self._closed = False
+        # ---- hot-key replication + near-cache ------------------------
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if hot_threshold < 1:
+            raise ValueError("hot_threshold must be >= 1")
+        if near_cache_size < 0:
+            raise ValueError("near_cache_size must be >= 0")
+        if heat_capacity < 0:
+            raise ValueError("heat_capacity must be >= 0")
+        self.replication_factor = int(replication_factor)
+        self.hot_threshold = int(hot_threshold)
+        hot_features = self.replication_factor > 1 or near_cache_size > 0
+        self._heat = (HeatSketch(heat_capacity)
+                      if heat_capacity > 0 and hot_features else None)
+        self._near_cache = (SolutionCache(max_size=near_cache_size, ttl=ttl)
+                            if near_cache_size > 0 and self._heat is not None
+                            else None)
+        self._rep_lock = threading.Lock()
+        # hot-key solutions written to replicas that missed them
+        self.replicated_puts = 0  # guarded-by: _rep_lock
+        # replicated puts refused: generation moved (stale), no known
+        # generation yet, or the replica's transport failed
+        self.replica_put_rejects = 0  # guarded-by: _rep_lock
+        # hot reads served by a non-primary replica (rotation working)
+        self.replica_reads = 0  # guarded-by: _rep_lock
+        # per-shard cache-generation lower bounds learned from transport
+        # replies ("gen" rides on every shard reply); monotone, so a lag
+        # only makes a replicated put reject safely, never land stale
+        self._known_gens: Dict[int, int] = {}  # guarded-by: _rep_lock
+        # in-flight replica put dispatches (drained by flush_replication)
+        self._put_futures: Set[Future] = set()  # guarded-by: _rep_lock
         self._thread_shards: List[Broker] = []
         self._transport_shards: List[_TransportShard] = []
         if shard_mode == "thread":
@@ -698,6 +833,9 @@ class ShardedBroker:
                 ) from exc
             rtt = time.perf_counter() - start
             self.metrics.observe(endpoint, rtt)
+            gen = reply.get("gen")
+            if isinstance(gen, int):
+                self._note_generation(shard.index, gen)
             if sp is not None:
                 # re-parent shard-side span trees (single replies and
                 # solve_many items alike) into this caller's trace
@@ -734,10 +872,215 @@ class ShardedBroker:
     def _inactive_ids(self) -> set:
         return {s.index for s in self._transport_shards if not s.active}
 
-    def _routed_call(self, fp: str, msg: Dict[str, Any]) -> Dict[str, Any]:
+    # ------------------------------------------------------------------
+    # hot-key machinery: heat, near-cache, replica fan-out
+    # ------------------------------------------------------------------
+    def _note_generation(self, shard_id: int, gen: int) -> None:
+        """Raise the learned generation lower bound for a shard (every
+        transport reply carries the shard's current cache generation)."""
+        with self._rep_lock:
+            prev = self._known_gens.get(shard_id)
+            if prev is None or gen > prev:
+                self._known_gens[shard_id] = gen
+
+    def _record_heat(self, fp: str) -> int:
+        """Count one lookup; 0 when heat tracking is disabled."""
+        return self._heat.record(fp) if self._heat is not None else 0
+
+    def _near_lookup(self, request: SolveRequest,
+                     fp: str) -> Optional[BrokerResult]:
+        """Serve from the broker near-cache when possible.
+
+        Counts a hit/miss on the near-cache's own stats either way.  A
+        hit that cannot satisfy ``include_schedule`` (the near entry
+        holds no schedule) falls through to the owning shard, which can
+        reconstruct it; that rare case still counts as a near hit.
+        """
+        near = self._near_cache
+        if near is None:
+            return None
+        start = time.perf_counter()
+        entry = near.get(fp)
+        if entry is None:
+            return None
+        if request.include_schedule and entry.schedule is None:
+            return None
+        elapsed = time.perf_counter() - start
+        # a near hit never reaches a shard engine, so the front-door
+        # registry must count the request for the merged totals
+        self.metrics.observe("solve", elapsed)
+        self.metrics.observe("solve.near", elapsed)
+        with span("near_cache.hit", fingerprint=fp[:12]):
+            pass
+        return BrokerResult(
+            fingerprint=fp,
+            solution=entry.solution,
+            schedule=entry.schedule if request.include_schedule else None,
+            cached=True,
+            latency_seconds=elapsed,
+        )
+
+    def _hot_context(self, fp: str, count: int) -> Optional[_HotContext]:
+        """Capture the replica set and all generations for a hot solve —
+        *before* dispatch, per the PR 3 race discipline.  ``None`` when
+        the fingerprint is not (yet) hot or the features are off."""
+        if count < self.hot_threshold:
+            return None
+        if self.replication_factor < 2 and self._near_cache is None:
+            return None
+        ctx = _HotContext()
+        if self.replication_factor > 1:
+            try:
+                replica_ids = self.ring.successors(
+                    fp, self.replication_factor, skip=self._inactive_ids())
+            except ValueError:
+                replica_ids = []
+            if len(replica_ids) > 1:
+                ctx.replicas = replica_ids
+                ctx.target = replica_ids[count % len(replica_ids)]
+                if self._thread_shards:
+                    ctx.generations = {
+                        sid: self._thread_shards[sid].cache.generation
+                        for sid in replica_ids
+                    }
+                else:
+                    with self._rep_lock:
+                        ctx.generations = {
+                            sid: self._known_gens.get(sid)
+                            for sid in replica_ids
+                        }
+        if self._near_cache is not None:
+            ctx.near_generation = self._near_cache.generation
+        return ctx
+
+    def _count_replica_read(self, ctx: Optional[_HotContext]) -> None:
+        """A hot read about to be served off the primary replica."""
+        if ctx is not None and ctx.replicas and ctx.target != ctx.replicas[0]:
+            with self._rep_lock:
+                self.replica_reads += 1
+
+    def _propagate(self, request: SolveRequest, fp: str,
+                   result: BrokerResult, ctx: Optional[_HotContext],
+                   wire_result: Optional[Dict[str, Any]] = None,
+                   entry_sink: Optional[
+                       Dict[int, List[Dict[str, Any]]]] = None) -> None:
+        """Fan a hot solution out: near-cache admission plus writes to
+        the replicas that missed it, each put guarded by the generation
+        captured at solve start (:class:`_HotContext`).
+
+        ``entry_sink`` (transport mode) collects the put entries instead
+        of dispatching them, so a batch fans all its hot keys to a shard
+        in ONE round-trip — the ``solve_many`` batching discipline
+        applied to replication.
+        """
+        if ctx is None:
+            return
+        near = self._near_cache
+        if near is not None and near.peek(fp) is None:
+            near.put(fp, result.solution, request.platform,
+                     schedule=result.schedule,
+                     generation=ctx.near_generation)
+        if not ctx.replicas:
+            return
+        if self._thread_shards:
+            with span("ring.replicate", fingerprint=fp[:12],
+                      replicas=len(ctx.replicas)):
+                for sid in ctx.replicas:
+                    if sid == ctx.target:
+                        continue
+                    gen = ctx.generations.get(sid)
+                    if gen is None:
+                        # no captured generation — an unguarded put could
+                        # land stale, so it must not happen
+                        with self._rep_lock:
+                            self.replica_put_rejects += 1
+                        continue
+                    cache = self._thread_shards[sid].cache
+                    if cache.peek(fp) is not None:
+                        continue
+                    stored = cache.put(fp, result.solution, request.platform,
+                                       schedule=result.schedule,
+                                       generation=gen)
+                    with self._rep_lock:
+                        if stored is not None:
+                            self.replicated_puts += 1
+                        else:
+                            self.replica_put_rejects += 1
+            return
+        if wire_result is None:
+            return  # failover re-dispatch path: nothing to fan out
+        entries_by_shard: Dict[int, List[Dict[str, Any]]] = (
+            {} if entry_sink is None else entry_sink
+        )
+        encoded = platform_to_dict(request.platform)
+        for sid in ctx.replicas:
+            if sid == ctx.target:
+                continue
+            entry = {"fp": fp, "result": wire_result, "platform": encoded}
+            gen = ctx.generations.get(sid)
+            if gen is not None:
+                entry["gen"] = gen
+            entries_by_shard.setdefault(sid, []).append(entry)
+        if entry_sink is None:
+            self._dispatch_puts(entries_by_shard)
+
+    def _dispatch_puts(
+        self, entries_by_shard: Dict[int, List[Dict[str, Any]]]
+    ) -> None:
+        """Queue batched replica puts on each shard's own dispatch
+        queue — fire-and-forget from the solve path (the reply already
+        went to the caller), drainable via :meth:`flush_replication`."""
+        parent = current_span()
+        for sid, entries in entries_by_shard.items():
+            shard = self._transport_shards[sid]
+            if not shard.active:
+                with self._rep_lock:
+                    self.replica_put_rejects += len(entries)
+                continue
+            fut = shard.executor.submit(self._run_put, shard, entries,
+                                        parent)
+            with self._rep_lock:
+                self._put_futures.add(fut)
+            fut.add_done_callback(self._discard_put_future)
+
+    def _discard_put_future(self, fut: Future) -> None:
+        with self._rep_lock:
+            self._put_futures.discard(fut)
+
+    def _run_put(self, shard: _TransportShard,
+                 entries: List[Dict[str, Any]], parent) -> None:
+        with activate(parent):
+            with span("ring.replicate", shard=shard.index,
+                      entries=len(entries)):
+                try:
+                    reply = self._shard_call(
+                        shard, {"op": "put", "entries": entries})
+                except ShardError:
+                    with self._rep_lock:
+                        self.replica_put_rejects += len(entries)
+                    return
+        with self._rep_lock:
+            self.replicated_puts += reply.get("stored", 0)
+            self.replica_put_rejects += (reply.get("stale", 0)
+                                         + reply.get("skipped", 0))
+
+    def flush_replication(self, timeout: Optional[float] = None) -> int:
+        """Block until queued replica puts land; returns how many
+        dispatches were waited on (tests use this for determinism —
+        production callers never need it)."""
+        with self._rep_lock:
+            pending = list(self._put_futures)
+        if pending:
+            wait(pending, timeout=timeout)
+        return len(pending)
+
+    def _routed_call(self, fp: str, msg: Dict[str, Any],
+                     prefer: Optional[int] = None) -> Dict[str, Any]:
         """Route to the fingerprint's shard with automatic failover.
 
-        A transport failure retries once on the same shard when it was
+        ``prefer`` names the shard to try first (a hot key's rotating
+        replica); failover from it walks the ring exactly as before.  A
+        transport failure retries once on the same shard when it was
         just restarted (local), then walks the ring to the next live
         shard.  Worker-*reported* errors (the shard is alive and said
         no) propagate immediately — failing over a deterministic solver
@@ -746,13 +1089,17 @@ class ShardedBroker:
         tried: set = set()
         first_error: Optional[ShardUnavailableError] = None
         while True:
-            try:
-                shard_id = self.ring.route(fp,
-                                           skip=tried | self._inactive_ids())
-            except ValueError:
-                raise first_error or ShardError(
-                    "no shards available (all ejected or dead)"
-                )
+            skip = tried | self._inactive_ids()
+            if prefer is not None and prefer not in skip:
+                shard_id = prefer
+                prefer = None  # one preferred attempt, then ring order
+            else:
+                try:
+                    shard_id = self.ring.route(fp, skip=skip)
+                except ValueError:
+                    raise first_error or ShardError(
+                        "no shards available (all ejected or dead)"
+                    )
             shard = self._transport_shards[shard_id]
             retried_fresh_worker = False
             while True:
@@ -788,49 +1135,103 @@ class ShardedBroker:
     # the solve paths
     # ------------------------------------------------------------------
     def solve(self, request: SolveRequest) -> BrokerResult:
-        """Route one request to its shard and solve synchronously."""
+        """Route one request to its shard and solve synchronously.
+
+        Hot fingerprints (heat >= ``hot_threshold``) take the skew
+        path: near-cache first, then a rotating replica, with the
+        solution fanned to the replicas (and the near-cache) that
+        missed it — see :class:`_HotContext` for the staleness
+        discipline.
+        """
         fp = request.fingerprint()
+        count = self._record_heat(fp)
+        near = self._near_lookup(request, fp)
+        if near is not None:
+            return near
+        ctx = self._hot_context(fp, count)
         if self._thread_shards:
-            shard_id = self.ring.route(fp)
+            if ctx is not None and ctx.replicas:
+                shard_id = ctx.target
+            else:
+                shard_id = self.ring.route(fp)
+            self._count_replica_read(ctx)
             with span("shard.solve", shard=shard_id, mode="thread"):
-                return self._thread_shards[shard_id].solve(request)
-        return self._transport_solve(request, fp)
+                result = self._thread_shards[shard_id].solve(request)
+            self._propagate(request, fp, result, ctx)
+            return result
+        return self._transport_solve(request, fp, ctx)
 
     def submit(self, request: SolveRequest) -> "Future[BrokerResult]":
         """Asynchronous solve on the owning shard.
 
         Thread mode keeps the shard broker's in-flight coalescing:
         identical concurrent requests always route to the same shard, so
-        they still share one LP.  Transport mode serialises per shard
-        (the channel), so a duplicate behind an in-flight twin resolves
-        as a cache hit instead.
+        they still share one LP (a hot key's rotation step changes the
+        target only every ``len(replicas)`` lookups, and the replicas
+        serve repeats from their own caches).  Transport mode serialises
+        per shard (the channel), so a duplicate behind an in-flight twin
+        resolves as a cache hit instead.
         """
         fp = request.fingerprint()
+        count = self._record_heat(fp)
+        near = self._near_lookup(request, fp)
+        if near is not None:
+            done: "Future[BrokerResult]" = Future()
+            done.set_result(near)
+            return done
+        ctx = self._hot_context(fp, count)
         if self._thread_shards:
-            return self._thread_shards[self.ring.route(fp)].submit(request)
-        shard = self._transport_shards[self._queue_shard_id(fp)]
+            if ctx is not None and ctx.replicas:
+                shard_id = ctx.target
+            else:
+                shard_id = self.ring.route(fp)
+            self._count_replica_read(ctx)
+            fut = self._thread_shards[shard_id].submit(request)
+            if ctx is not None:
+                fut.add_done_callback(
+                    lambda f: self._propagate_future(request, fp, ctx, f))
+            return fut
+        shard = self._transport_shards[self._queue_shard_id(fp, ctx)]
         # the caller's span must follow the request onto the shard's
         # dispatch thread (where the transport span is opened)
         parent = current_span()
         return shard.executor.submit(self._dispatch_solve, request, fp,
-                                     parent)
+                                     parent, ctx)
 
-    def _dispatch_solve(self, request: SolveRequest, fp: str,
-                        parent) -> BrokerResult:
+    def _propagate_future(self, request: SolveRequest, fp: str,
+                          ctx: _HotContext,
+                          fut: "Future[BrokerResult]") -> None:
+        """Fan out a hot async solve once it lands (runs on the shard's
+        worker thread; put failures must never surface to the waiter)."""
+        try:
+            result = fut.result()
+        except Exception:  # noqa: BLE001 — the solve failed; caller sees it
+            return
+        try:
+            self._propagate(request, fp, result, ctx)
+        except Exception:  # noqa: BLE001 — replication is best-effort
+            pass
+
+    def _dispatch_solve(self, request: SolveRequest, fp: str, parent,
+                        ctx: Optional[_HotContext] = None) -> BrokerResult:
         with activate(parent):
-            return self._transport_solve(request, fp)
+            return self._transport_solve(request, fp, ctx)
 
-    def _queue_shard_id(self, fp: str) -> int:
-        """The dispatch queue for an async solve: the fingerprint's live
-        owner, or its home shard when nothing is live (the routed call
-        will then raise the no-shards error inside the future)."""
+    def _queue_shard_id(self, fp: str,
+                        ctx: Optional[_HotContext] = None) -> int:
+        """The dispatch queue for an async solve: the hot key's chosen
+        replica, else the fingerprint's live owner, or its home shard
+        when nothing is live (the routed call will then raise the
+        no-shards error inside the future)."""
+        if ctx is not None and ctx.target is not None:
+            return ctx.target
         try:
             return self.ring.route(fp, skip=self._inactive_ids())
         except ValueError:
             return self.ring.route(fp)
 
-    def _transport_solve(self, request: SolveRequest,
-                         fp: str) -> BrokerResult:
+    def _transport_solve(self, request: SolveRequest, fp: str,
+                         ctx: Optional[_HotContext] = None) -> BrokerResult:
         from .api import _request_wire  # deferred: avoid import cycle
 
         # the memoized read-only encoding: re-sends never re-encode the
@@ -842,8 +1243,13 @@ class ShardedBroker:
         }
         if current_span() is not None:
             msg["trace"] = True  # ask the shard for its span tree
-        reply = self._routed_call(fp, msg)
-        return result_from_wire(reply["result"])
+        prefer = ctx.target if ctx is not None else None
+        self._count_replica_read(ctx)
+        reply = self._routed_call(fp, msg, prefer=prefer)
+        result = result_from_wire(reply["result"])
+        self._propagate(request, fp, result, ctx,
+                        wire_result=reply["result"])
+        return result
 
     def solve_batch(self, requests: List[SolveRequest]) -> List[BrokerResult]:
         """Fan a mixed batch out across shards; order preserved.
@@ -880,11 +1286,24 @@ class ShardedBroker:
         traced = parent is not None
         inactive = self._inactive_ids()
         by_shard: Dict[Optional[int], List[int]] = {}
+        ctxs: Dict[int, Optional[_HotContext]] = {}
+        outcomes: List[Any] = [None] * len(requests)
         for index, fp in enumerate(fps):
-            try:
-                owner = self.ring.route(fp, skip=inactive)
-            except ValueError:
-                owner = None  # nothing live: the retry path will raise
+            count = self._record_heat(fp)
+            near = self._near_lookup(requests[index], fp)
+            if near is not None:
+                outcomes[index] = near  # served before touching a shard
+                continue
+            ctx = self._hot_context(fp, count)
+            ctxs[index] = ctx
+            if ctx is not None and ctx.target is not None:
+                self._count_replica_read(ctx)
+                owner: Optional[int] = ctx.target
+            else:
+                try:
+                    owner = self.ring.route(fp, skip=inactive)
+                except ValueError:
+                    owner = None  # nothing live: the retry path will raise
             by_shard.setdefault(owner, []).append(index)
         # one solve_many per shard, dispatched through the shard's own
         # queue (ordered with its other work), all shards in parallel
@@ -905,7 +1324,6 @@ class ShardedBroker:
             for shard_id, indices in by_shard.items()
             if shard_id is not None
         }
-        outcomes: List[Any] = [None] * len(requests)
         retry: List[int] = list(by_shard.get(None, ()))
         for shard_id, indices in by_shard.items():
             if shard_id is None:
@@ -924,16 +1342,26 @@ class ShardedBroker:
             for i, item in zip(indices, reply["results"]):
                 outcomes[i] = item
         for i in sorted(retry):
-            outcomes[i] = self._transport_solve(requests[i], fps[i])
+            outcomes[i] = self._transport_solve(requests[i], fps[i],
+                                                ctxs.get(i))
         results: List[BrokerResult] = []
-        for item in outcomes:
+        # hot keys fan out in ONE batched put per replica shard, not one
+        # round-trip per hot item
+        put_sink: Dict[int, List[Dict[str, Any]]] = {}
+        for index, item in enumerate(outcomes):
             assert item is not None
-            if isinstance(item, BrokerResult):  # failover re-dispatch
+            if isinstance(item, BrokerResult):  # near hit / failover
                 results.append(item)
-            elif not item.get("ok"):
+                continue
+            if not item.get("ok"):
                 raise _raise_worker_error(item)
-            else:
-                results.append(result_from_wire(item["result"]))
+            result = result_from_wire(item["result"])
+            results.append(result)
+            self._propagate(requests[index], fps[index], result,
+                            ctxs.get(index), wire_result=item["result"],
+                            entry_sink=put_sink)
+        if put_sink:
+            self._dispatch_puts(put_sink)
         return results
 
     # ------------------------------------------------------------------
@@ -950,7 +1378,14 @@ class ShardedBroker:
         empty cache (local) and counted in ``shard_health`` — either
         way its stale entries are gone before it serves again (a remote
         shard's cache is cleared on rejoin).
+
+        The broker near-cache is invalidated first (its generation
+        bumps, so a replicated or near put racing this call is refused);
+        near-cache removals are duplicates of shard entries and are NOT
+        counted in the returned total.
         """
+        if self._near_cache is not None:
+            self._near_cache.invalidate_platform(platform)
         if self._thread_shards:
             return sum(broker.invalidate_platform(platform)
                        for broker in self._thread_shards)
@@ -965,11 +1400,14 @@ class ShardedBroker:
     def clear(self) -> int:
         """Drop every cached entry on every shard; returns entries removed.
 
-        (The per-shard generation counters advance, so in-flight solves
-        cannot re-populate the caches with pre-clear solutions.  Like
-        :meth:`invalidate_platform`, an unreachable shard is recovered
-        and counted, never raised.)
+        (The per-shard generation counters advance — the near-cache's
+        too — so in-flight solves cannot re-populate the caches with
+        pre-clear solutions.  Like :meth:`invalidate_platform`, an
+        unreachable shard is recovered and counted, never raised; near-
+        cache removals are duplicates and are not counted.)
         """
+        if self._near_cache is not None:
+            self._near_cache.clear()
         if self._thread_shards:
             return sum(broker.cache.clear()
                        for broker in self._thread_shards)
@@ -1016,7 +1454,9 @@ class ShardedBroker:
         are ejected, dead, or failed mid-scrape (transport shards are
         queried concurrently — see :meth:`_fanout`)."""
         if self._thread_shards:
-            return [broker.engine.snapshot()
+            # keys ride along so merged snapshots can deduplicate
+            # replicated entries (transport shards do the same server-side)
+            return [broker.engine.snapshot(include_keys=True)
                     for broker in self._thread_shards]
         snaps: List[Optional[Dict[str, Any]]] = (
             [None] * len(self._transport_shards)
@@ -1094,6 +1534,7 @@ class ShardedBroker:
             "metrics": merged_metrics,
             "shard_health": self.shard_health(),
             "per_shard": per_shard,
+            "replication": self._replication_snapshot(per_shard),
         }
         incremental = [s["incremental"] for s in present
                        if "incremental" in s]
@@ -1107,6 +1548,44 @@ class ShardedBroker:
                 key: (max if key.endswith("_max") else sum)(
                     snap.get(key, 0) for snap in incremental)
                 for key in keys
+            }
+        return out
+
+    def _replication_snapshot(
+        self, per_shard: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """The hot-key subsystem's JSON view: config, fan-out counters,
+        near-cache stats, the sketch's hot head, and the per-shard
+        request imbalance (max/mean — 1.0 is perfectly even; the gauge
+        replication exists to pull down under Zipf skew)."""
+        with self._rep_lock:
+            out: Dict[str, Any] = {
+                "factor": self.replication_factor,
+                "hot_threshold": self.hot_threshold,
+                "replicated_puts": self.replicated_puts,
+                "replica_put_rejects": self.replica_put_rejects,
+                "replica_reads": self.replica_reads,
+            }
+        loads = [s["requests"] for s in per_shard if "requests" in s]
+        if loads and sum(loads) > 0:
+            mean = sum(loads) / len(loads)
+            out["load_imbalance"] = max(loads) / mean
+        else:
+            out["load_imbalance"] = None
+        if self._heat is not None:
+            out["heat"] = self._heat.snapshot()
+        if self._near_cache is not None:
+            near = self._near_cache.snapshot()
+            out["near_cache"] = {
+                "size": near["size"],
+                "max_size": near["max_size"],
+                "generation": near["generation"],
+                "hits": near["hits"],
+                "misses": near["misses"],
+                "hit_rate": near["hit_rate"],
+                # a refused put IS the staleness guarantee working: the
+                # generation moved between solve start and admission
+                "stale_rejects": near["stale_puts"],
             }
         return out
 

@@ -87,7 +87,7 @@ from .broker import SolveEngine
 from .cache import SolutionCache
 from .incremental import IncrementalSolver
 from .tracing import start_trace
-from .wire import result_to_wire
+from .wire import result_from_wire, result_to_wire
 
 
 class TransportError(RuntimeError):
@@ -512,6 +512,21 @@ def handle_shard_message(engine: SolveEngine,
 
 def _handle_shard_op(engine: SolveEngine,
                      msg: Dict[str, Any]) -> Dict[str, Any]:
+    reply = _shard_op_reply(engine, msg)
+    if reply.get("ok") and "gen" not in reply:
+        # every successful reply reports the shard's cache generation:
+        # brokers keep it as a monotone per-shard lower bound that
+        # guards replicated puts (a bound that lags only makes a put
+        # reject safely — generations never move backwards)
+        try:
+            reply["gen"] = engine.cache.generation
+        except Exception:  # noqa: BLE001 — introspection must not fail ops
+            pass
+    return reply
+
+
+def _shard_op_reply(engine: SolveEngine,
+                    msg: Dict[str, Any]) -> Dict[str, Any]:
     from .api import request_from_dict  # deferred: avoid import cycle
 
     op = msg.get("op")
@@ -558,12 +573,43 @@ def _handle_shard_op(engine: SolveEngine,
                     replies.append({"ok": False, "error": str(exc),
                                     "type": type(exc).__name__})
             return {"ok": True, "results": replies}
+        if op == "put":
+            # replicated hot-key writes, batched (one round-trip per
+            # replica shard per batch).  Every entry must carry the
+            # generation its writer captured at solve start: an entry
+            # without one is REJECTED — storing it unguarded could
+            # silently undo an invalidation — and the reply's "gen"
+            # seeds the writer's bound so its next put can land.
+            stored = stale = skipped = 0
+            for entry in msg.get("entries", ()):
+                try:
+                    gen = entry.get("gen")
+                    if not isinstance(gen, int) or isinstance(gen, bool):
+                        skipped += 1
+                        continue
+                    result = result_from_wire(entry["result"])
+                    platform = platform_from_dict(entry["platform"])
+                    if engine.cache.peek(entry["fp"]) is not None:
+                        continue  # the replica already has it
+                    landed = engine.cache.put(
+                        entry["fp"], result.solution, platform,
+                        schedule=result.schedule, generation=gen)
+                    if landed is None:
+                        stale += 1
+                    else:
+                        stored += 1
+                except Exception:  # noqa: BLE001 — a bad entry, not a bad op
+                    skipped += 1
+            return {"ok": True, "stored": stored, "stale": stale,
+                    "skipped": skipped}
         if op == "invalidate":
             platform = platform_from_dict(msg["platform"])
             return {"ok": True,
                     "removed": engine.invalidate_platform(platform)}
         if op == "snapshot":
-            return {"ok": True, "snapshot": engine.snapshot()}
+            # keys ride along so the sharding layer's merged snapshots
+            # can deduplicate hot-key-replicated entries
+            return {"ok": True, "snapshot": engine.snapshot(include_keys=True)}
         if op == "clear":
             return {"ok": True, "cleared": engine.cache.clear()}
         if op == "sleep":
@@ -1193,7 +1239,8 @@ class AsyncShardServer:
             # served on the loop: reads loop-confined counters plus the
             # engine's own (briefly) locked snapshot — microseconds, and
             # it must not queue behind saturated solve workers
-            return {"ok": True, "snapshot": self._snapshot_with_async()}
+            return {"ok": True, "snapshot": self._snapshot_with_async(),
+                    "gen": self.engine.cache.generation}
         # invalidate / clear / sleep / unknown: the shared op handler,
         # on a thread, under the engine lock
         assert self._loop is not None
@@ -1296,7 +1343,9 @@ class AsyncShardServer:
 
     def _snapshot_with_async(self) -> Dict[str, Any]:
         self._publish_gauges()
-        snap = self.engine.snapshot()
+        # include_keys for the same reason the sync snapshot op does:
+        # merged snapshots deduplicate hot-key-replicated entries
+        snap = self.engine.snapshot(include_keys=True)
         snap["async"] = {
             "solve_workers": self.solve_workers,
             "inflight": self.inflight_ops,

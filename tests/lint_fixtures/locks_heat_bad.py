@@ -1,0 +1,39 @@
+"""Caller-holds discipline violated three ways: fails the ``locks`` rule.
+
+1. a caller-holds helper invoked without the lock held;
+2. a helper touching guarded state with NO caller-holds annotation;
+3. a dangling caller-holds annotation not on a ``def`` header.
+"""
+
+import threading
+
+# caller-holds: _lock
+WHERE_IS_THE_DEF = True
+
+
+class RacySketch:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {}  # guarded-by: _lock
+        self._heap = []  # guarded-by: _lock
+
+    def record(self, key: str) -> int:
+        with self._lock:
+            count = self._counts.get(key, 0) + 1
+            self._counts[key] = count
+            return count
+
+    def drop_coldest(self) -> None:
+        # BAD: the helper demands the lock, nobody holds it here
+        self._evict_min()
+
+    def _evict_min(self) -> None:  # caller-holds: _lock
+        if self._heap:
+            _, key = self._heap.pop(0)
+            del self._counts[key]
+
+    def _compact(self) -> None:
+        # BAD: guarded state, no lock, no caller-holds declaration
+        self._heap = sorted(
+            (count, key) for key, count in self._counts.items()
+        )

@@ -1,0 +1,41 @@
+"""Caller-holds helpers used correctly: passes the ``locks`` rule.
+
+Models the heat-sketch shape: a lock-holding public method factors its
+eviction into a private helper annotated ``# caller-holds: _lock``.  The
+helper may touch guarded state freely, and every call site holds the
+lock.
+"""
+
+import threading
+
+
+class Sketch:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {}  # guarded-by: _lock
+        self._heap = []  # guarded-by: _lock
+
+    def record(self, key: str) -> int:
+        with self._lock:
+            count = self._counts.get(key, 0) + 1
+            self._counts[key] = count
+            self._heap.append((count, key))
+            if len(self._heap) > 64:
+                self._compact()
+            return count
+
+    def _compact(self) -> None:  # caller-holds: _lock
+        self._heap = sorted(
+            (count, key) for key, count in self._counts.items()
+        )
+
+    def drop_coldest(self) -> None:
+        with self._lock:
+            self._evict_min()
+
+    def _evict_min(self) -> None:  # caller-holds: _lock
+        # a caller-holds helper may call another under the same lock
+        self._compact()
+        if self._heap:
+            _, key = self._heap.pop(0)
+            del self._counts[key]

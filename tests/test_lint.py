@@ -333,6 +333,48 @@ class TestFixtureCorpus:
         assert len(report.findings) == 1
         assert "dangling" in report.findings[0].message
 
+    def test_locks_caller_holds_ok_fixture_is_clean(self):
+        # the heat-sketch shape: lock-holding methods factor work into
+        # '# caller-holds: _lock' helpers; every call site holds the lock
+        report = lint_file(FIXTURES / "locks_heat_ok.py")
+        assert report.ok, report.render_text()
+
+    def test_locks_caller_holds_bad_fixture_catches_all_three(self):
+        report = lint_file(FIXTURES / "locks_heat_bad.py")
+        messages = [f.message for f in report.findings]
+        assert all(f.rule == "locks" for f in report.findings)
+        # 1. helper called without the lock held
+        assert any("self._evict_min() called without holding" in m
+                   for m in messages)
+        # 2. unannotated helper touching guarded state
+        assert any("self._heap accessed outside" in m
+                   and "_compact" in m for m in messages)
+        assert any("self._counts accessed outside" in m
+                   and "_compact" in m for m in messages)
+        # 3. dangling caller-holds annotation (not on a def header)
+        assert any("dangling caller-holds" in m for m in messages)
+
+    def test_locks_caller_holds_inherited_into_subclass(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import threading\n"
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # guarded-by: _lock\n"
+            "    def _bump(self):  # caller-holds: _lock\n"
+            "        self.n += 1\n"
+            "class Child(Base):\n"
+            "    def bad(self):\n"
+            "        self._bump()\n"
+            "    def good(self):\n"
+            "        with self._lock:\n"
+            "            self._bump()\n")
+        report = run_lint([str(mod)], rules=["locks"])
+        assert len(report.findings) == 1
+        assert "Child.bad" in report.findings[0].message
+        assert "caller-holds" in report.findings[0].message
+
     def test_drift_names_the_dropped_key_and_orphan_kind(self):
         report = lint_file(FIXTURES / "drift_bad.py")
         messages = "\n".join(f.message for f in report.findings)

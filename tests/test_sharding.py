@@ -553,6 +553,72 @@ class TestHashRingProperties:
         for fp in _fingerprints(64):
             assert ring.route(fp) == ring.route(fp, skip=set())
 
+    # ---- successors: the replica sets hot-key replication fans to ----
+    @settings(max_examples=25, deadline=None)
+    @given(shards=st.integers(min_value=2, max_value=10),
+           count=st.integers(min_value=1, max_value=12),
+           salt=st.text(alphabet="abcdef", min_size=0, max_size=6))
+    def test_successors_distinct_live_and_first_is_route(self, shards,
+                                                         count, salt):
+        """R distinct shards, never more than live, headed by route()."""
+        ring = HashRing(shards)
+        for fp in _fingerprints(32, salt):
+            replicas = ring.successors(fp, count)
+            assert len(replicas) == min(count, shards)
+            assert len(set(replicas)) == len(replicas)  # all distinct
+            assert replicas[0] == ring.route(fp)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shards=st.integers(min_value=2, max_value=10),
+           count=st.integers(min_value=1, max_value=10))
+    def test_successors_agree_with_route_skip_walk(self, shards, count):
+        """The replica list IS the route() failover walk: each entry is
+        what route(fp, skip=<earlier entries>) would pick next."""
+        ring = HashRing(shards)
+        for fp in _fingerprints(24):
+            replicas = ring.successors(fp, count)
+            walked = []
+            for _ in range(len(replicas)):
+                walked.append(ring.route(fp, skip=set(walked)))
+            assert replicas == walked
+
+    @settings(max_examples=25, deadline=None)
+    @given(shards=st.integers(min_value=3, max_value=10),
+           count=st.integers(min_value=2, max_value=6),
+           ejected=st.integers(min_value=0, max_value=9))
+    def test_successors_minimal_disruption_on_ejection(self, shards,
+                                                       count, ejected):
+        """Ejecting one shard removes only THAT shard from every key's
+        replica walk — the surviving order is untouched."""
+        ejected %= shards
+        ring = HashRing(shards)
+        for fp in _fingerprints(24):
+            full = ring.successors(fp, shards)  # the whole walk
+            survivors = [s for s in full if s != ejected]
+            assert (ring.successors(fp, count, skip={ejected})
+                    == survivors[:count])
+
+    @settings(max_examples=25, deadline=None)
+    @given(shards=st.integers(min_value=2, max_value=10),
+           count=st.integers(min_value=1, max_value=8))
+    def test_successors_prefix_stable_in_count(self, shards, count):
+        """Raising the replication factor appends replicas, never
+        reshuffles the ones already placed."""
+        ring = HashRing(shards)
+        for fp in _fingerprints(24):
+            assert (ring.successors(fp, count + 1)[:count]
+                    == ring.successors(fp, count))
+
+    def test_successors_validation(self):
+        ring = HashRing(3)
+        fp = "ab" * 32
+        with pytest.raises(ValueError):
+            ring.successors(fp, 0)
+        with pytest.raises(ValueError, match="excluded"):
+            ring.successors(fp, 2, skip={0, 1, 2})
+        # fewer live shards than asked for: return what exists
+        assert len(ring.successors(fp, 3, skip={0})) == 2
+
 
 # ----------------------------------------------------------------------
 # supervision: worker death, restart, timeout (local pipe shards)
